@@ -1,0 +1,79 @@
+// Figures 5 and 7: median branch coverage over time for every fuzzer on the
+// ProFuzzBench targets, emitted as CSV series (fuzzer,target,t_seconds,
+// branches) — feed to any plotting tool.
+//
+// Figure 5 in the paper excludes AFL++/AFLnwe/AFLNet-no-state for
+// readability; Figure 7 includes everything. This binary always emits all
+// fuzzers (i.e. the Figure 7 data; Figure 5 is a column subset).
+//
+// Like the ProFuzzBench plots, the first sample is taken shortly after
+// start, and the series begins after seed coverage — so curves do not start
+// at 0. Default scale: NYX_RUNS=2 medians, NYX_VTIME=120 virtual seconds,
+// NYX_FIG5_TARGETS (default: a 2-target subset; "all" for every target).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/common/stats.h"
+#include "src/harness/campaign.h"
+#include "src/targets/registry.h"
+
+namespace nyx {
+namespace {
+
+std::vector<std::string> TargetSelection() {
+  const char* env = getenv("NYX_FIG5_TARGETS");
+  if (env != nullptr && strcmp(env, "all") == 0) {
+    std::vector<std::string> all;
+    for (const auto& reg : AllTargets()) {
+      if (reg.in_profuzzbench) {
+        all.push_back(reg.name);
+      }
+    }
+    return all;
+  }
+  return {"lightftp", "kamailio"};
+}
+
+}  // namespace
+}  // namespace nyx
+
+int main() {
+  using namespace nyx;
+  const size_t runs = EvalRuns(2);
+  const double vtime = EvalVtime(120);
+  fprintf(stderr, "Figures 5/7 data: %zu-run median coverage over %.0f virtual seconds\n",
+          runs, vtime);
+  printf("fuzzer,target,t_vseconds,branches\n");
+
+  const std::vector<FuzzerKind> fuzzers = {
+      FuzzerKind::kAflnet,      FuzzerKind::kAflnetNoState, FuzzerKind::kAflnwe,
+      FuzzerKind::kAflppDesock, FuzzerKind::kNyxNone,       FuzzerKind::kNyxBalanced,
+      FuzzerKind::kNyxAggressive,
+  };
+  for (const std::string& target : TargetSelection()) {
+    for (FuzzerKind f : fuzzers) {
+      CampaignSpec cs;
+      cs.target = target;
+      cs.fuzzer = f;
+      cs.limits.vtime_seconds = vtime;
+      cs.limits.wall_seconds = 3.0;
+      const std::vector<CampaignResult> results = RepeatCampaign(cs, runs);
+      if (results.empty()) {
+        continue;  // n/a configuration
+      }
+      std::vector<TimeSeries> series;
+      for (const auto& r : results) {
+        series.push_back(r.coverage_over_time);
+      }
+      const TimeSeries median = TimeSeries::PointwiseMedian(series, vtime, vtime / 60.0);
+      const std::string label = std::string(FuzzerKindName(f)) + "," + target;
+      fputs(median.ToCsv(label).c_str(), stdout);
+      fflush(stdout);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,133 @@
+// Table 4: time to solve Super Mario levels — IJON vs Nyx-Net-none /
+// -balanced / -aggressive — plus the "faster than light" comparison from
+// section 5.3.
+//
+// Times are virtual (the simulation's cost model: IJON pays fork-server and
+// pipe-fed frame costs, Nyx-Net pays snapshot resets and emulated delivery).
+// The paper reports medians of 3 runs over all 32 levels on 52 cores; the
+// single-core default here runs NYX_MARIO_LEVELS (default 4 representative
+// levels) x NYX_RUNS (default 1) with a per-cell wall cap NYX_WALL (default
+// 45 s). Export NYX_MARIO_LEVELS=all for the full Table 4.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/common/stats.h"
+#include "src/harness/campaign.h"
+#include "src/harness/table.h"
+#include "src/mario/mario_target.h"
+
+namespace nyx {
+namespace {
+
+double WallCap() {
+  const char* env = getenv("NYX_WALL");
+  return env != nullptr && atof(env) > 0 ? atof(env) : 20.0;
+}
+
+std::vector<std::string> LevelSelection() {
+  const char* env = getenv("NYX_MARIO_LEVELS");
+  if (env != nullptr && strcmp(env, "all") == 0) {
+    std::vector<std::string> all;
+    for (const LevelDef& lv : AllLevels()) {
+      all.push_back(lv.name);
+    }
+    return all;
+  }
+  if (env != nullptr && env[0] != '\0') {
+    std::vector<std::string> picked;
+    std::string cur;
+    for (const char* p = env;; p++) {
+      if (*p == ',' || *p == '\0') {
+        if (!cur.empty()) {
+          picked.push_back(cur);
+        }
+        cur.clear();
+        if (*p == '\0') {
+          break;
+        }
+      } else {
+        cur.push_back(*p);
+      }
+    }
+    return picked;
+  }
+  return {"1-1", "1-4", "2-1", "5-4"};
+}
+
+// Median time-to-solve across runs; negative if any run failed to solve.
+double MedianSolve(const std::string& level, FuzzerKind fuzzer, size_t runs) {
+  std::vector<double> times;
+  for (size_t r = 0; r < runs; r++) {
+    CampaignOutcome out = RunMarioCampaign(level, fuzzer, WallCap(), r + 1);
+    if (out.result.ijon_goal_vsec < 0) {
+      return -1.0;
+    }
+    times.push_back(out.result.ijon_goal_vsec);
+  }
+  return Median(times);
+}
+
+}  // namespace
+}  // namespace nyx
+
+int main() {
+  using namespace nyx;
+  const size_t runs = EvalRuns(1);
+  printf("Table 4: virtual time (HH:MM:SS) to solve Super Mario levels\n");
+  printf("(median of %zu run(s); '-' = unsolved within the wall cap of %.0fs/cell)\n\n",
+         runs, WallCap());
+
+  TextTable table({"Level", "Ijon", "Nyx-Net-none", "Nyx-Net-balanced", "Nyx-Net-aggressive",
+                   "best speedup vs Ijon"});
+  for (const std::string& level : LevelSelection()) {
+    fprintf(stderr, "[table4] %s...\n", level.c_str());
+    const double ijon = MedianSolve(level, FuzzerKind::kIjon, runs);
+    const double none = MedianSolve(level, FuzzerKind::kNyxNone, runs);
+    const double balanced = MedianSolve(level, FuzzerKind::kNyxBalanced, runs);
+    const double aggressive = MedianSolve(level, FuzzerKind::kNyxAggressive, runs);
+    double best = -1;
+    for (double t : {none, balanced, aggressive}) {
+      if (t >= 0 && (best < 0 || t < best)) {
+        best = t;
+      }
+    }
+    std::string speedup = "-";
+    if (ijon > 0 && best > 0) {
+      speedup = Fmt(ijon / best, 1) + "x";
+    } else if (ijon < 0 && best > 0) {
+      speedup = ">?x (Ijon unsolved)";
+    }
+    table.AddRow({level, FmtDuration(ijon), FmtDuration(none), FmtDuration(balanced),
+                  FmtDuration(aggressive), speedup});
+    fflush(stdout);
+  }
+  table.Print();
+
+  // "Faster than light": wall-clock of a speedrun at the native 60 FPS vs
+  // the fuzzer's solve time spread over the paper's 52 parallel cores.
+  printf("\nFaster-than-light check (section 5.3), level 1-1:\n");
+  {
+    Spec spec = Spec::GenericNetwork();
+    const LevelDef* lv = FindLevel("1-1");
+    uint32_t frames = 0;
+    MarioSpeedrun(spec, *lv, 64, &frames);
+    const double speedrun_seconds = static_cast<double>(frames) / 60.0;
+    CampaignOutcome out = RunMarioCampaign("1-1", FuzzerKind::kNyxAggressive, WallCap(), 1);
+    if (out.result.ijon_goal_vsec >= 0) {
+      const double parallel52 = out.result.ijon_goal_vsec / 52.0;
+      printf("  perfect speedrun at 60 FPS: %.1f s\n", speedrun_seconds);
+      printf("  Nyx-Net-aggressive solve:   %.1f virtual s (1 core), %.1f s on 52 cores\n",
+             out.result.ijon_goal_vsec, parallel52);
+      printf("  faster than light: %s\n", parallel52 < speedrun_seconds ? "YES" : "no");
+    } else {
+      printf("  (1-1 unsolved within the wall cap; raise NYX_WALL)\n");
+    }
+  }
+  printf("\n2-1 note: solvable only via the wall-jump glitch; expect '-' for Ijon and\n");
+  printf("occasional solves for Nyx-Net configurations (paper: 1-2 of 3 runs).\n");
+  return 0;
+}

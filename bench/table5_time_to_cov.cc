@@ -1,0 +1,77 @@
+// Table 5 (appendix B): "Time to Equal Coverage" — when AFLNet reached its
+// final coverage, and how much faster each Nyx-Net configuration reached
+// that same coverage level.
+//
+// Derived from the same campaign time series as Figure 5. Default scale:
+// NYX_RUNS=2 medians over NYX_VTIME=120 virtual seconds.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/common/stats.h"
+#include "src/harness/campaign.h"
+#include "src/harness/table.h"
+#include "src/targets/registry.h"
+
+namespace nyx {
+namespace {
+
+TimeSeries MedianSeries(const std::vector<CampaignResult>& results, double t_end) {
+  std::vector<TimeSeries> series;
+  for (const auto& r : results) {
+    series.push_back(r.coverage_over_time);
+  }
+  return TimeSeries::PointwiseMedian(series, t_end, t_end / 200.0);
+}
+
+}  // namespace
+}  // namespace nyx
+
+int main() {
+  using namespace nyx;
+  const size_t runs = EvalRuns(2);
+  const double vtime = EvalVtime(120);
+  printf("Table 5: time to reach AFLNet's final coverage (%zu runs x %.0f vsec).\n", runs,
+         vtime);
+  printf("Speedups are AFLNet's time-to-final / Nyx-Net's time-to-same-coverage.\n\n");
+
+  TextTable table({"Target", "AFLNet time to final cov", "Nyx-Net", "Nyx-Net-balanced",
+                   "Nyx-Net-aggressive"});
+  for (const auto& reg : AllTargets()) {
+    if (!reg.in_profuzzbench) {
+      continue;
+    }
+    CampaignSpec cs;
+    cs.target = reg.name;
+    cs.limits.vtime_seconds = vtime;
+    cs.limits.wall_seconds = 3.0;
+
+    fprintf(stderr, "[table5] %s...\n", reg.name.c_str());
+    cs.fuzzer = FuzzerKind::kAflnet;
+    const TimeSeries aflnet = MedianSeries(RepeatCampaign(cs, runs), vtime);
+    const double final_cov = aflnet.ValueAt(vtime);
+    const double aflnet_time = aflnet.TimeToReach(final_cov);
+
+    std::vector<std::string> row = {reg.name, FmtDuration(aflnet_time)};
+    for (FuzzerKind f : {FuzzerKind::kNyxNone, FuzzerKind::kNyxBalanced,
+                         FuzzerKind::kNyxAggressive}) {
+      cs.fuzzer = f;
+      const TimeSeries nyx = MedianSeries(RepeatCampaign(cs, runs), vtime);
+      const double t = nyx.TimeToReach(final_cov);
+      if (t < 0) {
+        row.push_back("-");  // never matched AFLNet (paper: exim, openssh)
+      } else if (t <= 0.0) {
+        row.push_back(">" + Fmt(aflnet_time, 0) + "x");
+      } else {
+        row.push_back(Fmt(aflnet_time / t, 0) + "x");
+      }
+      fflush(stdout);
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+  printf("\nPaper shape check: speedups from 1x to >1000x; '-' where Nyx-Net never\n");
+  printf("matched AFLNet's final coverage within the budget.\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Super Mario with incremental snapshots (paper section 5.3, Figure 2).
+//
+// Solves level 1-1 with the aggressive snapshot placement policy and
+// compares the virtual solve time against the wall-clock duration of a
+// perfect speedrun at the native 60 FPS — the paper's "faster than light"
+// observation: spread across the testbed's 52 cores, the fuzzer solves the
+// level before a flawless player could finish it once.
+
+#include <cstdio>
+
+#include "src/fuzz/fuzzer.h"
+#include "src/mario/mario_target.h"
+
+int main() {
+  using namespace nyx;
+  const std::string level_name = "1-1";
+  const LevelDef* level = FindLevel(level_name);
+  Spec spec = Spec::GenericNetwork();
+
+  // The perfect run, for reference.
+  uint32_t speedrun_frames = 0;
+  MarioSpeedrun(spec, *level, 64, &speedrun_frames);
+  const double speedrun_seconds = speedrun_frames / 60.0;
+  printf("level %s: length %u tiles; perfect speedrun = %u frames = %.1f s at 60 FPS\n",
+         level_name.c_str(), level->length, speedrun_frames, speedrun_seconds);
+
+  // Fuzz: packets of 64 button-frames; IJON-style max-x feedback; aggressive
+  // incremental snapshots park the VM right before the hard jumps.
+  EngineConfig engine_cfg;
+  engine_cfg.vm.mem_pages = 512;
+  FuzzerConfig fuzz_cfg;
+  fuzz_cfg.policy = PolicyMode::kAggressive;
+  fuzz_cfg.seed = 3;
+  NyxFuzzer fuzzer(
+      engine_cfg, [&] { return MakeMarioTarget(level_name); }, spec, fuzz_cfg);
+  fuzzer.AddSeed(MarioSeed(spec, *level, 64));
+
+  CampaignLimits limits;
+  limits.vtime_seconds = 24.0 * 3600;
+  limits.wall_seconds = 90.0;
+  limits.ijon_goal = static_cast<uint64_t>(MarioEngine(*level).goal_x());
+  printf("fuzzing until solved...\n");
+  CampaignResult result = fuzzer.Run(limits);
+
+  if (result.ijon_goal_vsec < 0) {
+    printf("not solved within the wall cap; progress: %lu of %lu subpixels\n",
+           static_cast<unsigned long>(result.ijon_best),
+           static_cast<unsigned long>(limits.ijon_goal));
+    return 1;
+  }
+  printf("SOLVED after %.1f virtual seconds (%lu executions)\n", result.ijon_goal_vsec,
+         static_cast<unsigned long>(result.execs));
+  printf("incremental snapshots: %lu created, %lu reused\n",
+         static_cast<unsigned long>(result.incremental_creates),
+         static_cast<unsigned long>(result.incremental_restores));
+  const double on_52_cores = result.ijon_goal_vsec / 52.0;
+  printf("on the paper's 52 cores: ~%.1f s — %s the %.1f s speedrun ('faster than light')\n",
+         on_52_cores, on_52_cores < speedrun_seconds ? "BEATS" : "does not beat",
+         speedrun_seconds);
+  return 0;
+}

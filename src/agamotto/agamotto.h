@@ -1,0 +1,82 @@
+// AGAMOTTO-style lightweight checkpointing, reimplemented as the comparison
+// baseline for Figure 6 and the related discussion in section 5.3:
+//
+//  - Checkpoints form a *tree*: each node stores page deltas relative to its
+//    parent; restoring walks the chain from the node back to the root image.
+//  - Dirty pages are found by walking KVM's whole one-byte-per-page bitmap
+//    ("AGAMOTTO has to walk the whole bitmap of all pages present in the
+//    physical memory of the VM"), so creation cost scales with VM size, not
+//    with the number of dirtied pages.
+//  - Page copies live in heap-allocated buffers; once the total exceeds a
+//    memory budget (1 GiB in the paper), least-recently-used checkpoints are
+//    evicted, "causing it to slow down".
+
+#ifndef SRC_AGAMOTTO_AGAMOTTO_H_
+#define SRC_AGAMOTTO_AGAMOTTO_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/vm/guest_memory.h"
+
+namespace nyx {
+
+class AgamottoCheckpointManager {
+ public:
+  struct Config {
+    size_t memory_budget_bytes = 1ull << 30;
+  };
+
+  // Captures the base image of `mem`; all checkpoints are relative to it.
+  AgamottoCheckpointManager(GuestMemory& mem, const Config& config);
+
+  // Creates a checkpoint of the current state as a child of the checkpoint
+  // the VM last diverged from (deltas are only meaningful relative to that
+  // lineage). Walks the full dirty bitmap. Returns the new checkpoint id.
+  int CreateCheckpoint();
+
+  // Restores the VM to `id` (-1 = base image). Reverts (a) pages dirtied
+  // since the last create/restore, (b) pages in the old lineage's deltas and
+  // (c) pages in the target lineage's deltas, each resolved by searching the
+  // target's checkpoint chain and falling back to the base image.
+  bool RestoreCheckpoint(int id);
+
+  bool IsLive(int id) const { return nodes_.count(id) != 0; }
+  size_t live_checkpoints() const { return nodes_.size(); }
+  size_t stored_bytes() const { return stored_bytes_; }
+  uint64_t evictions() const { return evictions_; }
+
+ private:
+  struct Node {
+    int id = 0;
+    int parent = -1;
+    std::vector<int> children;
+    // Sorted page deltas relative to the parent.
+    std::vector<std::pair<uint32_t, std::unique_ptr<uint8_t[]>>> pages;
+    const uint8_t* FindPage(uint32_t page) const;
+  };
+
+  const uint8_t* ResolvePage(int id, uint32_t page) const;
+  void Touch(int id);
+  void EvictIfNeeded(int protect_id);
+  void DeleteNode(int id);
+
+  GuestMemory& mem_;
+  Config config_;
+  Bytes base_image_;
+  std::unordered_map<int, Node> nodes_;
+  std::list<int> lru_;  // front = most recently used
+  std::unordered_map<int, std::list<int>::iterator> lru_pos_;
+  int next_id_ = 0;
+  int current_node_ = -1;  // lineage the VM last diverged from
+  size_t stored_bytes_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace nyx
+
+#endif  // SRC_AGAMOTTO_AGAMOTTO_H_

@@ -1,0 +1,35 @@
+// Small non-cryptographic hashes used for coverage-map indexing and
+// crash/input deduplication.
+
+#ifndef SRC_COMMON_HASH_H_
+#define SRC_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/common/bytes.h"
+
+namespace nyx {
+
+inline uint64_t Fnv1a64(const void* data, size_t len, uint64_t seed = 0xcbf29ce484222325ull) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint64_t h = seed;
+  for (size_t i = 0; i < len; i++) {
+    h ^= p[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+inline uint64_t Fnv1a64(const Bytes& b) { return Fnv1a64(b.data(), b.size()); }
+
+// Finalizer from splitmix64; good avalanche for integer keys.
+inline uint64_t Mix64(uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace nyx
+
+#endif  // SRC_COMMON_HASH_H_

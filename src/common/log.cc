@@ -1,0 +1,39 @@
+#include "src/common/log.h"
+
+#include <cstdio>
+
+namespace nyx {
+namespace {
+
+LogLevel g_level = LogLevel::kWarn;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel GetLogLevel() { return g_level; }
+
+void SetLogLevel(LogLevel level) { g_level = level; }
+
+void LogMessage(LogLevel level, const std::string& msg) {
+  if (level < g_level || level == LogLevel::kOff) {
+    return;
+  }
+  std::fprintf(stderr, "[nyx:%s] %s\n", LevelName(level), msg.c_str());
+}
+
+}  // namespace nyx

@@ -1,0 +1,49 @@
+// Minimal leveled logger. Quiet by default so tests and benchmarks stay
+// readable; campaigns raise the level when diagnosing.
+
+#ifndef SRC_COMMON_LOG_H_
+#define SRC_COMMON_LOG_H_
+
+#include <sstream>
+#include <string>
+
+namespace nyx {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+void LogMessage(LogLevel level, const std::string& msg);
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { LogMessage(level_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    if (level_ >= GetLogLevel()) {
+      stream_ << v;
+    }
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace nyx
+
+#define NYX_LOG_DEBUG ::nyx::LogLine(::nyx::LogLevel::kDebug)
+#define NYX_LOG_INFO ::nyx::LogLine(::nyx::LogLevel::kInfo)
+#define NYX_LOG_WARN ::nyx::LogLine(::nyx::LogLevel::kWarn)
+#define NYX_LOG_ERROR ::nyx::LogLine(::nyx::LogLevel::kError)
+
+#endif  // SRC_COMMON_LOG_H_

@@ -1,0 +1,92 @@
+// Deterministic pseudo-random number generator used throughout the fuzzer.
+//
+// The whole system is seeded explicitly so that campaigns, tests and
+// benchmarks are reproducible run-to-run. We use xoshiro256** which is fast,
+// has a 256-bit state and passes BigCrush; fuzzers spend a significant
+// fraction of time in the RNG so std::mt19937_64 would be a poor fit.
+
+#ifndef SRC_COMMON_RNG_H_
+#define SRC_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace nyx {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) { Seed(seed); }
+
+  // Re-seeds the generator via splitmix64 so that nearby seeds produce
+  // uncorrelated streams.
+  void Seed(uint64_t seed) {
+    for (auto& word : state_) {
+      seed += 0x9e3779b97f4a7c15ull;
+      uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform value in [0, bound). bound == 0 returns 0.
+  uint64_t Below(uint64_t bound) {
+    if (bound == 0) {
+      return 0;
+    }
+    // Lemire's multiply-shift rejection method: unbiased and division-free in
+    // the common case.
+    uint64_t x = Next();
+    __uint128_t m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(bound);
+    uint64_t l = static_cast<uint64_t>(m);
+    if (l < bound) {
+      uint64_t t = -bound % bound;
+      while (l < t) {
+        x = Next();
+        m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(bound);
+        l = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  // Uniform value in [lo, hi] inclusive.
+  uint64_t Range(uint64_t lo, uint64_t hi) { return lo + Below(hi - lo + 1); }
+
+  // True with probability num/den.
+  bool Chance(uint64_t num, uint64_t den) { return Below(den) < num; }
+
+  // True with probability p (0..1).
+  bool Probability(double p) {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53 < p;
+  }
+
+  uint8_t NextByte() { return static_cast<uint8_t>(Next()); }
+
+  template <typename T>
+  const T& Choice(const std::vector<T>& v) {
+    return v[Below(v.size())];
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4] = {};
+};
+
+}  // namespace nyx
+
+#endif  // SRC_COMMON_RNG_H_

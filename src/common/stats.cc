@@ -1,0 +1,143 @@
+#include "src/common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace nyx {
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) {
+    return 0.0;
+  }
+  double s = 0.0;
+  for (double x : xs) {
+    s += x;
+  }
+  return s / static_cast<double>(xs.size());
+}
+
+double StdDev(const std::vector<double>& xs) {
+  if (xs.size() < 2) {
+    return 0.0;
+  }
+  double m = Mean(xs);
+  double s = 0.0;
+  for (double x : xs) {
+    s += (x - m) * (x - m);
+  }
+  return std::sqrt(s / static_cast<double>(xs.size() - 1));
+}
+
+double Median(std::vector<double> xs) {
+  if (xs.empty()) {
+    return 0.0;
+  }
+  std::sort(xs.begin(), xs.end());
+  size_t n = xs.size();
+  if (n % 2 == 1) {
+    return xs[n / 2];
+  }
+  return 0.5 * (xs[n / 2 - 1] + xs[n / 2]);
+}
+
+double MannWhitneyUPValue(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.empty() || b.empty()) {
+    return 1.0;
+  }
+  // Rank the pooled samples, averaging ranks over ties.
+  struct Tagged {
+    double v;
+    int group;
+  };
+  std::vector<Tagged> pool;
+  pool.reserve(a.size() + b.size());
+  for (double v : a) {
+    pool.push_back({v, 0});
+  }
+  for (double v : b) {
+    pool.push_back({v, 1});
+  }
+  std::sort(pool.begin(), pool.end(), [](const Tagged& x, const Tagged& y) { return x.v < y.v; });
+
+  const double n1 = static_cast<double>(a.size());
+  const double n2 = static_cast<double>(b.size());
+  const double n = n1 + n2;
+  double rank_sum_a = 0.0;
+  double tie_term = 0.0;
+  size_t i = 0;
+  while (i < pool.size()) {
+    size_t j = i;
+    while (j + 1 < pool.size() && pool[j + 1].v == pool[i].v) {
+      j++;
+    }
+    const double avg_rank = 0.5 * (static_cast<double>(i + 1) + static_cast<double>(j + 1));
+    const double t = static_cast<double>(j - i + 1);
+    tie_term += t * t * t - t;
+    for (size_t k = i; k <= j; k++) {
+      if (pool[k].group == 0) {
+        rank_sum_a += avg_rank;
+      }
+    }
+    i = j + 1;
+  }
+
+  const double u1 = rank_sum_a - n1 * (n1 + 1) / 2.0;
+  const double mu = n1 * n2 / 2.0;
+  const double sigma2 = n1 * n2 / 12.0 * ((n + 1) - tie_term / (n * (n - 1)));
+  if (sigma2 <= 0.0) {
+    return 1.0;
+  }
+  // Continuity-corrected z statistic, two-sided.
+  const double z = (std::abs(u1 - mu) - 0.5) / std::sqrt(sigma2);
+  const double p = std::erfc(z / std::sqrt(2.0));
+  return p;
+}
+
+void TimeSeries::Record(double t_seconds, double value) {
+  points_.emplace_back(t_seconds, value);
+}
+
+double TimeSeries::ValueAt(double t_seconds) const {
+  double v = 0.0;
+  for (const auto& [t, x] : points_) {
+    if (t > t_seconds) {
+      break;
+    }
+    v = x;
+  }
+  return v;
+}
+
+double TimeSeries::TimeToReach(double value) const {
+  for (const auto& [t, x] : points_) {
+    if (x >= value) {
+      return t;
+    }
+  }
+  return -1.0;
+}
+
+TimeSeries TimeSeries::PointwiseMedian(const std::vector<TimeSeries>& runs, double t_end,
+                                       double step) {
+  TimeSeries out;
+  for (double t = 0.0; t <= t_end; t += step) {
+    std::vector<double> vals;
+    vals.reserve(runs.size());
+    for (const auto& r : runs) {
+      vals.push_back(r.ValueAt(t));
+    }
+    out.Record(t, Median(std::move(vals)));
+  }
+  return out;
+}
+
+std::string TimeSeries::ToCsv(const std::string& label) const {
+  std::ostringstream os;
+  for (const auto& [t, v] : points_) {
+    os << label << "," << t << "," << v << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace nyx

@@ -1,0 +1,49 @@
+// Statistics helpers for the evaluation harness: mean/stddev/median as used
+// in Tables 2-4 of the paper, and a time-series recorder for the coverage
+// plots (Figures 5 and 7).
+
+#ifndef SRC_COMMON_STATS_H_
+#define SRC_COMMON_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nyx {
+
+double Mean(const std::vector<double>& xs);
+double StdDev(const std::vector<double>& xs);
+// Median with the usual even-count interpolation (the paper reports medians
+// like 473.5 branches, which only arise from interpolated medians).
+double Median(std::vector<double> xs);
+
+// Two-sided Mann-Whitney U test p-value (normal approximation with tie
+// correction), as recommended by Klees et al. and used for the bold entries
+// in Table 2.
+double MannWhitneyUPValue(const std::vector<double>& a, const std::vector<double>& b);
+
+// Records (virtual time, value) pairs, e.g. branch coverage over time.
+class TimeSeries {
+ public:
+  void Record(double t_seconds, double value);
+  // Value of the last sample at or before t; 0 before the first sample.
+  double ValueAt(double t_seconds) const;
+  // First time the series reached at least `value`; negative if never.
+  double TimeToReach(double value) const;
+  bool empty() const { return points_.empty(); }
+  const std::vector<std::pair<double, double>>& points() const { return points_; }
+
+  // Pointwise median of several series sampled on a fixed grid, as
+  // ProFuzzBench's plotting scripts compute for Figure 5/7.
+  static TimeSeries PointwiseMedian(const std::vector<TimeSeries>& runs, double t_end,
+                                    double step);
+
+  std::string ToCsv(const std::string& label) const;
+
+ private:
+  std::vector<std::pair<double, double>> points_;
+};
+
+}  // namespace nyx
+
+#endif  // SRC_COMMON_STATS_H_

@@ -1,0 +1,43 @@
+#include "src/fuzz/corpus.h"
+
+namespace nyx {
+
+void Corpus::Add(Program program, uint64_t vtime_ns, size_t packet_count, double found_at_vsec) {
+  program.StripSnapshotMarkers();
+  CorpusEntry entry;
+  entry.program = std::move(program);
+  entry.vtime_ns = vtime_ns;
+  entry.packet_count = packet_count;
+  entry.found_at_vsec = found_at_vsec;
+  entries_.push_back(std::move(entry));
+}
+
+CorpusEntry& Corpus::Pick(Rng& rng) {
+  // Tournament selection: sample a few candidates, keep the best-scoring.
+  size_t best = rng.Below(entries_.size());
+  auto score = [](const CorpusEntry& e) {
+    // Lower is better: heavily picked or slow entries lose. The time term is
+    // scaled so a ~10 ms execution weighs like one extra pick — favoring
+    // fast, small entries keeps throughput high (AFL's favored-entry logic).
+    return static_cast<double>(e.picks) + static_cast<double>(e.vtime_ns) * 1e-7;
+  };
+  for (int i = 0; i < 2; i++) {
+    const size_t cand = rng.Below(entries_.size());
+    if (score(entries_[cand]) < score(entries_[best])) {
+      best = cand;
+    }
+  }
+  entries_[best].picks++;
+  return entries_[best];
+}
+
+std::vector<const Program*> Corpus::Donors() const {
+  std::vector<const Program*> out;
+  out.reserve(entries_.size());
+  for (const CorpusEntry& e : entries_) {
+    out.push_back(&e.program);
+  }
+  return out;
+}
+
+}  // namespace nyx

@@ -1,0 +1,52 @@
+// Input corpus / queue management.
+//
+// Follows AFL's shape: entries that produced new coverage join the queue;
+// scheduling favors fast, small, rarely-picked entries. Each entry carries
+// the aggressive-policy cursor (paper: the cursor cycles per input).
+
+#ifndef SRC_FUZZ_CORPUS_H_
+#define SRC_FUZZ_CORPUS_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/fuzz/policy.h"
+#include "src/spec/program.h"
+
+namespace nyx {
+
+struct CorpusEntry {
+  Program program;  // snapshot markers stripped
+  uint64_t vtime_ns = 0;
+  size_t packet_count = 0;
+  uint64_t picks = 0;
+  double found_at_vsec = 0.0;
+  AggressiveCursor cursor;
+};
+
+class Corpus {
+ public:
+  void Add(Program program, uint64_t vtime_ns, size_t packet_count, double found_at_vsec);
+
+  bool empty() const { return entries_.empty(); }
+  size_t size() const { return entries_.size(); }
+
+  // Weighted pick: newer, faster and less-picked entries are preferred.
+  CorpusEntry& Pick(Rng& rng);
+
+  CorpusEntry& entry(size_t i) { return entries_[i]; }
+  const CorpusEntry& entry(size_t i) const { return entries_[i]; }
+
+  // Donor views for splicing. Entries live in a deque, so these pointers
+  // (and references returned by Pick/entry) stay valid across Add().
+  std::vector<const Program*> Donors() const;
+
+ private:
+  std::deque<CorpusEntry> entries_;
+};
+
+}  // namespace nyx
+
+#endif  // SRC_FUZZ_CORPUS_H_

@@ -1,0 +1,60 @@
+#include "src/fuzz/coverage.h"
+
+namespace nyx {
+
+uint8_t GlobalCoverage::Classify(uint8_t hits) {
+  if (hits == 0) {
+    return 0;
+  }
+  if (hits == 1) {
+    return 1 << 0;
+  }
+  if (hits == 2) {
+    return 1 << 1;
+  }
+  if (hits == 3) {
+    return 1 << 2;
+  }
+  if (hits <= 7) {
+    return 1 << 3;
+  }
+  if (hits <= 15) {
+    return 1 << 4;
+  }
+  if (hits <= 31) {
+    return 1 << 5;
+  }
+  if (hits <= 127) {
+    return 1 << 6;
+  }
+  return 1 << 7;
+}
+
+bool GlobalCoverage::MergeAndCheckNew(const CoverageMap& trace) {
+  bool new_bits = false;
+  const auto& map = trace.map();
+  for (size_t i = 0; i < kCovMapSize; i++) {
+    if (map[i] == 0) {
+      continue;
+    }
+    const uint8_t cls = Classify(map[i]);
+    if ((virgin_[i] & cls) != 0) {
+      if (virgin_[i] == 0xff) {
+        edge_count_++;
+      }
+      virgin_[i] &= static_cast<uint8_t>(~cls);
+      new_bits = true;
+    }
+  }
+  const auto& sites = trace.sites_hit();
+  for (size_t i = 0; i < sites.size(); i++) {
+    const uint8_t fresh = static_cast<uint8_t>(sites[i] & ~sites_[i]);
+    if (fresh != 0) {
+      sites_[i] |= fresh;
+      site_count_ += static_cast<size_t>(__builtin_popcount(fresh));
+    }
+  }
+  return new_bits;
+}
+
+}  // namespace nyx

@@ -1,0 +1,86 @@
+// Coverage feedback (paper section 4.5).
+//
+// Nyx-Net supports AFL-style compile-time instrumentation: the target updates
+// a shared-memory bitmap; the fuzzer classifies hit counts into buckets and
+// keeps a "virgin" map of bits never seen before. We reproduce that signal
+// exactly. Separately we track which instrumentation *sites* were ever hit,
+// which is what ProFuzzBench's "branch coverage" numbers (Tables 2/5,
+// Figures 5/7) count.
+
+#ifndef SRC_FUZZ_COVERAGE_H_
+#define SRC_FUZZ_COVERAGE_H_
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace nyx {
+
+inline constexpr size_t kCovMapSize = 1 << 16;
+inline constexpr size_t kMaxSites = 1 << 16;
+
+// Per-execution trace bitmap, written by the instrumented target.
+class CoverageMap {
+ public:
+  CoverageMap() { Reset(); }
+
+  void Reset() {
+    map_.fill(0);
+    sites_hit_.assign(kMaxSites / 8, 0);
+    prev_loc_ = 0;
+  }
+
+  // Called at every instrumented site (AFL's __afl_maybe_log analogue).
+  void OnSite(uint32_t site) {
+    const uint32_t loc = site & (kCovMapSize - 1);
+    map_[(loc ^ prev_loc_) & (kCovMapSize - 1)]++;
+    prev_loc_ = loc >> 1;
+    sites_hit_[(site & (kMaxSites - 1)) >> 3] |= static_cast<uint8_t>(1u << (site & 7));
+  }
+
+  // Background-thread noise: perturbs the fuzzer-visible edge map (queue
+  // pollution) without counting toward the externally measured branch
+  // coverage — gcov over the target's own code never sees these.
+  void OnNoiseEdge(uint32_t edge) { map_[edge & (kCovMapSize - 1)]++; }
+
+  const std::array<uint8_t, kCovMapSize>& map() const { return map_; }
+  const std::vector<uint8_t>& sites_hit() const { return sites_hit_; }
+
+ private:
+  std::array<uint8_t, kCovMapSize> map_;
+  std::vector<uint8_t> sites_hit_;
+  uint32_t prev_loc_ = 0;
+};
+
+// Campaign-global accumulation: virgin bits for edge+hitcount novelty, site
+// union for branch-coverage reporting.
+class GlobalCoverage {
+ public:
+  GlobalCoverage() {
+    virgin_.fill(0xff);
+    sites_.assign(kMaxSites / 8, 0);
+  }
+
+  // Classifies hit counts into AFL's 8 buckets and folds the trace into the
+  // virgin map. Returns true if any new (edge, bucket) bit appeared.
+  bool MergeAndCheckNew(const CoverageMap& trace);
+
+  // Distinct instrumentation sites ever hit ("branch coverage").
+  size_t SiteCount() const { return site_count_; }
+
+  // Edge-granularity count over the virgin map (AFL's "map density").
+  size_t EdgeCount() const { return edge_count_; }
+
+ private:
+  static uint8_t Classify(uint8_t hits);
+
+  std::array<uint8_t, kCovMapSize> virgin_;
+  std::vector<uint8_t> sites_;
+  size_t site_count_ = 0;
+  size_t edge_count_ = 0;
+};
+
+}  // namespace nyx
+
+#endif  // SRC_FUZZ_COVERAGE_H_

@@ -1,0 +1,206 @@
+#include "src/fuzz/engine.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/common/hash.h"
+
+namespace nyx {
+
+NyxEngine::NyxEngine(const EngineConfig& config, TargetFactory factory, const Spec& spec)
+    : config_(config), spec_(spec) {
+  vm_ = std::make_unique<Vm>(config_.vm);
+  vm_->AttachClock(&clock_, &config_.cost);
+  net_.AttachClock(&clock_, &config_.cost);
+  target_ = factory();
+  target_info_ = target_->info();
+}
+
+Bytes NyxEngine::SerializeInterpState(uint32_t resume_op) const {
+  Bytes out;
+  const Bytes net_blob = net_.Serialize();
+  PutLe32(out, static_cast<uint32_t>(net_blob.size()));
+  Append(out, net_blob);
+  PutLe32(out, static_cast<uint32_t>(value_conns_.size()));
+  for (int c : value_conns_) {
+    PutLe32(out, static_cast<uint32_t>(c));
+  }
+  PutLe32(out, resume_op);
+  PutLe32(out, static_cast<uint32_t>(connection_ops_seen_));
+  return out;
+}
+
+void NyxEngine::RestoreInterpState(const Bytes& aux) {
+  size_t off = 0;
+  const uint32_t net_len = ReadLe32(aux, off);
+  off += 4;
+  if (off + net_len > aux.size()) {
+    // Aux blobs are engine-produced; a mismatch means corruption. Fail hard
+    // rather than reading out of bounds.
+    fprintf(stderr, "nyx: corrupt snapshot aux blob\n");
+    abort();
+  }
+  Bytes net_blob(aux.begin() + static_cast<long>(off),
+                 aux.begin() + static_cast<long>(off + net_len));
+  net_.Deserialize(net_blob);
+  off += net_len;
+  const uint32_t nvals = ReadLe32(aux, off);
+  off += 4;
+  value_conns_.clear();
+  for (uint32_t i = 0; i < nvals; i++) {
+    value_conns_.push_back(static_cast<int>(ReadLe32(aux, off)));
+    off += 4;
+  }
+  resume_op_ = ReadLe32(aux, off);
+  off += 4;
+  connection_ops_seen_ = ReadLe32(aux, off);
+}
+
+void NyxEngine::Boot() {
+  CoverageMap boot_cov;
+  GuestContext ctx(*vm_, net_, boot_cov, clock_, config_.cost);
+  ctx.set_asan(config_.asan);
+  ctx.ReseedRng(config_.seed);
+  target_->Init(ctx);
+  GuardedStep(*target_, ctx);
+  // The target is now parked on Accept/Recv/Poll over the attack surface:
+  // the automatic root snapshot point, "after starting the process and
+  // directly before the first byte of input data is passed to the target".
+  value_conns_.clear();
+  connection_ops_seen_ = 0;
+  vm_->TakeRootSnapshot(SerializeInterpState(0));
+  booted_ = true;
+}
+
+int NyxEngine::ResolveConn(const Op& op) const {
+  if (op.args.empty()) {
+    return -1;
+  }
+  const uint16_t value_id = op.args[0];
+  if (value_id < value_conns_.size()) {
+    return value_conns_[value_id];
+  }
+  // Dangling reference (the mutator repairs most, but stay defensive): fall
+  // back to the most recent connection.
+  return value_conns_.empty() ? -1 : value_conns_.back();
+}
+
+uint64_t NyxEngine::PrefixHash(const Program& input, size_t marker_pos) const {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (size_t i = 0; i < marker_pos; i++) {
+    const Op& op = input.ops[i];
+    h = Fnv1a64(&op.node_type, 1, h);
+    for (uint16_t a : op.args) {
+      h = Fnv1a64(&a, 2, h);
+    }
+    h = Fnv1a64(op.data.data(), op.data.size(), h);
+  }
+  return h;
+}
+
+ExecResult NyxEngine::Run(const Program& input, CoverageMap& cov) {
+  ExecResult result;
+  const uint64_t t0 = clock_.now_ns();
+  execs_++;
+
+  const auto marker = input.SnapshotMarkerPos();
+  const uint64_t prefix_hash = marker.has_value() ? PrefixHash(input, *marker) : 0;
+
+  size_t start_op = 0;
+  if (marker.has_value() && vm_->has_incremental() && inc_hash_valid_ &&
+      inc_prefix_hash_ == prefix_hash) {
+    vm_->RestoreIncremental();
+    RestoreInterpState(vm_->current_aux());
+    start_op = resume_op_;
+    result.used_incremental = true;
+  } else {
+    vm_->RestoreRoot();
+    RestoreInterpState(vm_->current_aux());
+    start_op = 0;
+    inc_hash_valid_ = false;
+  }
+
+  GuestContext ctx(*vm_, net_, cov, clock_, config_.cost);
+  ctx.set_asan(config_.asan);
+  // Deterministic per-input noise: the same input always sees the same
+  // layout, different inputs differ.
+  ctx.ReseedRng(Mix64(config_.seed ^ prefix_hash ^ Fnv1a64(input.Serialize())));
+
+  for (size_t i = start_op; i < input.ops.size() && !ctx.crash().crashed; i++) {
+    const Op& op = input.ops[i];
+    if (op.is_snapshot()) {
+      inc_prefix_hash_ = prefix_hash;
+      inc_hash_valid_ = true;
+      vm_->CreateIncremental(SerializeInterpState(static_cast<uint32_t>(i + 1)));
+      result.created_incremental = true;
+      continue;
+    }
+    if (op.node_type >= spec_.node_type_count()) {
+      continue;
+    }
+    switch (spec_.node_type(op.node_type).semantic) {
+      case NodeSemantic::kConnection: {
+        int conn = -1;
+        if (target_info_.is_client) {
+          const auto& clients = net_.ClientConnections();
+          if (connection_ops_seen_ < clients.size()) {
+            conn = clients[connection_ops_seen_];
+          }
+        } else if (target_info_.transport == SockKind::kDgram) {
+          conn = net_.FindDgramSocket(target_info_.port);
+        } else {
+          conn = net_.QueueConnection(target_info_.port);
+        }
+        connection_ops_seen_++;
+        value_conns_.push_back(conn);
+        GuardedStep(*target_, ctx);
+        break;
+      }
+      case NodeSemantic::kPacket: {
+        const int conn = ResolveConn(op);
+        if (net_.ValidConn(conn)) {
+          net_.DeliverPacket(conn, op.data);
+          result.packets_delivered++;
+          clock_.Advance(config_.cost.per_byte_ns * op.data.size());
+          GuardedStep(*target_, ctx);
+        }
+        break;
+      }
+      case NodeSemantic::kClose: {
+        const int conn = ResolveConn(op);
+        if (net_.ValidConn(conn)) {
+          net_.PeerClose(conn);
+          GuardedStep(*target_, ctx);
+        }
+        break;
+      }
+      case NodeSemantic::kCustom:
+        GuardedStep(*target_, ctx);
+        break;
+    }
+  }
+
+  result.crash = ctx.crash();
+  result.ijon_max = ctx.IjonValue(0);
+  result.vtime_ns = clock_.now_ns() - t0;
+  return result;
+}
+
+void NyxEngine::DropIncremental() {
+  vm_->DropIncremental();
+  inc_hash_valid_ = false;
+}
+
+std::vector<Bytes> NyxEngine::LastResponses() const {
+  std::vector<Bytes> out;
+  for (int conn : value_conns_) {
+    if (net_.ValidConn(conn)) {
+      for (const Bytes& b : net_.Sent(conn)) {
+        out.push_back(b);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace nyx

@@ -1,0 +1,106 @@
+// The Nyx-Net execution engine (paper Figure 3, sections 3.2-3.4, 4.3).
+//
+// One engine owns one VM running one target. Boot() starts the target,
+// runs it until it first blocks waiting for attack-surface input, and takes
+// the root snapshot there — the automatic snapshot placement that selective
+// emulation enables. Run() executes one bytecode input:
+//
+//   * ops are interpreted in order: connection ops queue connections,
+//     packet ops deliver one packet and let the target run until it blocks,
+//     close ops signal peer EOF;
+//   * the snapshot marker op triggers creation of the single incremental
+//     snapshot (with the interpreter + netemu state riding along in the
+//     snapshot's aux blob);
+//   * if the input's prefix (ops before the marker) hashes identically to
+//     the prefix the current incremental snapshot was created from, the
+//     prefix is skipped entirely: the VM restores to the incremental
+//     snapshot and execution resumes at the op after the marker.
+//
+// After the run the VM is left dirty; the next Run() restores as needed.
+
+#ifndef SRC_FUZZ_ENGINE_H_
+#define SRC_FUZZ_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "src/common/rng.h"
+#include "src/common/vclock.h"
+#include "src/fuzz/coverage.h"
+#include "src/fuzz/guest.h"
+#include "src/netemu/netemu.h"
+#include "src/spec/program.h"
+#include "src/spec/spec.h"
+#include "src/vm/vm.h"
+
+namespace nyx {
+
+struct EngineConfig {
+  VmConfig vm;
+  CostModel cost;
+  bool asan = false;
+  // Deterministic layout/noise seed mixed with the input hash each run.
+  uint64_t seed = 1;
+};
+
+struct ExecResult {
+  CrashInfo crash;
+  uint64_t vtime_ns = 0;  // virtual time consumed by this execution
+  size_t packets_delivered = 0;
+  bool used_incremental = false;
+  bool created_incremental = false;
+  uint64_t ijon_max = 0;  // slot-0 maximization feedback
+};
+
+class NyxEngine {
+ public:
+  NyxEngine(const EngineConfig& config, TargetFactory factory, const Spec& spec);
+
+  // Boots the VM + target and takes the root snapshot at the first
+  // blocked-on-input point. Must be called once before Run().
+  void Boot();
+
+  // Executes one input, filling `cov` with the trace.
+  ExecResult Run(const Program& input, CoverageMap& cov);
+
+  // Discards the incremental snapshot (called when scheduling a new input).
+  void DropIncremental();
+
+  const TargetInfo& target_info() const { return target_info_; }
+  VirtualClock& clock() { return clock_; }
+  Vm& vm() { return *vm_; }
+  NetEmu& net() { return net_; }
+  const VmStats& vm_stats() const { return vm_->stats(); }
+  uint64_t execs() const { return execs_; }
+  // Responses the target sent during the last Run (for AFLNet-style state
+  // machines and for tests).
+  std::vector<Bytes> LastResponses() const;
+
+ private:
+  Bytes SerializeInterpState(uint32_t resume_op) const;
+  void RestoreInterpState(const Bytes& aux);
+  int ResolveConn(const Op& op) const;
+  uint64_t PrefixHash(const Program& input, size_t marker_pos) const;
+
+  EngineConfig config_;
+  const Spec& spec_;
+  VirtualClock clock_;
+  std::unique_ptr<Vm> vm_;
+  NetEmu net_;
+  std::unique_ptr<Target> target_;
+  TargetInfo target_info_;
+  bool booted_ = false;
+
+  // Interpreter state (snapshot-managed via aux blobs).
+  std::vector<int> value_conns_;  // value id -> connection handle
+  uint32_t resume_op_ = 0;
+  size_t connection_ops_seen_ = 0;
+
+  uint64_t inc_prefix_hash_ = 0;
+  bool inc_hash_valid_ = false;
+  uint64_t execs_ = 0;
+};
+
+}  // namespace nyx
+
+#endif  // SRC_FUZZ_ENGINE_H_

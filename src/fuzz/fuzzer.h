@@ -1,0 +1,100 @@
+// The Nyx-Net fuzzer: ties together the execution engine, corpus, mutators
+// and snapshot placement policy.
+//
+// Scheduling shape (paper section 3.4): each time an input is scheduled, the
+// policy decides whether and where to place the incremental snapshot; the
+// fuzzer then runs a batch of mutations of the suffix against that snapshot
+// ("reusing the snapshot as little as 50 times yields significant
+// performance increases") before scheduling the next input and discarding
+// the snapshot.
+
+#ifndef SRC_FUZZ_FUZZER_H_
+#define SRC_FUZZ_FUZZER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "src/common/stats.h"
+#include "src/fuzz/corpus.h"
+#include "src/fuzz/engine.h"
+#include "src/fuzz/mutator.h"
+#include "src/fuzz/policy.h"
+
+namespace nyx {
+
+struct CrashRecord {
+  std::string kind;
+  uint64_t count = 0;
+  double first_seen_vsec = 0.0;
+  Program reproducer;
+};
+
+struct CampaignLimits {
+  double vtime_seconds = 10.0;       // virtual-time budget
+  uint64_t max_execs = UINT64_MAX;   // optional execution cap
+  double wall_seconds = 120.0;       // hard real-time safety net
+  bool stop_on_crash = false;
+  uint64_t stop_on_crash_id = 0;     // with stop_on_crash: 0 = any crash
+  uint64_t ijon_goal = 0;            // stop when slot-0 feedback reaches this
+};
+
+struct CampaignResult {
+  uint64_t execs = 0;
+  double vtime_seconds = 0.0;
+  double execs_per_vsecond = 0.0;
+  size_t branch_coverage = 0;
+  size_t edge_coverage = 0;
+  size_t corpus_size = 0;
+  uint64_t incremental_creates = 0;
+  uint64_t incremental_restores = 0;
+  uint64_t root_restores = 0;
+  TimeSeries coverage_over_time;  // (vtime seconds, branch coverage)
+  std::map<uint32_t, CrashRecord> crashes;
+  double first_crash_vsec = -1.0;
+  uint64_t ijon_best = 0;
+  double ijon_goal_vsec = -1.0;  // virtual time the ijon goal was reached
+
+  bool FoundCrash(uint32_t crash_id) const { return crashes.count(crash_id) != 0; }
+};
+
+struct FuzzerConfig {
+  PolicyMode policy = PolicyMode::kNone;
+  uint64_t iterations_per_schedule = kIterationsPerSchedule;
+  uint64_t seed = 1;
+};
+
+class NyxFuzzer {
+ public:
+  NyxFuzzer(const EngineConfig& engine_config, TargetFactory factory, const Spec& spec,
+            const FuzzerConfig& config);
+
+  // Seeds must be added before Run(). Invalid seeds are repaired.
+  void AddSeed(Program seed);
+
+  CampaignResult Run(const CampaignLimits& limits);
+
+  NyxEngine& engine() { return engine_; }
+  Corpus& corpus() { return corpus_; }
+
+ private:
+  // Executes one input, folds in coverage/crash bookkeeping. Returns whether
+  // it produced new coverage.
+  bool RunOne(const Program& input, CampaignResult& result);
+
+  const Spec& spec_;
+  FuzzerConfig config_;
+  NyxEngine engine_;
+  Corpus corpus_;
+  Mutator mutator_;
+  SnapshotPolicy policy_;
+  GlobalCoverage global_cov_;
+  CoverageMap trace_;
+  Rng rng_;
+  uint64_t last_exec_vtime_ = 0;
+  size_t last_packets_ = 0;
+};
+
+}  // namespace nyx
+
+#endif  // SRC_FUZZ_FUZZER_H_

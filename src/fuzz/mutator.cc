@@ -1,0 +1,230 @@
+#include "src/fuzz/mutator.h"
+
+#include <algorithm>
+
+namespace nyx {
+
+namespace {
+constexpr uint32_t kInteresting32[] = {0,          1,          16,         32,
+                                       64,         100,        127,        128,
+                                       255,        256,        512,        1000,
+                                       1024,       4096,       32767,      32768,
+                                       65535,      65536,      0x7fffffff, 0x80000000,
+                                       0xffffffff};
+constexpr size_t kMaxPacketBytes = 4096;
+// Token alphabet for text protocols (the built-in dictionary AFL-style
+// fuzzers ship): separators and structural characters that gate parser
+// branches far more often than random bytes do.
+constexpr uint8_t kTokenBytes[] = {'.', '/', ' ', ':', '-', '<', '>', '@', '*',
+                                   ',', ';', '=', '(', ')', '\r', '\n', '0', '1'};
+}  // namespace
+
+void Mutator::HavocBytes(Bytes& data) {
+  const uint64_t rounds = 1 + rng_.Below(8);
+  for (uint64_t r = 0; r < rounds; r++) {
+    if (data.empty()) {
+      // Only insertion makes sense on an empty payload.
+      const uint64_t n = 1 + rng_.Below(8);
+      for (uint64_t i = 0; i < n; i++) {
+        data.push_back(rng_.NextByte());
+      }
+      continue;
+    }
+    switch (rng_.Below(9)) {
+      case 0: {  // bit flip
+        data[rng_.Below(data.size())] ^= static_cast<uint8_t>(1u << rng_.Below(8));
+        break;
+      }
+      case 1: {  // byte set
+        data[rng_.Below(data.size())] = rng_.NextByte();
+        break;
+      }
+      case 2: {  // arithmetic +-35
+        uint8_t& b = data[rng_.Below(data.size())];
+        b = static_cast<uint8_t>(b + rng_.Range(1, 35) * (rng_.Chance(1, 2) ? 1 : -1));
+        break;
+      }
+      case 3: {  // interesting 32-bit value (LE), truncated to what fits
+        const uint32_t v = kInteresting32[rng_.Below(std::size(kInteresting32))];
+        const size_t pos = rng_.Below(data.size());
+        for (size_t i = 0; i < 4 && pos + i < data.size(); i++) {
+          data[pos + i] = static_cast<uint8_t>(v >> (8 * i));
+        }
+        break;
+      }
+      case 4: {  // block insert
+        if (data.size() < kMaxPacketBytes) {
+          const uint64_t n = 1 + rng_.Below(16);
+          const size_t pos = rng_.Below(data.size() + 1);
+          Bytes block;
+          // Repeated fills draw from the token alphabet half the time (when
+          // available): "///" or "..." blocks open structural paths that a
+          // single random byte never would.
+          const uint8_t fill = dictionary_ && rng_.Chance(1, 2)
+                                   ? kTokenBytes[rng_.Below(std::size(kTokenBytes))]
+                                   : rng_.NextByte();
+          const bool repeat = rng_.Chance(1, 2);
+          for (uint64_t i = 0; i < n; i++) {
+            block.push_back(repeat ? fill : rng_.NextByte());
+          }
+          data.insert(data.begin() + static_cast<long>(pos), block.begin(), block.end());
+        }
+        break;
+      }
+      case 5: {  // block delete
+        const size_t pos = rng_.Below(data.size());
+        const size_t n = 1 + rng_.Below(data.size() - pos);
+        data.erase(data.begin() + static_cast<long>(pos),
+                   data.begin() + static_cast<long>(pos + n));
+        break;
+      }
+      case 6: {  // block overwrite with copy from elsewhere in the packet
+        const size_t src = rng_.Below(data.size());
+        const size_t dst = rng_.Below(data.size());
+        const size_t n = 1 + rng_.Below(std::min<size_t>(16, data.size() - std::max(src, dst)));
+        std::copy(data.begin() + static_cast<long>(src),
+                  data.begin() + static_cast<long>(src + n),
+                  data.begin() + static_cast<long>(dst));
+        break;
+      }
+      case 7: {  // dictionary/ASCII-aware twiddles for text protocols
+        const size_t pos = rng_.Below(data.size());
+        if (dictionary_ && rng_.Chance(1, 2)) {
+          data[pos] = kTokenBytes[rng_.Below(std::size(kTokenBytes))];
+        } else if (data[pos] >= '0' && data[pos] <= '9') {
+          data[pos] = static_cast<uint8_t>('0' + rng_.Below(10));
+        } else {
+          data[pos] ^= 0x20;  // case flip
+        }
+        break;
+      }
+      case 8: {  // truncate
+        data.resize(rng_.Below(data.size()) + 1);
+        break;
+      }
+    }
+  }
+  if (data.size() > kMaxPacketBytes) {
+    data.resize(kMaxPacketBytes);
+  }
+}
+
+bool Mutator::StructureMutation(Program& program, const std::vector<const Program*>& donors,
+                                size_t first_mutable_op) {
+  // Mutable packet ops only.
+  std::vector<size_t> packets;
+  for (size_t i : program.PacketOpIndices(spec_)) {
+    if (i >= first_mutable_op) {
+      packets.push_back(i);
+    }
+  }
+
+  switch (rng_.Below(6)) {
+    case 0: {  // duplicate a packet in place
+      if (packets.empty()) {
+        return false;
+      }
+      const size_t at = packets[rng_.Below(packets.size())];
+      Op copy = program.ops[at];
+      program.ops.insert(program.ops.begin() + static_cast<long>(at), std::move(copy));
+      return true;
+    }
+    case 1: {  // drop a packet
+      if (packets.size() < 2) {
+        return false;  // keep at least one mutable packet
+      }
+      program.ops.erase(program.ops.begin() +
+                        static_cast<long>(packets[rng_.Below(packets.size())]));
+      return true;
+    }
+    case 2: {  // swap two packets
+      if (packets.size() < 2) {
+        return false;
+      }
+      const size_t a = packets[rng_.Below(packets.size())];
+      const size_t b = packets[rng_.Below(packets.size())];
+      std::swap(program.ops[a], program.ops[b]);
+      return true;
+    }
+    case 3: {  // truncate the tail
+      if (packets.size() < 2) {
+        return false;
+      }
+      const size_t cut = packets[1 + rng_.Below(packets.size() - 1)];
+      program.ops.resize(cut);
+      return true;
+    }
+    case 4: {  // splice: replace the tail with a donor's tail
+      if (donors.empty() || packets.empty()) {
+        return false;
+      }
+      const Program* donor = donors[rng_.Below(donors.size())];
+      const auto donor_packets = donor->PacketOpIndices(spec_);
+      if (donor_packets.empty()) {
+        return false;
+      }
+      const size_t cut = packets[rng_.Below(packets.size())];
+      const size_t donor_from = donor_packets[rng_.Below(donor_packets.size())];
+      program.ops.resize(cut);
+      for (size_t i = donor_from; i < donor->ops.size(); i++) {
+        if (!donor->ops[i].is_snapshot()) {
+          program.ops.push_back(donor->ops[i]);
+        }
+      }
+      return true;
+    }
+    case 5: {  // insert a packet copied from a donor (or duplicated locally)
+      Op source;
+      bool have = false;
+      if (!donors.empty()) {
+        const Program* donor = donors[rng_.Below(donors.size())];
+        const auto donor_packets = donor->PacketOpIndices(spec_);
+        if (!donor_packets.empty()) {
+          source = donor->ops[donor_packets[rng_.Below(donor_packets.size())]];
+          have = true;
+        }
+      }
+      if (!have && !packets.empty()) {
+        source = program.ops[packets[rng_.Below(packets.size())]];
+        have = true;
+      }
+      if (!have) {
+        return false;
+      }
+      const size_t lo = std::max(first_mutable_op, static_cast<size_t>(1));
+      if (program.ops.size() + 1 < lo) {
+        return false;
+      }
+      const size_t at = lo + rng_.Below(program.ops.size() + 1 - lo);
+      program.ops.insert(program.ops.begin() + static_cast<long>(at), std::move(source));
+      return true;
+    }
+  }
+  return false;
+}
+
+void Mutator::Mutate(Program& program, const std::vector<const Program*>& corpus_donors,
+                     size_t first_mutable_op) {
+  program.StripSnapshotMarkers();
+  const uint64_t stacked = 1 + rng_.Below(4);
+  for (uint64_t s = 0; s < stacked; s++) {
+    // Byte-level havoc is the workhorse; structural changes are rarer, like
+    // AFL's havoc-vs-splice balance.
+    if (rng_.Chance(3, 4)) {
+      std::vector<size_t> packets;
+      for (size_t i : program.PacketOpIndices(spec_)) {
+        if (i >= first_mutable_op) {
+          packets.push_back(i);
+        }
+      }
+      if (!packets.empty()) {
+        HavocBytes(program.ops[packets[rng_.Below(packets.size())]].data);
+        continue;
+      }
+    }
+    StructureMutation(program, corpus_donors, first_mutable_op);
+  }
+  program.Repair(spec_);
+}
+
+}  // namespace nyx

@@ -1,0 +1,73 @@
+#include "src/fuzz/policy.h"
+
+namespace nyx {
+
+const char* PolicyName(PolicyMode mode) {
+  switch (mode) {
+    case PolicyMode::kNone:
+      return "none";
+    case PolicyMode::kBalanced:
+      return "balanced";
+    case PolicyMode::kAggressive:
+      return "aggressive";
+  }
+  return "?";
+}
+
+PlacementDecision SnapshotPolicy::Decide(size_t packet_count, AggressiveCursor& cursor,
+                                         bool found_new_inputs_since_last) {
+  PlacementDecision decision;
+  if (mode_ == PolicyMode::kNone || packet_count < kMinPacketsForSnapshot) {
+    return decision;  // root snapshot
+  }
+
+  if (mode_ == PolicyMode::kBalanced) {
+    if (rng_.Chance(4, 100)) {
+      return decision;  // 4%: root
+    }
+    decision.use_incremental = true;
+    if (rng_.Chance(1, 2)) {
+      decision.packet_index = rng_.Below(packet_count);
+    } else {
+      decision.packet_index = packet_count / 2 + rng_.Below(packet_count - packet_count / 2);
+    }
+    // A snapshot after the *last* packet would leave nothing to fuzz.
+    if (decision.packet_index + 1 >= packet_count) {
+      decision.packet_index = packet_count - 2;
+    }
+    return decision;
+  }
+
+  // Aggressive: cycle indices from the end toward the start.
+  if (!cursor.initialized) {
+    cursor.initialized = true;
+    cursor.index = packet_count - 2;  // after the second-to-last packet
+    cursor.fruitless = 0;
+    cursor.schedules_at_index = 0;
+  } else {
+    cursor.schedules_at_index++;
+    if (!found_new_inputs_since_last) {
+      cursor.fruitless++;
+    } else {
+      cursor.fruitless = 0;
+    }
+    if (cursor.fruitless >= kFruitlessThreshold ||
+        cursor.schedules_at_index >= kMaxSchedulesPerIndex) {
+      cursor.fruitless = 0;
+      cursor.schedules_at_index = 0;
+      if (cursor.index == 0) {
+        cursor.index = packet_count - 2;  // wrap back to the end
+      } else {
+        cursor.index--;
+      }
+    }
+  }
+  if (cursor.index + 2 > packet_count) {
+    cursor.index = packet_count - 2;
+  }
+  decision.use_incremental = true;
+  decision.packet_index = cursor.index;
+  return decision;
+}
+
+}  // namespace nyx

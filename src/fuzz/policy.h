@@ -1,0 +1,80 @@
+// Snapshot placement policies (paper section 3.4, "Snapshot Scheduling").
+//
+//   Nyx-Net-none:       always the root snapshot.
+//   Nyx-Net-balanced:   inputs with more than four packets choose the root
+//                       snapshot in 4% of cases; otherwise a random index in
+//                       the whole input (50%) or only in the second half
+//                       (50%).
+//   Nyx-Net-aggressive: cycles all available indices. The first schedule
+//                       places the snapshot at the end of the input; each
+//                       time 50 iterations pass without new inputs the
+//                       snapshot moves one packet earlier, wrapping to the
+//                       end at the smallest index.
+//
+// For sequences smaller than four packets both policies select the root
+// snapshot.
+
+#ifndef SRC_FUZZ_POLICY_H_
+#define SRC_FUZZ_POLICY_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/common/rng.h"
+
+namespace nyx {
+
+enum class PolicyMode {
+  kNone,
+  kBalanced,
+  kAggressive,
+};
+
+const char* PolicyName(PolicyMode mode);
+
+// Per-corpus-entry cursor for the aggressive policy.
+struct AggressiveCursor {
+  bool initialized = false;
+  size_t index = 0;
+  uint64_t fruitless = 0;
+  uint64_t schedules_at_index = 0;
+};
+
+// Even while new inputs keep trickling in, the aggressive policy must still
+// cycle "all available indices" (paper wording); cap the dwell time per
+// index so a steady coverage trickle cannot pin the snapshot at the end.
+inline constexpr uint64_t kMaxSchedulesPerIndex = 8;
+
+// The paper moves the snapshot one packet earlier after 50 executions
+// without new inputs. The fuzzer runs one scheduling batch of
+// kIterationsPerSchedule (= 50) executions per Decide() call, so one
+// fruitless *schedule* is exactly the paper's 50 fruitless iterations.
+inline constexpr uint64_t kFruitlessThreshold = 1;
+inline constexpr uint64_t kIterationsPerSchedule = 50;
+inline constexpr size_t kMinPacketsForSnapshot = 4;
+
+struct PlacementDecision {
+  bool use_incremental = false;
+  size_t packet_index = 0;  // snapshot goes after this packet (0-based)
+};
+
+class SnapshotPolicy {
+ public:
+  SnapshotPolicy(PolicyMode mode, uint64_t seed) : mode_(mode), rng_(seed) {}
+
+  PolicyMode mode() const { return mode_; }
+
+  // Decides placement for an input with `packet_count` packets. `cursor` is
+  // the entry's aggressive-policy state; `found_new_inputs_since_last` feeds
+  // the fruitless counter.
+  PlacementDecision Decide(size_t packet_count, AggressiveCursor& cursor,
+                           bool found_new_inputs_since_last);
+
+ private:
+  PolicyMode mode_;
+  Rng rng_;
+};
+
+}  // namespace nyx
+
+#endif  // SRC_FUZZ_POLICY_H_

@@ -1,0 +1,140 @@
+#include "src/fuzz/workdir.h"
+
+#include <dirent.h>
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/common/log.h"
+
+namespace nyx {
+
+namespace {
+
+bool EnsureDir(const std::string& path) {
+  struct stat st = {};
+  if (stat(path.c_str(), &st) == 0) {
+    return S_ISDIR(st.st_mode);
+  }
+  return mkdir(path.c_str(), 0755) == 0;
+}
+
+std::vector<std::string> ListFiles(const std::string& dir, const std::string& suffix) {
+  std::vector<std::string> out;
+  // Portable-enough directory listing via popen would be ugly; use readdir.
+  if (DIR* d = opendir(dir.c_str())) {
+    while (struct dirent* e = readdir(d)) {
+      const std::string name = e->d_name;
+      if (name.size() > suffix.size() &&
+          name.compare(name.size() - suffix.size(), suffix.size(), suffix) == 0) {
+        out.push_back(dir + "/" + name);
+      }
+    }
+    closedir(d);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+std::optional<Workdir> Workdir::Open(const std::string& path) {
+  if (!EnsureDir(path) || !EnsureDir(path + "/queue") || !EnsureDir(path + "/crashes")) {
+    return std::nullopt;
+  }
+  return Workdir(path);
+}
+
+bool Workdir::WriteProgram(const std::string& file, const Program& program) {
+  const Bytes wire = program.Serialize();
+  FILE* f = fopen(file.c_str(), "wb");
+  if (f == nullptr) {
+    return false;
+  }
+  const bool ok = fwrite(wire.data(), 1, wire.size(), f) == wire.size();
+  fclose(f);
+  return ok;
+}
+
+std::optional<Program> Workdir::ReadProgram(const std::string& file, const Spec& spec) {
+  FILE* f = fopen(file.c_str(), "rb");
+  if (f == nullptr) {
+    return std::nullopt;
+  }
+  Bytes wire;
+  uint8_t buf[4096];
+  size_t n;
+  while ((n = fread(buf, 1, sizeof(buf), f)) > 0) {
+    wire.insert(wire.end(), buf, buf + n);
+  }
+  fclose(f);
+  return Program::Parse(wire, spec);
+}
+
+bool Workdir::SaveQueueEntry(const Program& program, size_t index) const {
+  char name[64];
+  snprintf(name, sizeof(name), "/queue/id_%06zu.nyx", index);
+  return WriteProgram(path_ + name, program);
+}
+
+std::vector<Program> Workdir::LoadQueue(const Spec& spec) const {
+  std::vector<Program> out;
+  for (const std::string& file : ListFiles(path_ + "/queue", ".nyx")) {
+    auto prog = ReadProgram(file, spec);
+    if (prog.has_value()) {
+      out.push_back(std::move(*prog));
+    } else {
+      NYX_LOG_WARN << "skipping malformed corpus file: " << file;
+    }
+  }
+  return out;
+}
+
+bool Workdir::SaveCrash(uint32_t crash_id, const std::string& kind,
+                        const Program& reproducer) const {
+  char name[160];
+  snprintf(name, sizeof(name), "/crashes/%08x_%.*s.nyx", crash_id, 96, kind.c_str());
+  return WriteProgram(path_ + name, reproducer);
+}
+
+std::vector<std::pair<std::string, Program>> Workdir::LoadCrashes(const Spec& spec) const {
+  std::vector<std::pair<std::string, Program>> out;
+  for (const std::string& file : ListFiles(path_ + "/crashes", ".nyx")) {
+    auto prog = ReadProgram(file, spec);
+    if (prog.has_value()) {
+      out.emplace_back(file, std::move(*prog));
+    }
+  }
+  return out;
+}
+
+bool Workdir::SaveCampaign(const CampaignResult& result, const Corpus& corpus) const {
+  bool ok = true;
+  for (size_t i = 0; i < corpus.size(); i++) {
+    ok &= SaveQueueEntry(corpus.entry(i).program, i);
+  }
+  for (const auto& [id, rec] : result.crashes) {
+    ok &= SaveCrash(id, rec.kind, rec.reproducer);
+  }
+  FILE* f = fopen((path_ + "/stats.txt").c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  fprintf(f, "execs            %llu\n", static_cast<unsigned long long>(result.execs));
+  fprintf(f, "vtime_seconds    %.3f\n", result.vtime_seconds);
+  fprintf(f, "execs_per_vsec   %.1f\n", result.execs_per_vsecond);
+  fprintf(f, "branch_coverage  %zu\n", result.branch_coverage);
+  fprintf(f, "edge_coverage    %zu\n", result.edge_coverage);
+  fprintf(f, "corpus_size      %zu\n", result.corpus_size);
+  fprintf(f, "crashes          %zu\n", result.crashes.size());
+  fprintf(f, "root_restores    %llu\n", static_cast<unsigned long long>(result.root_restores));
+  fprintf(f, "inc_creates      %llu\n",
+          static_cast<unsigned long long>(result.incremental_creates));
+  fprintf(f, "inc_restores     %llu\n",
+          static_cast<unsigned long long>(result.incremental_restores));
+  fclose(f);
+  return ok;
+}
+
+}  // namespace nyx

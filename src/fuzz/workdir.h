@@ -1,0 +1,54 @@
+// On-disk campaign state, AFL-style:
+//
+//   <workdir>/queue/id_000042.nyx     bytecode corpus entries
+//   <workdir>/crashes/<id>_<kind>.nyx crash reproducers
+//   <workdir>/stats.txt               final campaign statistics
+//
+// The wire format is the Program serialization (src/spec/program.h), so
+// corpus entries can be copied between campaigns, hand-edited via the
+// Builder, or replayed with the nyx-net-repro tool.
+
+#ifndef SRC_FUZZ_WORKDIR_H_
+#define SRC_FUZZ_WORKDIR_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/fuzz/fuzzer.h"
+#include "src/spec/program.h"
+#include "src/spec/spec.h"
+
+namespace nyx {
+
+class Workdir {
+ public:
+  // Creates <path>, <path>/queue and <path>/crashes if missing.
+  static std::optional<Workdir> Open(const std::string& path);
+
+  const std::string& path() const { return path_; }
+
+  // Queue persistence.
+  bool SaveQueueEntry(const Program& program, size_t index) const;
+  std::vector<Program> LoadQueue(const Spec& spec) const;
+
+  // Crash persistence.
+  bool SaveCrash(uint32_t crash_id, const std::string& kind, const Program& reproducer) const;
+  std::vector<std::pair<std::string, Program>> LoadCrashes(const Spec& spec) const;
+
+  // Writes the whole campaign result: queue, crashes and stats.txt.
+  bool SaveCampaign(const CampaignResult& result, const Corpus& corpus) const;
+
+  // Single-file helpers.
+  static bool WriteProgram(const std::string& file, const Program& program);
+  static std::optional<Program> ReadProgram(const std::string& file, const Spec& spec);
+
+ private:
+  explicit Workdir(std::string path) : path_(std::move(path)) {}
+
+  std::string path_;
+};
+
+}  // namespace nyx
+
+#endif  // SRC_FUZZ_WORKDIR_H_

@@ -1,0 +1,162 @@
+#include "src/harness/campaign.h"
+
+#include <cstdlib>
+
+#include "src/mario/mario_target.h"
+#include "src/targets/registry.h"
+
+namespace nyx {
+
+const char* FuzzerKindName(FuzzerKind kind) {
+  switch (kind) {
+    case FuzzerKind::kAflnet:
+      return "AFLNet";
+    case FuzzerKind::kAflnetNoState:
+      return "AFLNet-no-state";
+    case FuzzerKind::kAflnwe:
+      return "AFLnwe";
+    case FuzzerKind::kAflppDesock:
+      return "AFL++";
+    case FuzzerKind::kNyxNone:
+      return "Nyx-Net-none";
+    case FuzzerKind::kNyxBalanced:
+      return "Nyx-Net-balanced";
+    case FuzzerKind::kNyxAggressive:
+      return "Nyx-Net-aggressive";
+    case FuzzerKind::kIjon:
+      return "Ijon";
+  }
+  return "?";
+}
+
+bool IsNyxKind(FuzzerKind kind) {
+  return kind == FuzzerKind::kNyxNone || kind == FuzzerKind::kNyxBalanced ||
+         kind == FuzzerKind::kNyxAggressive;
+}
+
+namespace {
+
+BaselineKind ToBaselineKind(FuzzerKind kind) {
+  switch (kind) {
+    case FuzzerKind::kAflnetNoState:
+      return BaselineKind::kAflnetNoState;
+    case FuzzerKind::kAflnwe:
+      return BaselineKind::kAflnwe;
+    case FuzzerKind::kAflppDesock:
+      return BaselineKind::kAflppDesock;
+    case FuzzerKind::kIjon:
+      return BaselineKind::kIjon;
+    case FuzzerKind::kAflnet:
+    default:
+      return BaselineKind::kAflnet;
+  }
+}
+
+PolicyMode ToPolicy(FuzzerKind kind) {
+  switch (kind) {
+    case FuzzerKind::kNyxBalanced:
+      return PolicyMode::kBalanced;
+    case FuzzerKind::kNyxAggressive:
+      return PolicyMode::kAggressive;
+    default:
+      return PolicyMode::kNone;
+  }
+}
+
+CampaignOutcome RunWith(const Spec& spec, TargetFactory factory,
+                        const std::vector<Program>& seeds, const CampaignSpec& cs,
+                        uint64_t per_byte_extra_ns = 0) {
+  EngineConfig engine_cfg;
+  engine_cfg.vm.mem_pages = cs.vm_pages;
+  engine_cfg.vm.disk_sectors = 512;
+  engine_cfg.asan = cs.asan;
+  engine_cfg.seed = cs.seed;
+
+  CampaignOutcome outcome;
+  if (IsNyxKind(cs.fuzzer)) {
+    FuzzerConfig fcfg;
+    fcfg.policy = ToPolicy(cs.fuzzer);
+    fcfg.seed = cs.seed;
+    NyxFuzzer fuzzer(engine_cfg, factory, spec, fcfg);
+    for (const Program& s : seeds) {
+      fuzzer.AddSeed(s);
+    }
+    outcome.result = fuzzer.Run(cs.limits);
+  } else {
+    BaselineConfig bcfg;
+    bcfg.kind = ToBaselineKind(cs.fuzzer);
+    bcfg.seed = cs.seed;
+    bcfg.per_byte_extra_ns = per_byte_extra_ns;
+    BaselineFuzzer fuzzer(engine_cfg, factory, spec, bcfg);
+    if (!fuzzer.supported()) {
+      outcome.supported = false;
+      return outcome;
+    }
+    for (const Program& s : seeds) {
+      fuzzer.AddSeed(s);
+    }
+    outcome.result = fuzzer.Run(cs.limits);
+  }
+  return outcome;
+}
+
+}  // namespace
+
+CampaignOutcome RunCampaign(const CampaignSpec& cs) {
+  auto reg = FindTarget(cs.target);
+  if (!reg.has_value()) {
+    CampaignOutcome outcome;
+    outcome.supported = false;
+    return outcome;
+  }
+  const Spec spec = reg->make_spec();
+  return RunWith(spec, reg->factory, reg->make_seeds(spec), cs);
+}
+
+CampaignOutcome RunMarioCampaign(const std::string& level, FuzzerKind fuzzer,
+                                 double wall_seconds, uint64_t seed) {
+  const Spec spec = Spec::GenericNetwork();
+  const LevelDef* lv = FindLevel(level);
+  CampaignSpec cs;
+  cs.fuzzer = fuzzer;
+  cs.seed = seed;
+  cs.limits.vtime_seconds = 24.0 * 3600;  // a virtual day
+  cs.limits.wall_seconds = wall_seconds;
+  cs.limits.ijon_goal = static_cast<uint64_t>(lv->length) * kSub;
+  TargetFactory factory = [level] { return MakeMarioTarget(level); };
+  std::vector<Program> seeds = {MarioSeed(spec, *lv, 64)};
+  const uint64_t extra =
+      fuzzer == FuzzerKind::kIjon ? kMarioFrameNsForkServer - kMarioFrameNsEmulated : 0;
+  return RunWith(spec, factory, seeds, cs, extra);
+}
+
+std::vector<CampaignResult> RepeatCampaign(CampaignSpec spec, size_t runs) {
+  std::vector<CampaignResult> results;
+  for (size_t r = 0; r < runs; r++) {
+    spec.seed = r + 1;
+    CampaignOutcome outcome = RunCampaign(spec);
+    if (!outcome.supported) {
+      return {};
+    }
+    results.push_back(std::move(outcome.result));
+  }
+  return results;
+}
+
+size_t EvalRuns(size_t def_runs) {
+  const char* env = std::getenv("NYX_RUNS");
+  if (env != nullptr && atoi(env) > 0) {
+    return static_cast<size_t>(atoi(env));
+  }
+  return def_runs;
+}
+
+double EvalVtime(double def_vtime) {
+  const char* env = std::getenv("NYX_VTIME");
+  if (env != nullptr && atof(env) > 0) {
+    return atof(env);
+  }
+  return def_vtime;
+}
+
+}  // namespace nyx

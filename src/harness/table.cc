@@ -1,0 +1,77 @@
+#include "src/harness/table.h"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace nyx {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::Render() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); c++) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); c++) {
+      if (row[c].size() > widths[c]) {
+        widths[c] = row[c].size();
+      }
+    }
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); c++) {
+      os << "| " << row[c];
+      for (size_t pad = row[c].size(); pad < widths[c]; pad++) {
+        os << ' ';
+      }
+      os << ' ';
+    }
+    os << "|\n";
+  };
+  emit_row(header_);
+  for (size_t c = 0; c < header_.size(); c++) {
+    os << "|";
+    for (size_t i = 0; i < widths[c] + 2; i++) {
+      os << '-';
+    }
+  }
+  os << "|\n";
+  for (const auto& row : rows_) {
+    emit_row(row);
+  }
+  return os.str();
+}
+
+void TextTable::Print() const { std::fputs(Render().c_str(), stdout); }
+
+std::string Fmt(double v, int precision) {
+  char buf[64];
+  snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string FmtPercent(double fraction, int precision) {
+  char buf[64];
+  snprintf(buf, sizeof(buf), "%+.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+std::string FmtDuration(double seconds) {
+  if (seconds < 0) {
+    return "-";
+  }
+  const long total = static_cast<long>(std::llround(seconds));
+  char buf[32];
+  snprintf(buf, sizeof(buf), "%02ld:%02ld:%02ld", total / 3600, (total / 60) % 60, total % 60);
+  return buf;
+}
+
+}  // namespace nyx

@@ -1,0 +1,33 @@
+// Fixed-width table printing for the bench binaries, matching the layout of
+// the paper's tables closely enough to compare side by side.
+
+#ifndef SRC_HARNESS_TABLE_H_
+#define SRC_HARNESS_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace nyx {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> cells);
+  // Renders with column auto-sizing and a header separator.
+  std::string Render() const;
+  void Print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Number formatting helpers.
+std::string Fmt(double v, int precision = 1);
+std::string FmtPercent(double fraction, int precision = 1);  // +4.3% style
+std::string FmtDuration(double seconds);                     // HH:MM:SS
+
+}  // namespace nyx
+
+#endif  // SRC_HARNESS_TABLE_H_

@@ -1,0 +1,124 @@
+#include "src/mario/engine.h"
+
+namespace nyx {
+namespace {
+
+// Physics constants (per frame, in subpixels). A running jump launches with
+// vy = +10 under gravity 1, giving 20 airborne frames; at run speed 4 that
+// covers ~5 tiles of distance and clears 3-tile walls (apex ~3.4 tiles).
+constexpr int32_t kWalkSpeed = 2;
+constexpr int32_t kRunSpeed = 4;
+constexpr int32_t kJumpVelocity = 10;
+constexpr int32_t kGravity = 1;
+constexpr int32_t kTerminalVelocity = -12;
+constexpr int32_t kKillPlane = -16 * kSub;
+
+}  // namespace
+
+bool MarioEngine::SolidAt(int32_t tile_x, int32_t y_sub) const {
+  if (tile_x < 0) {
+    return true;  // left edge of the world
+  }
+  const uint16_t col = static_cast<uint16_t>(tile_x);
+  const uint16_t wall = level_.WallHeight(col);
+  if (wall > 0 && y_sub < static_cast<int32_t>(wall) * kSub) {
+    return true;
+  }
+  // The ground body itself: below surface level every non-pit column is
+  // solid — pits have vertical side walls, which is what makes wall-jump
+  // escapes from pits possible at all.
+  if (y_sub < 0 && !level_.IsPit(col)) {
+    return true;
+  }
+  return false;
+}
+
+void MarioEngine::Tick(MarioState& st, uint8_t buttons) const {
+  if (st.dead || st.won) {
+    return;
+  }
+  st.frame++;
+
+  // Horizontal intent.
+  int32_t vx = 0;
+  if (buttons & kBtnRight) {
+    vx = (buttons & kBtnRun) ? kRunSpeed : kWalkSpeed;
+  } else if (buttons & kBtnLeft) {
+    vx = (buttons & kBtnRun) ? -kRunSpeed : -kWalkSpeed;
+  }
+
+  // Jumping: on the ground, a fresh jump press launches. Falling next to a
+  // wall, a fresh press on an even frame triggers the wall-jump glitch —
+  // the one-frame window that makes it rare.
+  const bool jump_pressed = (buttons & kBtnJump) != 0 && !st.jump_held;
+  st.jump_held = (buttons & kBtnJump) != 0;
+  if (jump_pressed) {
+    if (st.on_ground) {
+      st.vy = kJumpVelocity;
+      st.on_ground = 0;
+    } else if (st.touching_wall && st.vy < 0 && (st.frame & 1) == 0) {
+      st.vy = kJumpVelocity;
+      st.wall_jumps++;
+    }
+  }
+
+  // Horizontal movement with wall collision.
+  st.touching_wall = 0;
+  if (vx != 0) {
+    const int32_t new_x = st.x + vx;
+    const int32_t lead_tile = (vx > 0 ? new_x + kSub - 1 : new_x) / kSub;
+    if (SolidAt(lead_tile, st.y)) {
+      // Blocked: snap flush against the wall.
+      st.touching_wall = 1;
+      if (vx > 0) {
+        st.x = lead_tile * kSub - kSub;
+      } else {
+        st.x = (lead_tile + 1) * kSub;
+      }
+    } else {
+      st.x = new_x;
+    }
+  }
+  if (st.x < 0) {
+    st.x = 0;
+  }
+
+  // Vertical movement.
+  if (!st.on_ground) {
+    st.y += st.vy;
+    st.vy -= kGravity;
+    if (st.vy < kTerminalVelocity) {
+      st.vy = kTerminalVelocity;
+    }
+  }
+  const uint16_t col = static_cast<uint16_t>(st.x / kSub);
+  const bool over_pit = level_.IsPit(col);
+  const int32_t floor_y =
+      level_.WallHeight(col) > 0 ? static_cast<int32_t>(level_.WallHeight(col)) * kSub : 0;
+
+  if (st.y <= floor_y && st.vy <= 0) {
+    if (over_pit && floor_y == 0) {
+      // No ground here: keep falling.
+      st.on_ground = 0;
+      if (st.y <= kKillPlane) {
+        st.dead = 1;
+        return;
+      }
+    } else {
+      st.y = floor_y;
+      st.vy = 0;
+      st.on_ground = 1;
+    }
+  } else {
+    st.on_ground = 0;
+  }
+
+  if (st.x > st.max_x) {
+    st.max_x = st.x;
+  }
+  if (st.x >= goal_x()) {
+    st.won = 1;
+  }
+}
+
+}  // namespace nyx

@@ -1,0 +1,61 @@
+// Super Mario platformer physics.
+//
+// A deliberately small but honest platformer: gravity, running jumps whose
+// horizontal reach depends on held buttons, solid walls, pits that kill,
+// and a one-frame wall-jump glitch. All simulation state is POD so it can
+// live in guest memory and be snapshot-managed — which is exactly what lets
+// Nyx-Net place incremental snapshots "right in front of the difficult
+// jump" (Figure 2).
+
+#ifndef SRC_MARIO_ENGINE_H_
+#define SRC_MARIO_ENGINE_H_
+
+#include <cstdint>
+
+#include "src/mario/level.h"
+
+namespace nyx {
+
+// Button bitmask, one byte per frame.
+inline constexpr uint8_t kBtnRight = 1 << 0;
+inline constexpr uint8_t kBtnLeft = 1 << 1;
+inline constexpr uint8_t kBtnJump = 1 << 2;
+inline constexpr uint8_t kBtnRun = 1 << 3;
+
+// Fixed-point: 16 subpixels per tile.
+inline constexpr int32_t kSub = 16;
+
+// POD simulation state (guest-memory resident).
+struct MarioState {
+  int32_t x = 2 * kSub;  // start two tiles in
+  int32_t y = 0;         // 0 = ground level; positive = up
+  int32_t vy = 0;
+  uint8_t on_ground = 1;
+  uint8_t touching_wall = 0;
+  uint8_t jump_held = 0;  // edge detection for the jump button
+  uint8_t dead = 0;
+  uint8_t won = 0;
+  uint32_t frame = 0;
+  int32_t max_x = 2 * kSub;
+  uint32_t wall_jumps = 0;
+};
+
+class MarioEngine {
+ public:
+  explicit MarioEngine(const LevelDef& level) : level_(level) {}
+
+  // Advances one frame with the given button byte. No-op once dead or won.
+  void Tick(MarioState& st, uint8_t buttons) const;
+
+  const LevelDef& level() const { return level_; }
+  int32_t goal_x() const { return static_cast<int32_t>(level_.length) * kSub; }
+
+ private:
+  bool SolidAt(int32_t tile_x, int32_t y_sub) const;
+
+  const LevelDef& level_;
+};
+
+}  // namespace nyx
+
+#endif  // SRC_MARIO_ENGINE_H_

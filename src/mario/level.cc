@@ -1,0 +1,105 @@
+#include "src/mario/level.h"
+
+namespace nyx {
+namespace {
+
+// Deterministic procedural layout per level, with hand-placed signature
+// obstacles. Physics limits (see engine.cc): a running jump clears 4 tiles
+// of gap and 3 tiles of wall; anything beyond needs stair-stepping walls or
+// the wall-jump glitch.
+std::vector<LevelDef> BuildLevels() {
+  std::vector<LevelDef> levels;
+  for (int world = 1; world <= 8; world++) {
+    for (int stage = 1; stage <= 4; stage++) {
+      LevelDef lv;
+      lv.name = std::to_string(world) + "-" + std::to_string(stage);
+      lv.length = static_cast<uint16_t>(120 + world * 25 + stage * 10);
+
+      // Pits: count and width grow with the world number.
+      const int pit_count = 1 + (world + stage) / 3;
+      for (int i = 0; i < pit_count; i++) {
+        Pit p;
+        p.x = static_cast<uint16_t>(30 + i * (lv.length - 50) / pit_count +
+                                    (world * 7 + stage * 3 + i * 11) % 13);
+        p.width = static_cast<uint16_t>(2 + (world + i) % 3);
+        lv.pits.push_back(p);
+      }
+
+      // Walls: short hurdles, taller in later worlds (max 3 = jumpable).
+      const int wall_count = (world + 1) / 2 + stage / 2;
+      for (int i = 0; i < wall_count; i++) {
+        Wall w;
+        w.x = static_cast<uint16_t>(45 + i * (lv.length - 70) / (wall_count + 1) +
+                                    (world * 5 + i * 17) % 11);
+        w.height = static_cast<uint16_t>(1 + (world + stage + i) % 3);
+        lv.walls.push_back(w);
+      }
+
+      // Sanitize: perfect play must be able to solve every level (2-1 gets
+      // its impossible pit below). Walls may not sit within 8 tiles of a
+      // pit (a landing Mario needs runway to jump again), and obstacles
+      // keep 10 tiles of spacing.
+      auto near_pit = [&lv](uint16_t x) {
+        for (const Pit& p : lv.pits) {
+          if (x + 8 >= p.x && x <= p.x + p.width + 8) {
+            return true;
+          }
+        }
+        return false;
+      };
+      std::vector<Wall> kept;
+      for (const Wall& w : lv.walls) {
+        bool ok = !near_pit(w.x);
+        for (const Wall& other : kept) {
+          if (w.x < other.x + 10 && other.x < w.x + 10) {
+            ok = false;
+          }
+        }
+        if (ok) {
+          kept.push_back(w);
+        }
+      }
+      lv.walls = std::move(kept);
+      levels.push_back(std::move(lv));
+    }
+  }
+
+  // Signature obstacle of 2-1: a 7-tile pit (unjumpable) whose far edge is a
+  // tall wall. The only way across is to jump into the pit, slide along the
+  // far wall and wall-jump out — the glitch Nyx-Net triggers "somewhat
+  // regularly" while IJON never found it.
+  LevelDef& l21 = levels[4 * 1 + 0];  // world 2, stage 1
+  l21.pits.clear();
+  l21.walls.clear();
+  Pit big;
+  big.x = 80;
+  big.width = 7;
+  l21.pits.push_back(big);
+  Wall far_wall;
+  far_wall.x = 87;  // first ground column after the pit
+  far_wall.height = 2;
+  l21.walls.push_back(far_wall);
+
+  // 6-2 and 8-1 are the marathon levels (the slowest rows of Table 4).
+  levels[4 * 5 + 1].length = 560;  // 6-2
+  levels[4 * 7 + 0].length = 640;  // 8-1
+  return levels;
+}
+
+}  // namespace
+
+const std::vector<LevelDef>& AllLevels() {
+  static const std::vector<LevelDef> kLevels = BuildLevels();
+  return kLevels;
+}
+
+const LevelDef* FindLevel(const std::string& name) {
+  for (const LevelDef& lv : AllLevels()) {
+    if (lv.name == name) {
+      return &lv;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace nyx

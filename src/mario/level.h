@@ -1,0 +1,61 @@
+// Super Mario Bros. level geometry (paper section 5.3, Table 4).
+//
+// Levels are described by their length, pits (gaps in the ground) and walls
+// (solid columns). The 32 levels 1-1 … 8-4 roughly scale in difficulty the
+// way the originals do: later worlds have longer levels, wider pits and
+// taller walls. Level 2-1 contains the signature wide pit whose far side
+// can only be scaled with the wall-jump glitch — "the authors of IJON
+// believed 2-1 might be impossible to solve".
+
+#ifndef SRC_MARIO_LEVEL_H_
+#define SRC_MARIO_LEVEL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nyx {
+
+struct Pit {
+  uint16_t x = 0;      // first missing ground column
+  uint16_t width = 0;  // number of missing columns
+};
+
+struct Wall {
+  uint16_t x = 0;       // column
+  uint16_t height = 0;  // solid from ground level upward, in tiles
+};
+
+struct LevelDef {
+  std::string name;     // "1-1" … "8-4"
+  uint16_t length = 0;  // goal column
+  std::vector<Pit> pits;
+  std::vector<Wall> walls;
+
+  bool IsPit(uint16_t col) const {
+    for (const Pit& p : pits) {
+      if (col >= p.x && col < p.x + p.width) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // Height of the solid wall at `col` (0 = no wall).
+  uint16_t WallHeight(uint16_t col) const {
+    for (const Wall& w : walls) {
+      if (w.x == col) {
+        return w.height;
+      }
+    }
+    return 0;
+  }
+};
+
+// All 32 levels, in Table 4 order.
+const std::vector<LevelDef>& AllLevels();
+const LevelDef* FindLevel(const std::string& name);
+
+}  // namespace nyx
+
+#endif  // SRC_MARIO_LEVEL_H_

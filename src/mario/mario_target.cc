@@ -1,0 +1,153 @@
+#include "src/mario/mario_target.h"
+
+#include <cstring>
+
+#include "src/spec/builder.h"
+
+namespace nyx {
+namespace {
+
+constexpr uint32_t kSite = 20000;
+constexpr uint16_t kPort = 1337;
+
+struct State {
+  int sock;
+  MarioState mario;
+  uint32_t packets;
+};
+
+class MarioTarget final : public Target {
+ public:
+  explicit MarioTarget(const LevelDef& level) : engine_(level) {}
+
+  TargetInfo info() const override {
+    TargetInfo ti;
+    ti.name = "mario-" + engine_.level().name;
+    ti.port = kPort;
+    ti.transport = SockKind::kDgram;
+    ti.split = SplitStrategy::kSegment;
+    ti.desock_compatible = false;
+    ti.startup_ns = 150'000'000;  // emulator boot + ROM load
+    ti.request_ns = 0;            // charged per frame instead
+    ti.aflnet_extra_ns = 0;
+    ti.startup_dirty_pages = 20;
+    return ti;
+  }
+
+  void Init(GuestContext& ctx) override {
+    auto* st = ctx.State<State>();
+    memset(st, 0, sizeof(*st));
+    st->mario = MarioState{};
+    st->sock = ctx.net().Socket(SockKind::kDgram);
+    ctx.net().Bind(st->sock, kPort);
+    ctx.TouchScratch(20, 0x99);
+    ctx.Charge(info().startup_ns);
+  }
+
+  void Step(GuestContext& ctx) override {
+    auto* st = ctx.State<State>();
+    for (;;) {
+      uint8_t frames[512];
+      const int n = ctx.net().Recv(st->sock, frames, sizeof(frames));
+      if (n <= 0) {
+        return;
+      }
+      st->packets++;
+      for (int i = 0; i < n; i++) {
+        engine_.Tick(st->mario, frames[i]);
+        ctx.Charge(kMarioFrameNsEmulated);
+        // Coverage buckets on progress so the edge signal also guides the
+        // fuzzer (IJON feedback does the fine-grained work).
+        ctx.Cov(kSite + static_cast<uint32_t>(st->mario.x / (8 * kSub)));
+        if (st->mario.dead) {
+          ctx.Cov(kSite + 5000);
+          break;
+        }
+        if (st->mario.won) {
+          ctx.Cov(kSite + 5001);
+          break;
+        }
+      }
+      ctx.IjonMax(0, static_cast<uint64_t>(st->mario.max_x));
+      if (st->mario.wall_jumps > 0) {
+        ctx.Cov(kSite + 5002);  // the glitch fired
+      }
+    }
+  }
+
+ private:
+  MarioEngine engine_;
+};
+
+}  // namespace
+
+std::unique_ptr<Target> MakeMarioTarget(const std::string& level_name) {
+  const LevelDef* level = FindLevel(level_name);
+  return std::make_unique<MarioTarget>(*level);
+}
+
+Program MarioSeed(const Spec& spec, const LevelDef& level, size_t frames_per_packet) {
+  Builder b(spec);
+  ValueRef con = b.Connection();
+  // Walk right, hopping occasionally — makes progress on flat ground but
+  // cannot clear real pits (walking jumps are short); the fuzzer has to
+  // discover running and jump timing.
+  const size_t total_frames = static_cast<size_t>(level.length) * 10;
+  Bytes packet;
+  for (size_t f = 0; f < total_frames; f++) {
+    uint8_t buttons = kBtnRight;
+    if (f % 40 < 2) {
+      buttons |= kBtnJump;
+    }
+    packet.push_back(buttons);
+    if (packet.size() >= frames_per_packet) {
+      b.Packet(con, std::move(packet));
+      packet.clear();
+    }
+  }
+  if (!packet.empty()) {
+    b.Packet(con, std::move(packet));
+  }
+  return *b.Build();
+}
+
+Program MarioSpeedrun(const Spec& spec, const LevelDef& level, size_t frames_per_packet,
+                      uint32_t* out_frames) {
+  MarioEngine engine(level);
+  MarioState st;
+  Bytes frames;
+  // Greedy perfect play: run right, jump exactly when an obstacle is one
+  // tile ahead.
+  const size_t frame_cap = static_cast<size_t>(level.length) * 30;
+  while (!st.won && !st.dead && frames.size() < frame_cap) {
+    uint8_t buttons = kBtnRight | kBtnRun;
+    const uint16_t ahead = static_cast<uint16_t>(st.x / kSub + 1);
+    const bool obstacle =
+        level.IsPit(ahead) || (level.WallHeight(ahead) > 0 && st.on_ground);
+    if (obstacle && st.on_ground && !st.jump_held) {
+      buttons |= kBtnJump;
+    }
+    engine.Tick(st, buttons);
+    frames.push_back(buttons);
+  }
+  if (!st.won) {
+    if (out_frames != nullptr) {
+      *out_frames = 0;
+    }
+    return Program{};
+  }
+  if (out_frames != nullptr) {
+    *out_frames = static_cast<uint32_t>(frames.size());
+  }
+  Builder b(spec);
+  ValueRef con = b.Connection();
+  for (size_t off = 0; off < frames.size(); off += frames_per_packet) {
+    const size_t end = off + frames_per_packet < frames.size() ? off + frames_per_packet
+                                                               : frames.size();
+    b.Packet(con, Bytes(frames.begin() + static_cast<long>(off),
+                        frames.begin() + static_cast<long>(end)));
+  }
+  return *b.Build();
+}
+
+}  // namespace nyx

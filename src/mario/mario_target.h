@@ -1,0 +1,46 @@
+// Fuzz-target adapter for Super Mario (paper section 5.3).
+//
+// The game is fuzzed as a message-based target: each packet delivers a batch
+// of button-frame bytes, consumed through the same emulated-socket path as
+// the network servers. The IJON-style feedback (maximum x position reached)
+// is exported through GuestContext::IjonMax slot 0; a campaign "solves" the
+// level when the feedback reaches MarioEngine::goal_x(). Incremental
+// snapshots between packets let the fuzzer replay only the frames after the
+// hard jump (Figures 2 and 4).
+
+#ifndef SRC_MARIO_MARIO_TARGET_H_
+#define SRC_MARIO_MARIO_TARGET_H_
+
+#include <memory>
+#include <string>
+
+#include "src/fuzz/guest.h"
+#include "src/mario/engine.h"
+#include "src/spec/program.h"
+
+namespace nyx {
+
+// Virtual cost per simulated frame. IJON's AFL harness runs the game binary
+// under a fork server with pipe-fed input; Nyx-Net's emulated delivery makes
+// each frame ~4x cheaper — the source of the Nyx-Net-none speedup in
+// Table 4.
+inline constexpr uint64_t kMarioFrameNsEmulated = 18'000;
+inline constexpr uint64_t kMarioFrameNsForkServer = 72'000;
+
+std::unique_ptr<Target> MakeMarioTarget(const std::string& level_name);
+
+// A seed that walks/runs right with periodic jumps — the standard starting
+// corpus for the experiment. `frames_per_packet` controls the input's packet
+// granularity (and with it where snapshots can go).
+Program MarioSeed(const Spec& spec, const LevelDef& level, size_t frames_per_packet);
+
+// The optimal "speedrun" input: run right, jumping exactly at obstacle
+// edges. Returns an empty program for levels that cannot be completed
+// without the wall-jump glitch (2-1). Used by the faster-than-light
+// comparison in the bench.
+Program MarioSpeedrun(const Spec& spec, const LevelDef& level, size_t frames_per_packet,
+                      uint32_t* out_frames);
+
+}  // namespace nyx
+
+#endif  // SRC_MARIO_MARIO_TARGET_H_

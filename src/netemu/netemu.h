@@ -1,0 +1,196 @@
+// Selective network emulation (paper sections 3.3 and 4.1).
+//
+// Nyx-Net injects an LD_PRELOAD library into the target that hooks ~30 libc
+// networking functions. The hooks track which file descriptors belong to the
+// external attack surface and serve fuzzer-generated packets directly from
+// the input bytecode — no kernel network stack is involved, packet
+// boundaries are preserved ("a frightening amount of servers assume that a
+// single call to recv() will never return data from more than one packet"),
+// and the right place for the root snapshot is found automatically (the
+// first time the target would consume attacker data).
+//
+// This class is the emulated-kernel side of those hooks. Targets call the
+// libc-shaped methods below; the fuzzer-facing methods queue connections and
+// packets. All state is serializable so it snapshots together with the VM:
+// a restore brings back fd tables, queues and stream positions exactly.
+
+#ifndef SRC_NETEMU_NETEMU_H_
+#define SRC_NETEMU_NETEMU_H_
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/common/vclock.h"
+
+namespace nyx {
+
+// Errno-style results (negative values, like raw syscalls return).
+inline constexpr int kErrAgain = -11;   // EAGAIN: would block
+inline constexpr int kErrBadf = -9;     // EBADF: bad file descriptor
+inline constexpr int kErrInval = -22;   // EINVAL
+inline constexpr int kErrMfile = -24;   // EMFILE: fd table full
+inline constexpr int kErrNotConn = -107;
+
+enum class SockKind : uint8_t {
+  kListener,
+  kStream,  // TCP / Unix stream: packet-chunked byte stream
+  kDgram,   // UDP: datagram boundaries are semantic
+};
+
+struct PollRequest {
+  int fd = -1;
+  bool want_read = false;
+  bool want_write = false;
+  bool readable = false;
+  bool writable = false;
+};
+
+class NetEmu {
+ public:
+  struct Config {
+    size_t max_fds = 128;
+    size_t max_sockets = 128;
+    // Whether a Recv on a stream socket may return at most one queued packet
+    // (Nyx-Net behaviour) or coalesces everything available (what a
+    // stdin-redirection layer like desock effectively does).
+    bool preserve_packet_boundaries = true;
+  };
+
+  NetEmu();
+  explicit NetEmu(Config config);
+
+  void AttachClock(VirtualClock* clock, const CostModel* cost) {
+    clock_ = clock;
+    cost_ = cost;
+  }
+
+  // ---- Target-facing API (the hooked libc surface) ----
+
+  int Socket(SockKind kind);
+  int Bind(int fd, uint16_t port);
+  int Listen(int fd, int backlog);
+  // Accepts a queued connection; kErrAgain if none pending.
+  int Accept(int fd);
+  // Outbound connection (client targets): the resulting socket is part of
+  // the attack surface — the fuzzer plays the remote server.
+  int Connect(int fd, uint16_t port);
+  // Packet-boundary-preserving receive; kErrAgain when no data is queued,
+  // 0 on orderly peer close.
+  int Recv(int fd, void* buf, size_t len);
+  int Send(int fd, const void* data, size_t len);
+  int Close(int fd);
+  int Shutdown(int fd);
+  int Dup(int fd);
+  int Dup2(int oldfd, int newfd);
+  // Simplified poll(): fills readable/writable; returns number of ready fds
+  // (0 = would block).
+  int Poll(std::vector<PollRequest>& reqs);
+  // Minimal epoll emulation.
+  int EpollCreate();
+  int EpollCtlAdd(int epfd, int fd, bool want_read);
+  int EpollCtlDel(int epfd, int fd);
+  // Returns ready fds; 0 = would block.
+  int EpollWait(int epfd, std::vector<int>& ready_fds);
+  // fork() support: duplicates the fd table for a child process id. Sockets
+  // are shared (refcounted), so packet consumption stays synchronized across
+  // processes — "forking network servers will usually inherit a recently
+  // opened socket from the main process".
+  int ForkFdTable();
+  // Closes every fd owned by `process`.
+  void ExitProcess(int process);
+  // Switches which process's fd table the libc-shaped calls use.
+  void SetCurrentProcess(int process) { current_process_ = process; }
+  int current_process() const { return current_process_; }
+
+  // ---- Fuzzer-facing API (driven by the bytecode interpreter) ----
+
+  // Queues a new inbound connection on the listener bound to `port` (or the
+  // only listener if port is 0). Returns a connection handle, or -1.
+  int QueueConnection(uint16_t port);
+  // Finds the bound datagram socket for `port` (0 = any); UDP "connections"
+  // deliver straight to it. Returns a connection handle, or -1.
+  int FindDgramSocket(uint16_t port) const;
+  // Appends one packet to a connection's receive queue. The handle comes
+  // from QueueConnection() or from ClientConnections().
+  bool DeliverPacket(int conn, Bytes data);
+  void PeerClose(int conn);
+  // Everything the target sent on this connection, packet boundaries as sent.
+  const std::vector<Bytes>& Sent(int conn) const;
+  // Connection handles created by the target via Connect().
+  const std::vector<int>& ClientConnections() const { return client_conns_; }
+
+  // True when the last blocking call (Accept/Recv/Poll/EpollWait) blocked
+  // waiting for attack-surface input — the auto-placement point for the root
+  // snapshot ("directly before the first byte of input data is passed").
+  bool blocked_on_input() const { return blocked_on_input_; }
+  // True once the target has consumed at least one attacker-controlled byte.
+  bool consumed_input() const { return consumed_input_; }
+
+  // Bytes of fuzz input still queued but never read by the target.
+  size_t UndeliveredBytes() const;
+
+  // ---- Snapshot support ----
+  Bytes Serialize() const;
+  bool Deserialize(const Bytes& blob);
+
+  // ---- Introspection ----
+  uint64_t calls() const { return calls_; }
+  bool ValidConn(int conn) const {
+    return conn >= 0 && conn < static_cast<int>(sockets_.size()) && sockets_[conn].live;
+  }
+
+ private:
+  struct Sock {
+    bool live = false;
+    SockKind kind = SockKind::kStream;
+    uint16_t port = 0;
+    bool listening = false;
+    bool attack_surface = false;
+    bool peer_closed = false;
+    bool shut_down = false;
+    int refcount = 0;
+    std::deque<Bytes> rx;           // queued packets, boundaries preserved
+    size_t rx_front_consumed = 0;   // partial read offset into rx.front()
+    std::deque<int> pending_accept; // queued connection socket indices
+    std::vector<Bytes> tx;
+    bool epoll_instance = false;
+    std::vector<std::pair<int, bool>> epoll_watch;  // (fd, want_read)
+  };
+
+  struct FdEntry {
+    int sock = -1;       // index into sockets_
+    int process = -1;    // owning process id
+    bool open = false;
+  };
+
+  int AllocSocket();
+  int AllocFd(int sock);
+  Sock* SockForFd(int fd);
+  bool Readable(const Sock& s) const;
+  void DropSocketRef(int sock);
+  void Charge() {
+    calls_++;
+    if (clock_ != nullptr) {
+      clock_->Advance(cost_->emulated_call_ns);
+    }
+  }
+
+  Config config_;
+  std::vector<Sock> sockets_;
+  std::vector<FdEntry> fds_;
+  std::vector<int> client_conns_;
+  int current_process_ = 0;
+  int next_process_ = 1;
+  bool blocked_on_input_ = false;
+  bool consumed_input_ = false;
+  uint64_t calls_ = 0;
+  VirtualClock* clock_ = nullptr;
+  const CostModel* cost_ = nullptr;
+};
+
+}  // namespace nyx
+
+#endif  // SRC_NETEMU_NETEMU_H_

@@ -1,0 +1,56 @@
+#include "src/spec/spec.h"
+
+namespace nyx {
+
+int Spec::AddEdgeType(std::string name) {
+  edges_.push_back(EdgeTypeDef{std::move(name)});
+  return static_cast<int>(edges_.size() - 1);
+}
+
+int Spec::AddNodeType(NodeTypeDef def) {
+  nodes_.push_back(std::move(def));
+  return static_cast<int>(nodes_.size() - 1);
+}
+
+std::optional<int> Spec::FindNodeType(const std::string& name) const {
+  for (size_t i = 0; i < nodes_.size(); i++) {
+    if (nodes_[i].name == name) {
+      return static_cast<int>(i);
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<int> Spec::NodesWithSemantic(NodeSemantic semantic) const {
+  std::vector<int> out;
+  for (size_t i = 0; i < nodes_.size(); i++) {
+    if (nodes_[i].semantic == semantic) {
+      out.push_back(static_cast<int>(i));
+    }
+  }
+  return out;
+}
+
+Spec Spec::GenericNetwork() {
+  Spec s;
+  const int e_con = s.AddEdgeType("conn");
+  s.AddNodeType(NodeTypeDef{"connection", NodeSemantic::kConnection, {e_con}, {}, {},
+                            DataKind::kNone});
+  s.AddNodeType(
+      NodeTypeDef{"pkt", NodeSemantic::kPacket, {}, {e_con}, {}, DataKind::kBytes});
+  return s;
+}
+
+Spec Spec::MultiConnection() {
+  Spec s;
+  const int e_con = s.AddEdgeType("conn");
+  s.AddNodeType(NodeTypeDef{"connection", NodeSemantic::kConnection, {e_con}, {}, {},
+                            DataKind::kNone});
+  s.AddNodeType(
+      NodeTypeDef{"pkt", NodeSemantic::kPacket, {}, {e_con}, {}, DataKind::kBytes});
+  s.AddNodeType(
+      NodeTypeDef{"close", NodeSemantic::kClose, {}, {}, {e_con}, DataKind::kNone});
+  return s;
+}
+
+}  // namespace nyx

@@ -1,0 +1,91 @@
+// Specification engine: affine-typed opcode graphs (paper sections 2.2, 3.5).
+//
+// Nyx expresses interactive protocols as a set of opcodes ("nodes"). A node
+// may produce typed values ("outputs", e.g. a connection handle), borrow
+// values produced earlier, consume them (affine semantics — a closed
+// connection cannot be used again), and carry a data payload. Listing 1:
+//
+//   d_bytes = s.data_vec("bytes", s.data_u8("u8"))
+//   n_con   = s.node_type("connection", outputs=[e_con])
+//   n_pkt   = s.node_type("pkt", borrows=[e_con], d_bytes)
+//
+// The Spec below is the C++ analogue. The fuzzer auto-generates the bytecode
+// format, a bytecode VM and mutators from it (src/spec/program.h,
+// src/fuzz/mutator.h).
+
+#ifndef SRC_SPEC_SPEC_H_
+#define SRC_SPEC_SPEC_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace nyx {
+
+// How the execution engine interprets a node. kCustom nodes are handled by
+// the target's own opcode handler.
+enum class NodeSemantic : uint8_t {
+  kConnection,  // establish a new attack-surface connection
+  kPacket,      // deliver one packet on a borrowed connection
+  kClose,       // orderly close (consumes the connection)
+  kCustom,      // target-defined
+};
+
+enum class DataKind : uint8_t {
+  kNone,
+  kBytes,  // length-prefixed byte vector
+  kU8,
+  kU16,
+  kU32,
+};
+
+struct EdgeTypeDef {
+  std::string name;
+};
+
+struct NodeTypeDef {
+  std::string name;
+  NodeSemantic semantic = NodeSemantic::kCustom;
+  std::vector<int> outputs;   // edge type ids produced by this node
+  std::vector<int> borrows;   // edge type ids borrowed (still usable after)
+  std::vector<int> consumes;  // edge type ids consumed (affine: dead after)
+  DataKind data = DataKind::kNone;
+};
+
+// The opcode id reserved for the snapshot marker the fuzzer injects "at
+// arbitrary positions in the input bytecode" (section 4.3). It is not part
+// of any spec.
+inline constexpr uint8_t kSnapshotOpcode = 0xff;
+
+class Spec {
+ public:
+  int AddEdgeType(std::string name);
+  int AddNodeType(NodeTypeDef def);
+
+  size_t edge_type_count() const { return edges_.size(); }
+  size_t node_type_count() const { return nodes_.size(); }
+  const EdgeTypeDef& edge_type(int id) const { return edges_[id]; }
+  const NodeTypeDef& node_type(int id) const { return nodes_[id]; }
+  std::optional<int> FindNodeType(const std::string& name) const;
+
+  // Node type ids with a given semantic (used by mutators and policies).
+  std::vector<int> NodesWithSemantic(NodeSemantic semantic) const;
+
+  // The default specification used for network targets: "we usually hook the
+  // first connection established via a given port and address" and deliver
+  // raw packets to it.
+  static Spec GenericNetwork();
+
+  // A multi-connection variant (Listing 1): connection/pkt/close over an
+  // explicit connection handle, as needed by e.g. the Firefox IPC target.
+  static Spec MultiConnection();
+
+ private:
+  std::vector<EdgeTypeDef> edges_;
+  std::vector<NodeTypeDef> nodes_;
+};
+
+}  // namespace nyx
+
+#endif  // SRC_SPEC_SPEC_H_

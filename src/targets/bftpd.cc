@@ -1,0 +1,276 @@
+// bftpd analogue: a fuller-featured FTP server than lightftp.
+//
+// No seeded bug (no fuzzer crashes bftpd in the paper); its role in the
+// evaluation is coverage/throughput. Calibration: AFLNet ~4.2 execs/s,
+// Nyx-Net-none ~670/s (Table 3).
+
+#include <cstring>
+
+#include "src/targets/registry.h"
+#include "src/targets/textproto.h"
+
+namespace nyx {
+namespace {
+
+constexpr uint32_t kSite = 2000;
+constexpr uint16_t kPort = 2021;
+constexpr uint64_t kStartupNs = 120'000'000;
+constexpr uint64_t kRequestNs = 350'000;
+constexpr uint64_t kAflnetExtraNs = 115'000'000;
+
+struct State {
+  int listener;
+  int conn;
+  uint8_t logged_in;
+  uint8_t got_user;
+  uint8_t epsv_mode;
+  uint8_t xfer_mode;  // 0 = stream, 1 = block
+  uint8_t structure;  // 0 = file, 1 = record
+  uint32_t rest_offset;
+  char username[32];
+  char cwd[64];
+  LineBuffer rx;
+  char last_cmd[8];
+  uint32_t commands;
+  uint32_t uploads;
+};
+
+class Bftpd final : public Target {
+ public:
+  TargetInfo info() const override {
+    TargetInfo ti;
+    ti.name = "bftpd";
+    ti.port = kPort;
+    ti.split = SplitStrategy::kCrlf;
+    ti.desock_compatible = false;  // bftpd forks per connection
+    ti.startup_ns = kStartupNs;
+    ti.request_ns = kRequestNs;
+    ti.aflnet_extra_ns = kAflnetExtraNs;
+    ti.startup_dirty_pages = 10;
+    return ti;
+  }
+
+  void Init(GuestContext& ctx) override {
+    auto* st = ctx.State<State>();
+    memset(st, 0, sizeof(*st));
+    st->conn = -1;
+    strcpy(st->cwd, "/");
+    st->listener = ctx.net().Socket(SockKind::kStream);
+    ctx.net().Bind(st->listener, kPort);
+    ctx.net().Listen(st->listener, 8);
+    ctx.TouchScratch(10, 0x22);
+    ctx.Charge(kStartupNs);
+  }
+
+  void Step(GuestContext& ctx) override {
+    auto* st = ctx.State<State>();
+    for (;;) {
+      if (ctx.crash().crashed) {
+        return;
+      }
+      if (st->conn < 0) {
+        const int fd = ctx.net().Accept(st->listener);
+        if (fd < 0) {
+          return;
+        }
+        ctx.Cov(kSite + 0);
+        // bftpd forks a session child that inherits the connection.
+        const int child = ctx.net().ForkFdTable();
+        ctx.net().SetCurrentProcess(child);
+        st->conn = fd;
+        st->logged_in = 0;
+        st->got_user = 0;
+        st->rx.len = 0;
+        Reply(ctx, fd, "220 bftpd 4.6 at your service\r\n");
+      }
+      uint8_t buf[200];
+      const int n = ctx.net().Recv(st->conn, buf, sizeof(buf));
+      if (n == kErrAgain) {
+        return;
+      }
+      if (n <= 0) {
+        ctx.Cov(kSite + 1);
+        ctx.net().Close(st->conn);
+        ctx.net().ExitProcess(ctx.net().current_process());
+        ctx.net().SetCurrentProcess(0);
+        st->conn = -1;
+        continue;
+      }
+      st->rx.Push(buf, static_cast<uint32_t>(n));
+      char line[200];
+      while (st->rx.PopLine(line, sizeof(line))) {
+        Handle(ctx, st, line);
+        if (st->conn < 0 || ctx.crash().crashed) {
+          break;
+        }
+      }
+    }
+  }
+
+ private:
+  void Handle(GuestContext& ctx, State* st, const char* line) {
+    st->commands++;
+    ctx.Charge(kRequestNs + ctx.cost().per_byte_ns * strlen(line));
+    char verb[8];
+    const char* arg = nullptr;
+    SplitVerb(line, verb, sizeof(verb), &arg);
+    strncpy(st->last_cmd, verb, sizeof(st->last_cmd) - 1);
+    const int fd = st->conn;
+
+    if (ctx.CovBranch(strcmp(verb, "USER") == 0, kSite + 10)) {
+      strncpy(st->username, arg, sizeof(st->username) - 1);
+      st->got_user = 1;
+      Reply(ctx, fd, "331 Password please\r\n");
+      return;
+    }
+    if (ctx.CovBranch(strcmp(verb, "PASS") == 0, kSite + 12)) {
+      if (ctx.CovBranch(st->got_user == 0, kSite + 14)) {
+        Reply(ctx, fd, "503 USER first\r\n");
+      } else if (ctx.CovBranch(strcmp(st->username, "root") == 0, kSite + 16)) {
+        Reply(ctx, fd, "530 Root login not allowed\r\n");
+      } else {
+        st->logged_in = 1;
+        Reply(ctx, fd, "230 User logged in\r\n");
+      }
+      return;
+    }
+    if (ctx.CovBranch(strcmp(verb, "QUIT") == 0, kSite + 18)) {
+      Reply(ctx, fd, "221 Bye\r\n");
+      ctx.net().Close(st->conn);
+      st->conn = -1;
+      return;
+    }
+    if (ctx.CovBranch(strcmp(verb, "HELP") == 0, kSite + 20)) {
+      Reply(ctx, fd, "214-Commands:\r\n USER PASS QUIT HELP STAT\r\n214 End\r\n");
+      return;
+    }
+    if (ctx.CovBranch(strcmp(verb, "STAT") == 0, kSite + 22)) {
+      char msg[96];
+      snprintf(msg, sizeof(msg), "211-Status\r\n Commands: %u\r\n211 End\r\n", st->commands);
+      Reply(ctx, fd, msg);
+      return;
+    }
+    if (ctx.CovBranch(!st->logged_in, kSite + 24)) {
+      Reply(ctx, fd, "530 Login first\r\n");
+      return;
+    }
+
+    if (ctx.CovBranch(strcmp(verb, "CWD") == 0, kSite + 26)) {
+      if (ctx.CovBranch(strlen(arg) >= sizeof(st->cwd) - 1, kSite + 28)) {
+        Reply(ctx, fd, "550 Path too long\r\n");
+      } else {
+        strncpy(st->cwd, arg, sizeof(st->cwd) - 1);
+        Reply(ctx, fd, "250 OK\r\n");
+      }
+      return;
+    }
+    if (ctx.CovBranch(strcmp(verb, "CDUP") == 0, kSite + 30)) {
+      char* slash = strrchr(st->cwd, '/');
+      if (ctx.CovBranch(slash != nullptr && slash != st->cwd, kSite + 32)) {
+        *slash = '\0';
+      }
+      Reply(ctx, fd, "250 OK\r\n");
+      return;
+    }
+    if (ctx.CovBranch(strcmp(verb, "PWD") == 0 || strcmp(verb, "XPWD") == 0, kSite + 34)) {
+      char msg[96];
+      snprintf(msg, sizeof(msg), "257 \"%s\" is cwd\r\n", st->cwd);
+      Reply(ctx, fd, msg);
+      return;
+    }
+    if (ctx.CovBranch(strcmp(verb, "REST") == 0, kSite + 36)) {
+      uint32_t off = 0;
+      bool digits = arg[0] != '\0';
+      for (const char* p = arg; *p != '\0'; p++) {
+        if (*p < '0' || *p > '9') {
+          digits = false;
+          break;
+        }
+        off = off * 10 + static_cast<uint32_t>(*p - '0');
+      }
+      if (ctx.CovBranch(digits, kSite + 38)) {
+        st->rest_offset = off;
+        Reply(ctx, fd, "350 Restarting\r\n");
+      } else {
+        Reply(ctx, fd, "501 Bad offset\r\n");
+      }
+      return;
+    }
+    if (ctx.CovBranch(strcmp(verb, "MODE") == 0, kSite + 40)) {
+      if (ctx.CovBranch(arg[0] == 'S', kSite + 42)) {
+        st->xfer_mode = 0;
+        Reply(ctx, fd, "200 Stream mode\r\n");
+      } else if (ctx.CovBranch(arg[0] == 'B', kSite + 44)) {
+        st->xfer_mode = 1;
+        Reply(ctx, fd, "200 Block mode\r\n");
+      } else {
+        Reply(ctx, fd, "504 Bad mode\r\n");
+      }
+      return;
+    }
+    if (ctx.CovBranch(strcmp(verb, "STRU") == 0, kSite + 46)) {
+      if (ctx.CovBranch(arg[0] == 'F', kSite + 48)) {
+        st->structure = 0;
+        Reply(ctx, fd, "200 File structure\r\n");
+      } else if (ctx.CovBranch(arg[0] == 'R', kSite + 50)) {
+        st->structure = 1;
+        Reply(ctx, fd, "200 Record structure\r\n");
+      } else {
+        Reply(ctx, fd, "504 Bad structure\r\n");
+      }
+      return;
+    }
+    if (ctx.CovBranch(strcmp(verb, "EPSV") == 0, kSite + 52)) {
+      st->epsv_mode = 1;
+      Reply(ctx, fd, "229 Entering Extended Passive Mode (|||2048|)\r\n");
+      return;
+    }
+    if (ctx.CovBranch(strcmp(verb, "EPRT") == 0, kSite + 54)) {
+      // |1|ip|port|
+      if (ctx.CovBranch(arg[0] == '|' && (arg[1] == '1' || arg[1] == '2'), kSite + 56)) {
+        st->epsv_mode = 0;
+        Reply(ctx, fd, "200 EPRT OK\r\n");
+      } else {
+        Reply(ctx, fd, "501 Bad EPRT\r\n");
+      }
+      return;
+    }
+    if (ctx.CovBranch(strcmp(verb, "ALLO") == 0, kSite + 58)) {
+      Reply(ctx, fd, "202 No storage allocation needed\r\n");
+      return;
+    }
+    if (ctx.CovBranch(strcmp(verb, "APPE") == 0 || strcmp(verb, "STOR") == 0, kSite + 60)) {
+      if (ctx.CovBranch(arg[0] == '\0', kSite + 62)) {
+        Reply(ctx, fd, "501 Need filename\r\n");
+        return;
+      }
+      st->uploads++;
+      const char blob[] = "bftpd-data";
+      ctx.disk().WriteBytes(8192 + st->uploads * 512ull, blob, sizeof(blob) - 1);
+      Reply(ctx, fd, verb[0] == 'A' ? "226 Appended\r\n" : "226 Stored\r\n");
+      return;
+    }
+    if (ctx.CovBranch(strcmp(verb, "ABOR") == 0, kSite + 64)) {
+      Reply(ctx, fd, "226 Abort processed\r\n");
+      return;
+    }
+    if (ctx.CovBranch(strcmp(verb, "SITE") == 0, kSite + 66)) {
+      if (ctx.CovBranch(StartsWithNoCase(arg, "CHMOD"), kSite + 68)) {
+        Reply(ctx, fd, "200 CHMOD done\r\n");
+      } else if (ctx.CovBranch(StartsWithNoCase(arg, "IDLE"), kSite + 70)) {
+        Reply(ctx, fd, "200 IDLE set\r\n");
+      } else {
+        Reply(ctx, fd, "500 Unknown SITE\r\n");
+      }
+      return;
+    }
+    ctx.Cov(kSite + 72);
+    Reply(ctx, fd, "500 Unknown command\r\n");
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Target> MakeBftpd() { return std::make_unique<Bftpd>(); }
+
+}  // namespace nyx

@@ -1,0 +1,260 @@
+// dnsmasq analogue: a UDP DNS forwarder/parser.
+//
+// Seeded bug (found by every fuzzer in Table 1): an out-of-bounds read when
+// resolving DNS name-compression pointers that point past the end of the
+// datagram at nesting depth >= 2. The parser also exercises the usual DNS
+// surface: header fields, QTYPE/QCLASS dispatch, EDNS0 OPT records.
+
+#include <cstring>
+
+#include "src/targets/registry.h"
+#include "src/targets/textproto.h"
+
+namespace nyx {
+namespace {
+
+constexpr uint32_t kSite = 5000;
+constexpr uint16_t kPort = 5353;
+constexpr uint64_t kStartupNs = 220'000'000;
+constexpr uint64_t kRequestNs = 150'000;
+constexpr uint64_t kAflnetExtraNs = 80'000'000;
+
+struct State {
+  int sock;
+  uint32_t queries;
+  uint32_t cache_entries;
+  char cache_names[8][64];
+};
+
+class Dnsmasq final : public Target {
+ public:
+  TargetInfo info() const override {
+    TargetInfo ti;
+    ti.name = "dnsmasq";
+    ti.port = kPort;
+    ti.transport = SockKind::kDgram;
+    ti.split = SplitStrategy::kSegment;
+    ti.desock_compatible = true;  // ProFuzzBench's AFL++ setup runs dnsmasq
+    ti.startup_ns = kStartupNs;
+    ti.request_ns = kRequestNs;
+    ti.aflnet_extra_ns = kAflnetExtraNs;
+    ti.startup_dirty_pages = 24;
+    return ti;
+  }
+
+  void Init(GuestContext& ctx) override {
+    auto* st = ctx.State<State>();
+    memset(st, 0, sizeof(*st));
+    st->sock = ctx.net().Socket(SockKind::kDgram);
+    ctx.net().Bind(st->sock, kPort);
+    ctx.TouchScratch(24, 0x55);
+    ctx.Charge(kStartupNs);
+  }
+
+  void Step(GuestContext& ctx) override {
+    auto* st = ctx.State<State>();
+    for (;;) {
+      if (ctx.crash().crashed) {
+        return;
+      }
+      uint8_t pkt[512];
+      const int n = ctx.net().Recv(st->sock, pkt, sizeof(pkt));
+      if (n <= 0) {
+        return;
+      }
+      HandleQuery(ctx, st, pkt, static_cast<size_t>(n));
+    }
+  }
+
+ private:
+  // Resolves a (possibly compressed) DNS name starting at `off`. Writes the
+  // dotted name into `out`. Returns the offset after the name, or 0 on
+  // parse failure. `depth` counts compression-pointer indirections.
+  size_t ParseName(GuestContext& ctx, const uint8_t* pkt, size_t len, size_t off, char* out,
+                   size_t out_cap, int depth) {
+    size_t out_len = 0;
+    size_t end_after = 0;  // where parsing resumes after the first pointer
+    int hops = 0;
+    while (true) {
+      if (ctx.CovBranch(off >= len, kSite + 10)) {
+        return 0;
+      }
+      const uint8_t label_len = pkt[off];
+      if (ctx.CovBranch(label_len == 0, kSite + 12)) {
+        off++;
+        break;
+      }
+      if (ctx.CovBranch((label_len & 0xc0) == 0xc0, kSite + 14)) {
+        // Compression pointer.
+        if (ctx.CovBranch(off + 1 >= len, kSite + 16)) {
+          return 0;
+        }
+        const size_t ptr = (static_cast<size_t>(label_len & 0x3f) << 8) | pkt[off + 1];
+        if (end_after == 0) {
+          end_after = off + 2;
+        }
+        hops++;
+        if (ctx.CovBranch(hops >= 2, kSite + 18)) {
+          // The buggy fast path skips the bounds check on nested pointers:
+          // the original code trusted that a pointer target inside the
+          // message implies the labels there are in bounds.
+          if (ctx.CovBranch(ptr >= len, kSite + 20)) {
+            // Out-of-bounds read past the datagram (Table 1: every fuzzer
+            // finds this one).
+            ctx.Crash(kCrashDnsmasqOobRead, "oob-read-compression-pointer");
+            return 0;
+          }
+        } else if (ctx.CovBranch(ptr >= len, kSite + 22)) {
+          return 0;  // first hop is checked correctly
+        }
+        if (ctx.CovBranch(hops > 8, kSite + 24)) {
+          return 0;  // pointer loop guard
+        }
+        off = ptr;
+        continue;
+      }
+      if (ctx.CovBranch((label_len & 0xc0) != 0, kSite + 26)) {
+        return 0;  // reserved label types
+      }
+      if (ctx.CovBranch(off + 1 + label_len > len, kSite + 28)) {
+        return 0;
+      }
+      for (uint8_t i = 0; i < label_len && out_len + 2 < out_cap; i++) {
+        out[out_len++] = static_cast<char>(pkt[off + 1 + i]);
+      }
+      if (out_len + 1 < out_cap) {
+        out[out_len++] = '.';
+      }
+      off += 1ull + label_len;
+    }
+    out[out_len] = '\0';
+    return end_after != 0 ? end_after : off;
+  }
+
+  void HandleQuery(GuestContext& ctx, State* st, const uint8_t* pkt, size_t len) {
+    st->queries++;
+    ctx.Charge(kRequestNs + ctx.cost().per_byte_ns * len);
+    if (ctx.CovBranch(len < 12, kSite + 30)) {
+      return;  // runt datagram
+    }
+    const uint16_t id = static_cast<uint16_t>(pkt[0] << 8 | pkt[1]);
+    const uint8_t flags_hi = pkt[2];
+    if (ctx.CovBranch((flags_hi & 0x80) != 0, kSite + 32)) {
+      return;  // response bit set on a query: drop
+    }
+    const uint8_t opcode = (flags_hi >> 3) & 0x0f;
+    if (ctx.CovBranch(opcode != 0, kSite + 34)) {
+      ctx.Cov(kSite + 36 + (opcode & 3));
+      SendRcode(ctx, st, id, 4);  // NOTIMP
+      return;
+    }
+    const uint16_t qdcount = static_cast<uint16_t>(pkt[4] << 8 | pkt[5]);
+    const uint16_t arcount = static_cast<uint16_t>(pkt[10] << 8 | pkt[11]);
+    if (ctx.CovBranch(qdcount == 0, kSite + 40)) {
+      SendRcode(ctx, st, id, 1);  // FORMERR
+      return;
+    }
+    if (ctx.CovBranch(qdcount > 1, kSite + 42)) {
+      SendRcode(ctx, st, id, 1);
+      return;
+    }
+
+    char name[128];
+    size_t off = ParseName(ctx, pkt, len, 12, name, sizeof(name), 0);
+    if (ctx.CovBranch(off == 0, kSite + 44)) {
+      SendRcode(ctx, st, id, 1);
+      return;
+    }
+    if (ctx.CovBranch(off + 4 > len, kSite + 46)) {
+      SendRcode(ctx, st, id, 1);
+      return;
+    }
+    const uint16_t qtype = static_cast<uint16_t>(pkt[off] << 8 | pkt[off + 1]);
+    const uint16_t qclass = static_cast<uint16_t>(pkt[off + 2] << 8 | pkt[off + 3]);
+    off += 4;
+
+    if (ctx.CovBranch(qclass != 1 && qclass != 255, kSite + 48)) {
+      SendRcode(ctx, st, id, 5);  // REFUSED for non-IN
+      return;
+    }
+
+    // EDNS0 OPT in the additional section.
+    if (ctx.CovBranch(arcount > 0 && off < len, kSite + 50)) {
+      if (ctx.CovBranch(pkt[off] == 0 && off + 11 <= len, kSite + 52)) {
+        const uint16_t opt_type = static_cast<uint16_t>(pkt[off + 1] << 8 | pkt[off + 2]);
+        if (ctx.CovBranch(opt_type == 41, kSite + 54)) {
+          ctx.Cov(kSite + 56);  // EDNS0 accepted
+        }
+      }
+    }
+
+    switch (qtype) {
+      case 1:  // A
+        ctx.Cov(kSite + 60);
+        CacheInsert(ctx, st, name);
+        SendAnswer(ctx, st, id, 4);
+        break;
+      case 28:  // AAAA
+        ctx.Cov(kSite + 62);
+        CacheInsert(ctx, st, name);
+        SendAnswer(ctx, st, id, 16);
+        break;
+      case 12:  // PTR
+        ctx.Cov(kSite + 64);
+        SendAnswer(ctx, st, id, 8);
+        break;
+      case 15:  // MX
+        ctx.Cov(kSite + 66);
+        SendAnswer(ctx, st, id, 10);
+        break;
+      case 16:  // TXT
+        ctx.Cov(kSite + 68);
+        SendAnswer(ctx, st, id, 32);
+        break;
+      case 255:  // ANY
+        ctx.Cov(kSite + 70);
+        SendRcode(ctx, st, id, 5);
+        break;
+      default:
+        ctx.Cov(kSite + 72);
+        SendRcode(ctx, st, id, 3);  // NXDOMAIN
+        break;
+    }
+  }
+
+  void CacheInsert(GuestContext& ctx, State* st, const char* name) {
+    for (auto& slot : st->cache_names) {
+      if (strncmp(slot, name, sizeof(slot)) == 0) {
+        ctx.Cov(kSite + 74);  // cache hit
+        return;
+      }
+    }
+    strncpy(st->cache_names[st->cache_entries % 8], name, 63);
+    st->cache_entries++;
+  }
+
+  void SendRcode(GuestContext& ctx, State* st, uint16_t id, uint8_t rcode) {
+    uint8_t resp[12] = {};
+    resp[0] = static_cast<uint8_t>(id >> 8);
+    resp[1] = static_cast<uint8_t>(id);
+    resp[2] = 0x80;
+    resp[3] = rcode;
+    ctx.net().Send(st->sock, resp, sizeof(resp));
+  }
+
+  void SendAnswer(GuestContext& ctx, State* st, uint16_t id, uint8_t rdlen) {
+    uint8_t resp[32] = {};
+    resp[0] = static_cast<uint8_t>(id >> 8);
+    resp[1] = static_cast<uint8_t>(id);
+    resp[2] = 0x80;
+    resp[7] = 1;  // ANCOUNT
+    resp[12] = rdlen;
+    ctx.net().Send(st->sock, resp, sizeof(resp));
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Target> MakeDnsmasq() { return std::make_unique<Dnsmasq>(); }
+
+}  // namespace nyx

@@ -1,0 +1,329 @@
+// exim analogue: an SMTP server (MTA) — the second bug only Nyx-Net found
+// in ProFuzzBench (Table 1).
+//
+// Bug mechanics: during the DATA phase, header lines get rewritten into a
+// fixed 64-byte heap buffer. For "X-"-prefixed headers the rewrite path
+// trusts the post-colon length and copies it with GuestContext::HeapWrite.
+// Triggering the overflow needs a complete EHLO -> MAIL FROM -> RCPT TO ->
+// DATA session plus a long X- header *in its own packet*, i.e. at least
+// five correctly-bounded messages deep. Coverage exposes a length-bucket
+// gradient so high-throughput fuzzers climb toward it; the AFL-based tools'
+// single-digit exec rates can't get there within the campaign budget, and
+// the desock transport can't run exim at all (AFL++ n/a).
+
+#include <cstring>
+
+#include "src/targets/registry.h"
+#include "src/targets/textproto.h"
+
+namespace nyx {
+namespace {
+
+constexpr uint32_t kSite = 6000;
+constexpr uint16_t kPort = 2525;
+constexpr uint64_t kStartupNs = 14'000'000;
+constexpr uint64_t kRequestNs = 600'000;
+constexpr uint64_t kAflnetExtraNs = 190'000'000;
+
+enum SmtpPhase : uint8_t {
+  kPhaseStart = 0,
+  kPhaseGreeted,
+  kPhaseMail,
+  kPhaseRcpt,
+  kPhaseData,
+};
+
+struct State {
+  int listener;
+  int conn;
+  uint8_t phase;
+  uint8_t esmtp;  // EHLO vs HELO
+  uint32_t rcpt_count;
+  uint32_t declared_size;
+  char sender[64];
+  LineBuffer rx;
+  uint64_t header_buf;  // guest heap allocation used by the rewrite path
+  uint32_t messages_accepted;
+};
+
+class Exim final : public Target {
+ public:
+  TargetInfo info() const override {
+    TargetInfo ti;
+    ti.name = "exim";
+    ti.port = kPort;
+    ti.split = SplitStrategy::kCrlf;
+    ti.desock_compatible = false;  // n/a for AFL++ in Tables 1-3
+    ti.startup_ns = kStartupNs;
+    ti.request_ns = kRequestNs;
+    ti.aflnet_extra_ns = kAflnetExtraNs;
+    ti.startup_dirty_pages = 12;
+    return ti;
+  }
+
+  void Init(GuestContext& ctx) override {
+    auto* st = ctx.State<State>();
+    memset(st, 0, sizeof(*st));
+    st->conn = -1;
+    st->listener = ctx.net().Socket(SockKind::kStream);
+    ctx.net().Bind(st->listener, kPort);
+    ctx.net().Listen(st->listener, 8);
+    st->header_buf = ctx.Malloc(64);
+    // Neighbouring allocation so a 64-byte overflow has something to smash.
+    ctx.Malloc(32);
+    ctx.TouchScratch(12, 0x88);
+    ctx.Charge(kStartupNs);
+  }
+
+  void Step(GuestContext& ctx) override {
+    auto* st = ctx.State<State>();
+    for (;;) {
+      if (ctx.crash().crashed) {
+        return;
+      }
+      if (st->conn < 0) {
+        const int fd = ctx.net().Accept(st->listener);
+        if (fd < 0) {
+          return;
+        }
+        ctx.Cov(kSite + 0);
+        st->conn = fd;
+        st->phase = kPhaseStart;
+        st->rx.len = 0;
+        Reply(ctx, fd, "220 mail.example ESMTP Exim 4.96\r\n");
+      }
+      uint8_t buf[300];
+      const int n = ctx.net().Recv(st->conn, buf, sizeof(buf));
+      if (n == kErrAgain) {
+        return;
+      }
+      if (n <= 0) {
+        ctx.Cov(kSite + 1);
+        ctx.net().Close(st->conn);
+        st->conn = -1;
+        continue;
+      }
+      st->rx.Push(buf, static_cast<uint32_t>(n));
+      char line[300];
+      while (st->rx.PopLine(line, sizeof(line))) {
+        if (st->phase == kPhaseData) {
+          HandleDataLine(ctx, st, line);
+        } else {
+          HandleCommand(ctx, st, line);
+        }
+        if (st->conn < 0 || ctx.crash().crashed) {
+          break;
+        }
+      }
+    }
+  }
+
+ private:
+  void HandleCommand(GuestContext& ctx, State* st, const char* line) {
+    ctx.Charge(kRequestNs + ctx.cost().per_byte_ns * strlen(line));
+    char verb[8];
+    const char* arg = nullptr;
+    SplitVerb(line, verb, sizeof(verb), &arg);
+    const int fd = st->conn;
+
+    if (ctx.CovBranch(strcmp(verb, "EHLO") == 0, kSite + 10)) {
+      st->phase = kPhaseGreeted;
+      st->esmtp = 1;
+      Reply(ctx, fd, "250-mail.example Hello\r\n250-SIZE 52428800\r\n250-8BITMIME\r\n250 HELP\r\n");
+      return;
+    }
+    if (ctx.CovBranch(strcmp(verb, "HELO") == 0, kSite + 12)) {
+      st->phase = kPhaseGreeted;
+      st->esmtp = 0;
+      Reply(ctx, fd, "250 mail.example Hello\r\n");
+      return;
+    }
+    if (ctx.CovBranch(strcmp(verb, "QUIT") == 0, kSite + 14)) {
+      Reply(ctx, fd, "221 mail.example closing connection\r\n");
+      ctx.net().Close(st->conn);
+      st->conn = -1;
+      return;
+    }
+    if (ctx.CovBranch(strcmp(verb, "RSET") == 0, kSite + 16)) {
+      if (st->phase > kPhaseGreeted) {
+        st->phase = kPhaseGreeted;
+      }
+      st->rcpt_count = 0;
+      Reply(ctx, fd, "250 Reset OK\r\n");
+      return;
+    }
+    if (ctx.CovBranch(strcmp(verb, "NOOP") == 0, kSite + 18)) {
+      Reply(ctx, fd, "250 OK\r\n");
+      return;
+    }
+    if (ctx.CovBranch(strcmp(verb, "VRFY") == 0, kSite + 20)) {
+      Reply(ctx, fd, "252 Cannot VRFY user\r\n");
+      return;
+    }
+    if (ctx.CovBranch(strcmp(verb, "MAIL") == 0, kSite + 22)) {
+      if (ctx.CovBranch(st->phase != kPhaseGreeted, kSite + 24)) {
+        Reply(ctx, fd, "503 EHLO/HELO first\r\n");
+        return;
+      }
+      if (ctx.CovBranch(!StartsWithNoCase(arg, "FROM:"), kSite + 26)) {
+        Reply(ctx, fd, "501 Syntax: MAIL FROM:<address>\r\n");
+        return;
+      }
+      const char* addr = arg + 5;
+      while (*addr == ' ') {
+        addr++;
+      }
+      if (ctx.CovBranch(*addr != '<', kSite + 28)) {
+        Reply(ctx, fd, "501 Missing <\r\n");
+        return;
+      }
+      const char* close = strchr(addr, '>');
+      if (ctx.CovBranch(close == nullptr, kSite + 30)) {
+        Reply(ctx, fd, "501 Missing >\r\n");
+        return;
+      }
+      const size_t alen =
+          static_cast<size_t>(close - addr - 1) < sizeof(st->sender) - 1
+              ? static_cast<size_t>(close - addr - 1)
+              : sizeof(st->sender) - 1;
+      memcpy(st->sender, addr + 1, alen);
+      st->sender[alen] = '\0';
+      // ESMTP parameters after the address.
+      const char* params = close + 1;
+      st->declared_size = 0;
+      while (*params == ' ') {
+        params++;
+      }
+      if (ctx.CovBranch(*params != '\0', kSite + 32)) {
+        if (ctx.CovBranch(!st->esmtp, kSite + 34)) {
+          Reply(ctx, fd, "501 No parameters allowed after HELO\r\n");
+          return;
+        }
+        if (ctx.CovBranch(StartsWithNoCase(params, "SIZE="), kSite + 36)) {
+          for (const char* p = params + 5; *p >= '0' && *p <= '9'; p++) {
+            st->declared_size = st->declared_size * 10 + static_cast<uint32_t>(*p - '0');
+          }
+          if (ctx.CovBranch(st->declared_size > 52428800, kSite + 38)) {
+            Reply(ctx, fd, "552 Message size exceeds limit\r\n");
+            return;
+          }
+        } else if (ctx.CovBranch(StartsWithNoCase(params, "BODY="), kSite + 40)) {
+          ctx.Cov(kSite + 42);
+        } else {
+          Reply(ctx, fd, "555 Unsupported parameter\r\n");
+          return;
+        }
+      }
+      st->phase = kPhaseMail;
+      Reply(ctx, fd, "250 OK\r\n");
+      return;
+    }
+    if (ctx.CovBranch(strcmp(verb, "RCPT") == 0, kSite + 44)) {
+      if (ctx.CovBranch(st->phase != kPhaseMail && st->phase != kPhaseRcpt, kSite + 46)) {
+        Reply(ctx, fd, "503 MAIL first\r\n");
+        return;
+      }
+      if (ctx.CovBranch(!StartsWithNoCase(arg, "TO:"), kSite + 48)) {
+        Reply(ctx, fd, "501 Syntax: RCPT TO:<address>\r\n");
+        return;
+      }
+      st->rcpt_count++;
+      if (ctx.CovBranch(st->rcpt_count > 50, kSite + 50)) {
+        Reply(ctx, fd, "452 Too many recipients\r\n");
+        return;
+      }
+      st->phase = kPhaseRcpt;
+      Reply(ctx, fd, "250 Accepted\r\n");
+      return;
+    }
+    if (ctx.CovBranch(strcmp(verb, "DATA") == 0, kSite + 52)) {
+      if (ctx.CovBranch(st->phase != kPhaseRcpt, kSite + 54)) {
+        Reply(ctx, fd, "503 RCPT first\r\n");
+        return;
+      }
+      st->phase = kPhaseData;
+      Reply(ctx, fd, "354 Enter message, ending with \".\"\r\n");
+      return;
+    }
+    ctx.Cov(kSite + 56);
+    Reply(ctx, fd, "500 Command unrecognized\r\n");
+  }
+
+  void HandleDataLine(GuestContext& ctx, State* st, const char* line) {
+    ctx.Charge(ctx.cost().per_byte_ns * (strlen(line) + 2));
+    const int fd = st->conn;
+    if (ctx.CovBranch(strcmp(line, ".") == 0, kSite + 60)) {
+      st->messages_accepted++;
+      // Spool the message to disk (rolled back by the snapshot layer).
+      ctx.disk().WriteBytes(16384 + st->messages_accepted * 512ull, st->sender,
+                            strlen(st->sender));
+      st->phase = kPhaseGreeted;
+      st->rcpt_count = 0;
+      Reply(ctx, fd, "250 Message accepted for delivery\r\n");
+      return;
+    }
+    // Header rewriting: only before the first empty line; we approximate by
+    // rewriting every "Name: value" line.
+    const char* colon = strchr(line, ':');
+    if (ctx.CovBranch(colon != nullptr, kSite + 62)) {
+      const size_t value_len = strlen(colon + 1);
+      // Length-bucket gradient toward the overflow.
+      if (ctx.CovBranch(value_len > 16, kSite + 64)) {
+        ctx.Cov(kSite + 65);
+      }
+      if (ctx.CovBranch(value_len > 32, kSite + 66)) {
+        ctx.Cov(kSite + 67);
+      }
+      if (ctx.CovBranch(value_len > 48, kSite + 68)) {
+        ctx.Cov(kSite + 69);
+      }
+      if (ctx.CovBranch(line[0] == 'X' && line[1] == '-', kSite + 70)) {
+        // The vulnerable rewrite only engages for address-form values:
+        // "X-Envelope-To: <user@host>"-style headers get their angle-bracket
+        // address re-qualified. Each syntactic requirement is a real branch.
+        const char* v = colon + 1;
+        while (*v == ' ') {
+          v++;
+        }
+        // The buggy path is the *wildcard* address rewrite: "*@domain"
+        // router patterns get expanded and re-qualified. '*' never appears
+        // in ordinary mail traffic, so plain havoc rarely synthesizes it; a
+        // spec-aware mutator with a protocol token dictionary climbs this
+        // ladder of real parser branches quickly.
+        const bool has_star = ctx.CovBranch(strchr(v, '*') != nullptr, kSite + 100);
+        const bool wildcard = ctx.CovBranch(has_star && v[0] == '*', kSite + 102);
+        const char* at_pos = strchr(v, '@');
+        const bool at = ctx.CovBranch(wildcard && at_pos != nullptr, kSite + 104);
+        // Full catch-all pattern "*@*": wildcard local part AND wildcard
+        // domain — the router entry whose expansion is broken.
+        const bool catch_all =
+            ctx.CovBranch(at && strchr(at_pos + 1, '*') != nullptr, kSite + 106);
+        if (catch_all) {
+          // Address normalization copies in 8-byte chunks; each chunk is a
+          // real loop iteration and coverage site — the gradient a
+          // coverage-guided fuzzer climbs toward the overflow.
+          for (uint32_t chunk = 0; chunk * 8 < value_len && chunk < 10; chunk++) {
+            ctx.Cov(kSite + 110 + chunk);
+          }
+          // The buggy rewrite: copies the rewritten address into the fixed
+          // 64-byte header buffer without checking (Nyx-Net-only crash in
+          // Table 1). The copy tramples the allocator metadata behind the
+          // buffer, so it aborts immediately with or without ASan.
+          if (ctx.CovBranch(value_len > 64, kSite + 71)) {
+            ctx.Crash(kCrashEximHeaderOverflow, "heap-overflow-header-rewrite");
+            return;
+          }
+          ctx.HeapWrite(st->header_buf, 0, colon + 1, static_cast<uint32_t>(value_len));
+        }
+      } else if (ctx.CovBranch(value_len < 64, kSite + 72)) {
+        ctx.HeapWrite(st->header_buf, 0, colon + 1, static_cast<uint32_t>(value_len));
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Target> MakeExim() { return std::make_unique<Exim>(); }
+
+}  // namespace nyx

@@ -1,0 +1,289 @@
+// Firefox IPC analogue (case study, paper section 5.6).
+//
+// Models the parent process's IPC endpoint: multiple concurrent connections
+// (content processes), an actor registry, typed messages routed to actors,
+// and actor construction/destruction over the wire. The seeded bug is the
+// class Nyx-Net found: a message routed to an actor that was already
+// destroyed dereferences the stale actor pointer (one of the "three bugs
+// [that] were only null pointer dereferences (which are still regarded as
+// high severity)").
+//
+// Fuzzing this target uses Spec::MultiConnection() — "we extended the agent
+// to find the relevant sockets and to allow the agent to talk to multiple
+// connections at the same time".
+
+#include <cstring>
+
+#include "src/targets/registry.h"
+#include "src/targets/textproto.h"
+
+namespace nyx {
+namespace {
+
+constexpr uint32_t kSite = 16000;
+constexpr uint16_t kPort = 9222;
+constexpr uint64_t kStartupNs = 400'000'000;  // a browser boot is heavy
+constexpr uint64_t kRequestNs = 800'000;
+constexpr uint64_t kAflnetExtraNs = 900'000'000;
+
+constexpr uint32_t kMsgConstructor = 1;
+constexpr uint32_t kMsgDeleteActor = 2;
+constexpr uint32_t kMsgPContent = 3;
+constexpr uint32_t kMsgPWindow = 4;
+constexpr uint32_t kMsgPNecko = 5;
+constexpr uint32_t kMsgSync = 6;
+
+struct Actor {
+  uint32_t id;
+  uint32_t kind;
+  uint8_t alive;
+  uint8_t constructed_on_conn;
+};
+
+struct Channel {
+  int fd;  // -1 = free slot
+  uint8_t buf[1024];
+  uint32_t buf_len;
+};
+
+struct State {
+  int listener;
+  Channel channels[4];
+  Actor actors[16];
+  uint32_t next_actor_id;
+  uint32_t messages;
+};
+
+class FirefoxIpc final : public Target {
+ public:
+  TargetInfo info() const override {
+    TargetInfo ti;
+    ti.name = "firefox-ipc";
+    ti.port = kPort;
+    ti.split = SplitStrategy::kSegment;
+    ti.desock_compatible = false;  // many sockets at once
+    ti.startup_ns = kStartupNs;
+    ti.request_ns = kRequestNs;
+    ti.aflnet_extra_ns = kAflnetExtraNs;
+    ti.startup_dirty_pages = 64;
+    return ti;
+  }
+
+  void Init(GuestContext& ctx) override {
+    auto* st = ctx.State<State>();
+    memset(st, 0, sizeof(*st));
+    st->listener = ctx.net().Socket(SockKind::kStream);
+    ctx.net().Bind(st->listener, kPort);
+    ctx.net().Listen(st->listener, 8);
+    for (auto& ch : st->channels) {
+      ch.fd = -1;
+    }
+    st->next_actor_id = 1;
+    // Preallocated root actors (PContent is always alive).
+    st->actors[0] = Actor{0, kMsgPContent, 1, 0};
+    ctx.TouchScratch(64, 0xf2);
+    ctx.Charge(kStartupNs);
+  }
+
+  void Step(GuestContext& ctx) override {
+    auto* st = ctx.State<State>();
+    bool progress = true;
+    while (progress && !ctx.crash().crashed) {
+      progress = false;
+      // Accept new content-process channels.
+      for (;;) {
+        const int fd = ctx.net().Accept(st->listener);
+        if (fd < 0) {
+          break;
+        }
+        ctx.Cov(kSite + 0);
+        bool placed = false;
+        for (auto& ch : st->channels) {
+          if (ch.fd < 0) {
+            ch.fd = fd;
+            ch.buf_len = 0;
+            placed = true;
+            break;
+          }
+        }
+        if (ctx.CovBranch(!placed, kSite + 2)) {
+          ctx.net().Close(fd);  // too many content processes
+        }
+        progress = true;
+      }
+      // Service every channel.
+      for (auto& ch : st->channels) {
+        if (ch.fd < 0) {
+          continue;
+        }
+        uint8_t chunk[256];
+        const int n = ctx.net().Recv(ch.fd, chunk, sizeof(chunk));
+        if (n == kErrAgain) {
+          continue;
+        }
+        if (n <= 0) {
+          ctx.Cov(kSite + 4);
+          ctx.net().Close(ch.fd);
+          ch.fd = -1;
+          progress = true;
+          continue;
+        }
+        const uint32_t space = sizeof(ch.buf) - ch.buf_len;
+        const uint32_t take =
+            static_cast<uint32_t>(n) < space ? static_cast<uint32_t>(n) : space;
+        memcpy(ch.buf + ch.buf_len, chunk, take);
+        ch.buf_len += take;
+        DrainChannel(ctx, st, ch);
+        progress = true;
+        if (ctx.crash().crashed) {
+          return;
+        }
+      }
+    }
+  }
+
+ private:
+  Actor* FindActor(State* st, uint32_t id) {
+    for (auto& a : st->actors) {
+      if (a.id == id) {
+        return &a;
+      }
+    }
+    return nullptr;
+  }
+
+  void DrainChannel(GuestContext& ctx, State* st, Channel& ch) {
+    // Messages: [actor u32le][type u32le][len u32le][payload].
+    while (!ctx.crash().crashed) {
+      if (ch.buf_len < 12) {
+        return;
+      }
+      uint32_t actor_id;
+      uint32_t type;
+      uint32_t len;
+      memcpy(&actor_id, ch.buf, 4);
+      memcpy(&type, ch.buf + 4, 4);
+      memcpy(&len, ch.buf + 8, 4);
+      if (ctx.CovBranch(len > sizeof(ch.buf) - 12, kSite + 10)) {
+        // Oversized message: kill the content process (it is misbehaving).
+        ctx.net().Close(ch.fd);
+        ch.fd = -1;
+        return;
+      }
+      if (12 + len > ch.buf_len) {
+        return;
+      }
+      ctx.Charge(kRequestNs + ctx.cost().per_byte_ns * len);
+      HandleMessage(ctx, st, ch, actor_id, type, ch.buf + 12, len);
+      if (ch.fd < 0) {
+        return;
+      }
+      memmove(ch.buf, ch.buf + 12 + len, ch.buf_len - 12 - len);
+      ch.buf_len -= 12 + len;
+    }
+  }
+
+  void HandleMessage(GuestContext& ctx, State* st, Channel& ch, uint32_t actor_id,
+                     uint32_t type, const uint8_t* payload, uint32_t len) {
+    st->messages++;
+    if (ctx.CovBranch(type == kMsgConstructor, kSite + 12)) {
+      // Construct a sub-actor: payload[0] = kind.
+      if (ctx.CovBranch(len < 1, kSite + 14)) {
+        return;
+      }
+      const uint8_t kind = payload[0];
+      if (ctx.CovBranch(kind != kMsgPWindow && kind != kMsgPNecko, kSite + 16)) {
+        ctx.Cov(kSite + 18);
+        return;  // unknown protocol: ignored
+      }
+      for (auto& a : st->actors) {
+        if (!a.alive && a.id == 0 && &a != &st->actors[0]) {
+          a.id = st->next_actor_id++;
+          a.kind = kind;
+          a.alive = 1;
+          // Reply with the new actor id.
+          uint8_t reply[16] = {};
+          memcpy(reply, &a.id, 4);
+          ctx.net().Send(ch.fd, reply, sizeof(reply));
+          return;
+        }
+      }
+      // Reuse dead slots.
+      for (auto& a : st->actors) {
+        if (!a.alive && &a != &st->actors[0]) {
+          ctx.Cov(kSite + 20);
+          a.id = st->next_actor_id++;
+          a.kind = kind;
+          a.alive = 1;
+          uint8_t reply[16] = {};
+          memcpy(reply, &a.id, 4);
+          ctx.net().Send(ch.fd, reply, sizeof(reply));
+          return;
+        }
+      }
+      ctx.Cov(kSite + 22);  // actor table full
+      return;
+    }
+
+    Actor* actor = FindActor(st, actor_id);
+    if (ctx.CovBranch(actor == nullptr, kSite + 24)) {
+      // Unknown routing id: the real router kills the sender.
+      ctx.net().Close(ch.fd);
+      ch.fd = -1;
+      return;
+    }
+
+    if (ctx.CovBranch(type == kMsgDeleteActor, kSite + 26)) {
+      if (ctx.CovBranch(actor_id == 0, kSite + 28)) {
+        return;  // the root actor cannot be deleted
+      }
+      // BUG SETUP: __delete__ marks the actor dead but keeps the routing
+      // entry until the (asynchronous) ack — the window the crash needs.
+      actor->alive = 0;
+      return;
+    }
+
+    // Message to an actor.
+    if (ctx.CovBranch(!actor->alive, kSite + 30)) {
+      // NULL-deref class bug: the handler fetches the actor's vtable
+      // through the stale pointer (section 5.6/5.7: "our three bugs were
+      // only null pointer dereferences").
+      ctx.Crash(kCrashFirefoxIpcNullDeref, "null-deref-destroyed-actor");
+      return;
+    }
+
+    switch (actor->kind) {
+      case kMsgPContent:
+        ctx.Cov(kSite + 32);
+        if (ctx.CovBranch(type == kMsgSync, kSite + 34)) {
+          uint8_t reply[8] = {0x51};
+          ctx.net().Send(ch.fd, reply, sizeof(reply));
+        } else if (ctx.CovBranch(type == kMsgPContent, kSite + 36)) {
+          ctx.Cov(kSite + 38);
+        }
+        return;
+      case kMsgPWindow:
+        ctx.Cov(kSite + 40);
+        if (ctx.CovBranch(len >= 4 && memcmp(payload, "nav:", 4) == 0, kSite + 42)) {
+          ctx.Cov(kSite + 44);  // navigation message
+        }
+        return;
+      case kMsgPNecko:
+        ctx.Cov(kSite + 46);
+        if (ctx.CovBranch(len >= 4 && memcmp(payload, "http", 4) == 0, kSite + 48)) {
+          uint8_t reply[4] = {200};
+          ctx.net().Send(ch.fd, reply, sizeof(reply));
+        }
+        return;
+      default:
+        ctx.Cov(kSite + 50);
+        return;
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Target> MakeFirefoxIpc() { return std::make_unique<FirefoxIpc>(); }
+
+}  // namespace nyx

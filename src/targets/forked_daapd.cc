@@ -1,0 +1,213 @@
+// forked-daapd analogue: a DAAP (iTunes-style) media server over HTTP.
+//
+// The slowest target in ProFuzzBench by far (0.4 execs/s for AFLNet, 13/s
+// for Nyx-Net-none): huge startup (library scan, database open) and heavy
+// per-request work. It forks a worker per connection. No seeded bug.
+
+#include <cstdio>
+#include <cstring>
+
+#include "src/targets/registry.h"
+#include "src/targets/textproto.h"
+
+namespace nyx {
+namespace {
+
+constexpr uint32_t kSite = 8000;
+constexpr uint16_t kPort = 3689;
+constexpr uint64_t kStartupNs = 830'000'000;
+constexpr uint64_t kRequestNs = 25'000'000;
+constexpr uint64_t kAflnetExtraNs = 1'600'000'000;
+
+struct State {
+  int listener;
+  int conn;
+  uint32_t session_id;
+  uint8_t logged_in;
+  LineBuffer rx;
+  char request_line[256];
+  uint8_t in_headers;
+  uint32_t db_queries;
+};
+
+class ForkedDaapd final : public Target {
+ public:
+  TargetInfo info() const override {
+    TargetInfo ti;
+    ti.name = "forked-daapd";
+    ti.port = kPort;
+    ti.split = SplitStrategy::kCrlf;
+    ti.desock_compatible = true;  // ProFuzzBench's AFL++ setup runs it
+    ti.startup_ns = kStartupNs;
+    ti.request_ns = kRequestNs;
+    ti.aflnet_extra_ns = kAflnetExtraNs;
+    ti.startup_dirty_pages = 48;
+    return ti;
+  }
+
+  void Init(GuestContext& ctx) override {
+    auto* st = ctx.State<State>();
+    memset(st, 0, sizeof(*st));
+    st->conn = -1;
+    st->listener = ctx.net().Socket(SockKind::kStream);
+    ctx.net().Bind(st->listener, kPort);
+    ctx.net().Listen(st->listener, 4);
+    // Media library scan: populates a large cache (many dirty pages).
+    ctx.TouchScratch(48, 0xaa);
+    ctx.disk().WriteBytes(0, "songs.db", 8);
+    ctx.Charge(kStartupNs);
+  }
+
+  void Step(GuestContext& ctx) override {
+    auto* st = ctx.State<State>();
+    for (;;) {
+      if (ctx.crash().crashed) {
+        return;
+      }
+      if (st->conn < 0) {
+        const int fd = ctx.net().Accept(st->listener);
+        if (fd < 0) {
+          return;
+        }
+        ctx.Cov(kSite + 0);
+        const int worker = ctx.net().ForkFdTable();
+        ctx.net().SetCurrentProcess(worker);
+        st->conn = fd;
+        st->rx.len = 0;
+        st->request_line[0] = '\0';
+        st->in_headers = 0;
+      }
+      uint8_t buf[300];
+      const int n = ctx.net().Recv(st->conn, buf, sizeof(buf));
+      if (n == kErrAgain) {
+        return;
+      }
+      if (n <= 0) {
+        ctx.Cov(kSite + 1);
+        ctx.net().Close(st->conn);
+        ctx.net().ExitProcess(ctx.net().current_process());
+        ctx.net().SetCurrentProcess(0);
+        st->conn = -1;
+        continue;
+      }
+      st->rx.Push(buf, static_cast<uint32_t>(n));
+      char line[300];
+      while (st->rx.PopLine(line, sizeof(line))) {
+        if (!st->in_headers) {
+          strncpy(st->request_line, line, sizeof(st->request_line) - 1);
+          st->in_headers = 1;
+        } else if (line[0] == '\0') {
+          HandleRequest(ctx, st);
+          st->in_headers = 0;
+          st->request_line[0] = '\0';
+        } else {
+          // Header line: User-Agent gates some DAAP quirks.
+          if (ctx.CovBranch(StartsWithNoCase(line, "User-Agent:"), kSite + 2)) {
+            if (ctx.CovBranch(strstr(line, "iTunes") != nullptr, kSite + 3)) {
+              ctx.Cov(kSite + 4);
+            }
+          }
+        }
+        if (st->conn < 0 || ctx.crash().crashed) {
+          break;
+        }
+      }
+    }
+  }
+
+ private:
+  void HandleRequest(GuestContext& ctx, State* st) {
+    ctx.Charge(kRequestNs);
+    const int fd = st->conn;
+    char verb[8];
+    const char* path = nullptr;
+    SplitVerb(st->request_line, verb, sizeof(verb), &path);
+
+    if (ctx.CovBranch(strcmp(verb, "GET") != 0, kSite + 10)) {
+      Reply(ctx, fd, "HTTP/1.1 405 Method Not Allowed\r\n\r\n");
+      return;
+    }
+    char url[128];
+    size_t u = 0;
+    while (path[u] != '\0' && path[u] != ' ' && u < sizeof(url) - 1) {
+      url[u] = path[u];
+      u++;
+    }
+    url[u] = '\0';
+
+    if (ctx.CovBranch(strcmp(url, "/server-info") == 0, kSite + 12)) {
+      Reply(ctx, fd,
+            "HTTP/1.1 200 OK\r\nContent-Type: application/x-dmap-tagged\r\n\r\nmsrv");
+      return;
+    }
+    if (ctx.CovBranch(strcmp(url, "/content-codes") == 0, kSite + 14)) {
+      Reply(ctx, fd, "HTTP/1.1 200 OK\r\n\r\nmccr");
+      return;
+    }
+    if (ctx.CovBranch(strcmp(url, "/login") == 0, kSite + 16)) {
+      st->logged_in = 1;
+      st->session_id = 0xdaa9;
+      Reply(ctx, fd, "HTTP/1.1 200 OK\r\n\r\nmlog-sessionid-0xdaa9");
+      return;
+    }
+    if (ctx.CovBranch(strncmp(url, "/logout", 7) == 0, kSite + 18)) {
+      st->logged_in = 0;
+      Reply(ctx, fd, "HTTP/1.1 204 No Content\r\n\r\n");
+      return;
+    }
+    if (ctx.CovBranch(strncmp(url, "/update", 7) == 0, kSite + 20)) {
+      Reply(ctx, fd, st->logged_in ? "HTTP/1.1 200 OK\r\n\r\nmupd"
+                                   : "HTTP/1.1 403 Forbidden\r\n\r\n");
+      return;
+    }
+    if (ctx.CovBranch(strncmp(url, "/databases", 10) == 0, kSite + 22)) {
+      if (ctx.CovBranch(!st->logged_in, kSite + 24)) {
+        Reply(ctx, fd, "HTTP/1.1 403 Forbidden\r\n\r\n");
+        return;
+      }
+      st->db_queries++;
+      // Sub-resource dispatch: /databases/1/items, /containers, /browse.
+      const char* sub = url + 10;
+      if (ctx.CovBranch(strncmp(sub, "/1/items", 8) == 0, kSite + 26)) {
+        // DAAP query parameter parsing: ?query=('dmap.itemname:*x*').
+        const char* q = strchr(sub, '?');
+        if (ctx.CovBranch(q != nullptr && strncmp(q, "?query=", 7) == 0, kSite + 28)) {
+          if (ctx.CovBranch(strchr(q, '(') != nullptr && strchr(q, ')') != nullptr,
+                            kSite + 30)) {
+            ctx.Cov(kSite + 32);
+          } else {
+            Reply(ctx, fd, "HTTP/1.1 400 Bad Query\r\n\r\n");
+            return;
+          }
+        }
+        Reply(ctx, fd, "HTTP/1.1 200 OK\r\n\r\nadbs-items");
+        return;
+      }
+      if (ctx.CovBranch(strncmp(sub, "/1/containers", 13) == 0, kSite + 34)) {
+        Reply(ctx, fd, "HTTP/1.1 200 OK\r\n\r\naply");
+        return;
+      }
+      if (ctx.CovBranch(strncmp(sub, "/1/browse/", 10) == 0, kSite + 36)) {
+        const char* what = sub + 10;
+        if (ctx.CovBranch(strncmp(what, "artists", 7) == 0, kSite + 38)) {
+          Reply(ctx, fd, "HTTP/1.1 200 OK\r\n\r\nabar");
+        } else if (ctx.CovBranch(strncmp(what, "albums", 6) == 0, kSite + 40)) {
+          Reply(ctx, fd, "HTTP/1.1 200 OK\r\n\r\nabal");
+        } else {
+          Reply(ctx, fd, "HTTP/1.1 404 Not Found\r\n\r\n");
+        }
+        return;
+      }
+      Reply(ctx, fd, "HTTP/1.1 200 OK\r\n\r\navdb");
+      return;
+    }
+    ctx.Cov(kSite + 42);
+    Reply(ctx, fd, "HTTP/1.1 404 Not Found\r\n\r\n");
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Target> MakeForkedDaapd() { return std::make_unique<ForkedDaapd>(); }
+
+}  // namespace nyx

@@ -1,0 +1,383 @@
+// kamailio analogue: a SIP proxy/registrar over UDP.
+//
+// Kamailio is the largest parser in ProFuzzBench (7222 branches for AFLNet,
+// +47% for Nyx-Net — the biggest coverage win in Table 2). Accordingly this
+// target has the deepest parsing surface here: request-line and method
+// dispatch, SIP URIs with parameters, Via/From/To/CSeq/Contact/Expires
+// headers, and a registrar binding table. No seeded bug.
+
+#include <cstdio>
+#include <cstring>
+
+#include "src/targets/registry.h"
+#include "src/targets/textproto.h"
+
+namespace nyx {
+namespace {
+
+constexpr uint32_t kSite = 9000;
+constexpr uint16_t kPort = 5060;
+constexpr uint64_t kStartupNs = 100'000'000;
+constexpr uint64_t kRequestNs = 1'100'000;
+constexpr uint64_t kAflnetExtraNs = 140'000'000;
+
+struct Binding {
+  char aor[48];
+  char contact[48];
+  uint32_t expires;
+  uint8_t used;
+};
+
+struct State {
+  int sock;
+  uint32_t requests;
+  Binding bindings[8];
+  uint32_t dialogs;
+};
+
+struct SipUri {
+  char user[32];
+  char host[48];
+  uint16_t port;
+  uint8_t has_lr;
+  uint8_t has_transport;
+  uint8_t valid;
+};
+
+class Kamailio final : public Target {
+ public:
+  TargetInfo info() const override {
+    TargetInfo ti;
+    ti.name = "kamailio";
+    ti.port = kPort;
+    ti.transport = SockKind::kDgram;
+    ti.split = SplitStrategy::kSegment;
+    ti.desock_compatible = false;  // multi-socket UDP dispatcher
+    ti.startup_ns = kStartupNs;
+    ti.request_ns = kRequestNs;
+    ti.aflnet_extra_ns = kAflnetExtraNs;
+    ti.startup_dirty_pages = 32;
+    return ti;
+  }
+
+  void Init(GuestContext& ctx) override {
+    auto* st = ctx.State<State>();
+    memset(st, 0, sizeof(*st));
+    st->sock = ctx.net().Socket(SockKind::kDgram);
+    ctx.net().Bind(st->sock, kPort);
+    ctx.TouchScratch(32, 0x77);
+    ctx.Charge(kStartupNs);
+  }
+
+  void Step(GuestContext& ctx) override {
+    auto* st = ctx.State<State>();
+    for (;;) {
+      if (ctx.crash().crashed) {
+        return;
+      }
+      uint8_t pkt[1024];
+      const int n = ctx.net().Recv(st->sock, pkt, sizeof(pkt));
+      if (n <= 0) {
+        return;
+      }
+      HandleMessage(ctx, st, reinterpret_cast<const char*>(pkt), static_cast<size_t>(n));
+    }
+  }
+
+ private:
+  // Parses "sip:user@host:port;params". Heavy branching on purpose — this is
+  // where kamailio's parser depth lives.
+  SipUri ParseUri(GuestContext& ctx, const char* s, size_t len) {
+    SipUri uri = {};
+    size_t p = 0;
+    if (ctx.CovBranch(len >= 4 && strncmp(s, "sip:", 4) == 0, kSite + 100)) {
+      p = 4;
+    } else if (ctx.CovBranch(len >= 5 && strncmp(s, "sips:", 5) == 0, kSite + 102)) {
+      p = 5;
+      ctx.Cov(kSite + 104);
+    } else {
+      return uri;  // invalid scheme
+    }
+    // user part (up to '@', optional)
+    size_t at = len;
+    for (size_t i = p; i < len; i++) {
+      if (s[i] == '@') {
+        at = i;
+        break;
+      }
+      if (s[i] == ';' || s[i] == '>') {
+        break;
+      }
+    }
+    if (ctx.CovBranch(at < len, kSite + 106)) {
+      size_t ul = at - p < sizeof(uri.user) - 1 ? at - p : sizeof(uri.user) - 1;
+      memcpy(uri.user, s + p, ul);
+      uri.user[ul] = '\0';
+      p = at + 1;
+      // Escaped characters in the user part.
+      for (size_t i = 0; i < ul; i++) {
+        if (ctx.CovBranch(uri.user[i] == '%', kSite + 108)) {
+          break;
+        }
+      }
+    }
+    // host
+    size_t h = 0;
+    while (p < len && s[p] != ':' && s[p] != ';' && s[p] != '>' && s[p] != ' ' &&
+           h < sizeof(uri.host) - 1) {
+      uri.host[h++] = s[p++];
+    }
+    uri.host[h] = '\0';
+    if (ctx.CovBranch(h == 0, kSite + 110)) {
+      return uri;
+    }
+    if (ctx.CovBranch(uri.host[0] == '[', kSite + 112)) {
+      ctx.Cov(kSite + 114);  // IPv6 reference
+    }
+    // port
+    if (ctx.CovBranch(p < len && s[p] == ':', kSite + 116)) {
+      p++;
+      uint32_t port = 0;
+      bool digits = false;
+      while (p < len && s[p] >= '0' && s[p] <= '9') {
+        port = port * 10 + static_cast<uint32_t>(s[p] - '0');
+        digits = true;
+        p++;
+      }
+      if (ctx.CovBranch(!digits || port > 65535, kSite + 118)) {
+        return uri;
+      }
+      uri.port = static_cast<uint16_t>(port);
+    }
+    // parameters
+    while (ctx.CovBranch(p < len && s[p] == ';', kSite + 120)) {
+      p++;
+      const size_t param_start = p;
+      while (p < len && s[p] != ';' && s[p] != '>' && s[p] != ' ' && s[p] != '=') {
+        p++;
+      }
+      const size_t plen = p - param_start;
+      if (ctx.CovBranch(plen == 2 && strncmp(s + param_start, "lr", 2) == 0, kSite + 122)) {
+        uri.has_lr = 1;
+      } else if (ctx.CovBranch(plen == 9 && strncmp(s + param_start, "transport", 9) == 0,
+                               kSite + 124)) {
+        uri.has_transport = 1;
+      } else if (ctx.CovBranch(plen == 4 && strncmp(s + param_start, "user", 4) == 0,
+                               kSite + 126)) {
+        ctx.Cov(kSite + 128);
+      }
+      // skip value
+      if (p < len && s[p] == '=') {
+        p++;
+        while (p < len && s[p] != ';' && s[p] != '>' && s[p] != ' ') {
+          p++;
+        }
+      }
+    }
+    uri.valid = 1;
+    return uri;
+  }
+
+  // Finds a header (case-insensitive) and copies its value.
+  bool GetHeader(GuestContext& ctx, const char* msg, size_t len, const char* name, char* out,
+                 size_t out_cap, uint32_t site) {
+    const size_t name_len = strlen(name);
+    size_t line_start = 0;
+    for (size_t i = 0; i + 1 < len; i++) {
+      if (msg[i] == '\r' && msg[i + 1] == '\n') {
+        const size_t line_len = i - line_start;
+        if (line_len > name_len && msg[line_start + name_len] == ':' &&
+            StartsWithNoCase(std::string_view(msg + line_start, name_len), name)) {
+          ctx.Cov(site);
+          size_t v = line_start + name_len + 1;
+          while (v < i && msg[v] == ' ') {
+            v++;
+          }
+          const size_t vlen = i - v < out_cap - 1 ? i - v : out_cap - 1;
+          memcpy(out, msg + v, vlen);
+          out[vlen] = '\0';
+          return true;
+        }
+        line_start = i + 2;
+        i++;
+      }
+    }
+    return false;
+  }
+
+  void HandleMessage(GuestContext& ctx, State* st, const char* msg, size_t len) {
+    st->requests++;
+    ctx.Charge(kRequestNs + ctx.cost().per_byte_ns * len);
+    if (ctx.CovBranch(len < 16, kSite + 10)) {
+      return;
+    }
+    // Responses (status lines) are absorbed.
+    if (ctx.CovBranch(strncmp(msg, "SIP/2.0 ", 8) == 0, kSite + 12)) {
+      return;
+    }
+
+    // Request line: METHOD SP URI SP SIP/2.0
+    char method[16];
+    size_t m = 0;
+    while (m < len && m < sizeof(method) - 1 && msg[m] != ' ') {
+      method[m] = msg[m];
+      m++;
+    }
+    method[m] = '\0';
+    if (ctx.CovBranch(m == len || m == 0, kSite + 14)) {
+      Respond(ctx, st, 400, "Bad Request-Line");
+      return;
+    }
+    const size_t uri_start = m + 1;
+    size_t uri_end = uri_start;
+    while (uri_end < len && msg[uri_end] != ' ' && msg[uri_end] != '\r') {
+      uri_end++;
+    }
+    if (ctx.CovBranch(uri_end + 9 > len || strncmp(msg + uri_end, " SIP/2.0", 8) != 0,
+                      kSite + 16)) {
+      Respond(ctx, st, 400, "Bad Version");
+      return;
+    }
+    SipUri ruri = ParseUri(ctx, msg + uri_start, uri_end - uri_start);
+    if (ctx.CovBranch(!ruri.valid, kSite + 18)) {
+      Respond(ctx, st, 416, "Unsupported URI Scheme");
+      return;
+    }
+
+    // Mandatory headers.
+    char via[128];
+    char from[128];
+    char to[128];
+    char cseq[64];
+    char callid[64];
+    const bool has_via = GetHeader(ctx, msg, len, "Via", via, sizeof(via), kSite + 20);
+    const bool has_from = GetHeader(ctx, msg, len, "From", from, sizeof(from), kSite + 22);
+    const bool has_to = GetHeader(ctx, msg, len, "To", to, sizeof(to), kSite + 24);
+    const bool has_cseq = GetHeader(ctx, msg, len, "CSeq", cseq, sizeof(cseq), kSite + 26);
+    const bool has_callid =
+        GetHeader(ctx, msg, len, "Call-ID", callid, sizeof(callid), kSite + 28);
+    if (ctx.CovBranch(!has_via || !has_from || !has_to || !has_cseq || !has_callid,
+                      kSite + 30)) {
+      Respond(ctx, st, 400, "Missing Required Header");
+      return;
+    }
+    // Via must name SIP/2.0/UDP or TCP.
+    if (ctx.CovBranch(!StartsWithNoCase(via, "SIP/2.0/"), kSite + 32)) {
+      Respond(ctx, st, 400, "Bad Via");
+      return;
+    }
+    if (ctx.CovBranch(StartsWithNoCase(via + 8, "UDP"), kSite + 34)) {
+      ctx.Cov(kSite + 36);
+    } else if (ctx.CovBranch(StartsWithNoCase(via + 8, "TCP"), kSite + 38)) {
+      ctx.Cov(kSite + 40);
+    }
+    // CSeq: digits SP METHOD.
+    uint32_t cseq_num = 0;
+    size_t c = 0;
+    while (cseq[c] >= '0' && cseq[c] <= '9') {
+      cseq_num = cseq_num * 10 + static_cast<uint32_t>(cseq[c] - '0');
+      c++;
+    }
+    if (ctx.CovBranch(c == 0 || cseq[c] != ' ', kSite + 42)) {
+      Respond(ctx, st, 400, "Bad CSeq");
+      return;
+    }
+
+    if (ctx.CovBranch(strcmp(method, "REGISTER") == 0, kSite + 50)) {
+      char contact[96];
+      char expires[16];
+      const bool has_contact =
+          GetHeader(ctx, msg, len, "Contact", contact, sizeof(contact), kSite + 52);
+      uint32_t exp = 3600;
+      if (GetHeader(ctx, msg, len, "Expires", expires, sizeof(expires), kSite + 54)) {
+        exp = 0;
+        for (char* p = expires; *p >= '0' && *p <= '9'; p++) {
+          exp = exp * 10 + static_cast<uint32_t>(*p - '0');
+        }
+      }
+      if (ctx.CovBranch(!has_contact, kSite + 56)) {
+        Respond(ctx, st, 400, "Missing Contact");
+        return;
+      }
+      if (ctx.CovBranch(exp == 0, kSite + 58)) {
+        // De-registration.
+        for (auto& b : st->bindings) {
+          if (b.used && strncmp(b.aor, to, sizeof(b.aor)) == 0) {
+            ctx.Cov(kSite + 60);
+            b.used = 0;
+          }
+        }
+        Respond(ctx, st, 200, "OK (unbound)");
+        return;
+      }
+      for (auto& b : st->bindings) {
+        if (!b.used) {
+          b.used = 1;
+          strncpy(b.aor, to, sizeof(b.aor) - 1);
+          strncpy(b.contact, contact, sizeof(b.contact) - 1);
+          b.expires = exp;
+          Respond(ctx, st, 200, "OK (bound)");
+          return;
+        }
+      }
+      ctx.Cov(kSite + 62);
+      Respond(ctx, st, 503, "Binding Table Full");
+      return;
+    }
+    if (ctx.CovBranch(strcmp(method, "INVITE") == 0, kSite + 64)) {
+      for (const auto& b : st->bindings) {
+        if (b.used && strstr(to, b.aor) != nullptr) {
+          ctx.Cov(kSite + 66);
+          st->dialogs++;
+          Respond(ctx, st, 180, "Ringing");
+          Respond(ctx, st, 200, "OK");
+          return;
+        }
+      }
+      Respond(ctx, st, 404, "Not Found");
+      return;
+    }
+    if (ctx.CovBranch(strcmp(method, "ACK") == 0, kSite + 68)) {
+      return;  // ACKs are absorbed
+    }
+    if (ctx.CovBranch(strcmp(method, "BYE") == 0, kSite + 70)) {
+      if (ctx.CovBranch(st->dialogs > 0, kSite + 72)) {
+        st->dialogs--;
+        Respond(ctx, st, 200, "OK");
+      } else {
+        Respond(ctx, st, 481, "Call/Transaction Does Not Exist");
+      }
+      return;
+    }
+    if (ctx.CovBranch(strcmp(method, "OPTIONS") == 0, kSite + 74)) {
+      Respond(ctx, st, 200, "OK (capabilities)");
+      return;
+    }
+    if (ctx.CovBranch(strcmp(method, "CANCEL") == 0, kSite + 76)) {
+      Respond(ctx, st, 487, "Request Terminated");
+      return;
+    }
+    if (ctx.CovBranch(strcmp(method, "SUBSCRIBE") == 0, kSite + 78)) {
+      Respond(ctx, st, 489, "Bad Event");
+      return;
+    }
+    if (ctx.CovBranch(strcmp(method, "MESSAGE") == 0, kSite + 80)) {
+      Respond(ctx, st, 202, "Accepted");
+      return;
+    }
+    ctx.Cov(kSite + 82);
+    Respond(ctx, st, 501, "Method Not Implemented");
+  }
+
+  void Respond(GuestContext& ctx, State* st, int code, const char* reason) {
+    char msg[128];
+    snprintf(msg, sizeof(msg), "SIP/2.0 %d %s\r\n\r\n", code, reason);
+    ctx.net().Send(st->sock, msg, strlen(msg));
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Target> MakeKamailio() { return std::make_unique<Kamailio>(); }
+
+}  // namespace nyx

@@ -1,0 +1,359 @@
+// lightftp analogue: a small single-connection FTP server.
+//
+// ProFuzzBench's LightFTP is the smallest FTP target (352 branches found by
+// AFLNet in Table 2). This re-implementation covers the usual command set
+// with an anonymous-login state machine, a tiny in-memory VFS backed by the
+// emulated block device, and no seeded bugs (no fuzzer crashes lightftp in
+// the paper).
+
+#include <cstring>
+
+#include "src/targets/registry.h"
+#include "src/targets/textproto.h"
+
+namespace nyx {
+namespace {
+
+constexpr uint32_t kSite = 1000;
+constexpr uint16_t kPort = 2121;
+constexpr uint64_t kStartupNs = 65'000'000;
+constexpr uint64_t kRequestNs = 100'000;
+
+struct VfsFile {
+  char name[32];
+  uint32_t size;      // bytes stored on the block device
+  uint32_t disk_off;  // offset on the emulated disk
+  uint8_t used;
+};
+
+struct State {
+  int listener;
+  int conn;
+  uint8_t logged_in;
+  uint8_t got_user;
+  uint8_t passive_mode;
+  uint8_t type_binary;
+  char username[32];
+  char cwd[64];
+  char rename_from[32];
+  LineBuffer rx;
+  VfsFile files[8];
+  uint32_t disk_brk;
+  uint32_t commands_handled;
+};
+
+class LightFtp final : public Target {
+ public:
+  TargetInfo info() const override {
+    TargetInfo ti;
+    ti.name = "lightftp";
+    ti.port = kPort;
+    ti.transport = SockKind::kStream;
+    ti.split = SplitStrategy::kCrlf;
+    ti.desock_compatible = true;
+    // Calibration (Table 3): AFL++ reaches ~14 execs/s on lightftp, so a
+    // cold start costs ~65ms; Nyx-Net-none reaches ~1500/s with ~5-packet
+    // seeds, so a request costs ~100us.
+    ti.startup_ns = kStartupNs;
+    ti.request_ns = kRequestNs;
+    ti.aflnet_extra_ns = 95'000'000;
+    ti.startup_dirty_pages = 6;
+    return ti;
+  }
+
+  void Init(GuestContext& ctx) override {
+    auto* st = ctx.State<State>();
+    memset(st, 0, sizeof(*st));
+    st->conn = -1;
+    strcpy(st->cwd, "/");
+    st->disk_brk = 4096;
+    st->listener = ctx.net().Socket(SockKind::kStream);
+    ctx.net().Bind(st->listener, kPort);
+    ctx.net().Listen(st->listener, 4);
+    ctx.TouchScratch(6, 0x11);
+    ctx.Charge(kStartupNs);
+  }
+
+  void Step(GuestContext& ctx) override {
+    auto* st = ctx.State<State>();
+    for (;;) {
+      if (ctx.crash().crashed) {
+        return;
+      }
+      if (st->conn < 0) {
+        const int fd = ctx.net().Accept(st->listener);
+        if (fd < 0) {
+          return;
+        }
+        ctx.Cov(kSite + 0);
+        st->conn = fd;
+        st->logged_in = 0;
+        st->got_user = 0;
+        st->rx.len = 0;
+        Reply(ctx, fd, "220 LightFTP server ready\r\n");
+      }
+      uint8_t buf[256];
+      const int n = ctx.net().Recv(st->conn, buf, sizeof(buf));
+      if (n == kErrAgain) {
+        return;
+      }
+      if (n <= 0) {
+        ctx.Cov(kSite + 1);
+        ctx.net().Close(st->conn);
+        st->conn = -1;
+        continue;
+      }
+      st->rx.Push(buf, static_cast<uint32_t>(n));
+      char line[256];
+      while (st->rx.PopLine(line, sizeof(line))) {
+        HandleCommand(ctx, st, line);
+        if (st->conn < 0 || ctx.crash().crashed) {
+          break;
+        }
+      }
+    }
+  }
+
+ private:
+  VfsFile* FindFile(State* st, const char* name) {
+    for (auto& f : st->files) {
+      if (f.used && strncmp(f.name, name, sizeof(f.name)) == 0) {
+        return &f;
+      }
+    }
+    return nullptr;
+  }
+
+  void HandleCommand(GuestContext& ctx, State* st, const char* line) {
+    st->commands_handled++;
+    ctx.Charge(kRequestNs + ctx.cost().per_byte_ns * strlen(line));
+    char verb[8];
+    const char* arg = nullptr;
+    SplitVerb(line, verb, sizeof(verb), &arg);
+    const int fd = st->conn;
+
+    if (ctx.CovBranch(strcmp(verb, "USER") == 0, kSite + 10)) {
+      if (ctx.CovBranch(arg[0] == '\0', kSite + 12)) {
+        Reply(ctx, fd, "501 Syntax error\r\n");
+        return;
+      }
+      strncpy(st->username, arg, sizeof(st->username) - 1);
+      st->got_user = 1;
+      if (ctx.CovBranch(strcmp(arg, "anonymous") == 0, kSite + 14)) {
+        Reply(ctx, fd, "331 Anonymous ok, send email as password\r\n");
+      } else {
+        Reply(ctx, fd, "331 Password required\r\n");
+      }
+      return;
+    }
+    if (ctx.CovBranch(strcmp(verb, "PASS") == 0, kSite + 16)) {
+      if (ctx.CovBranch(!st->got_user, kSite + 18)) {
+        Reply(ctx, fd, "503 Login with USER first\r\n");
+        return;
+      }
+      st->logged_in = 1;
+      ctx.Cov(kSite + 20);
+      Reply(ctx, fd, "230 Logged in\r\n");
+      return;
+    }
+    if (ctx.CovBranch(strcmp(verb, "QUIT") == 0, kSite + 22)) {
+      Reply(ctx, fd, "221 Goodbye\r\n");
+      ctx.net().Close(st->conn);
+      st->conn = -1;
+      return;
+    }
+    if (ctx.CovBranch(strcmp(verb, "SYST") == 0, kSite + 24)) {
+      Reply(ctx, fd, "215 UNIX Type: L8\r\n");
+      return;
+    }
+    if (ctx.CovBranch(strcmp(verb, "FEAT") == 0, kSite + 26)) {
+      Reply(ctx, fd, "211-Features:\r\n SIZE\r\n PASV\r\n211 End\r\n");
+      return;
+    }
+    if (ctx.CovBranch(strcmp(verb, "NOOP") == 0, kSite + 28)) {
+      Reply(ctx, fd, "200 OK\r\n");
+      return;
+    }
+    if (ctx.CovBranch(!st->logged_in, kSite + 30)) {
+      Reply(ctx, fd, "530 Not logged in\r\n");
+      return;
+    }
+
+    if (ctx.CovBranch(strcmp(verb, "PWD") == 0, kSite + 32)) {
+      char msg[96];
+      snprintf(msg, sizeof(msg), "257 \"%s\"\r\n", st->cwd);
+      Reply(ctx, fd, msg);
+      return;
+    }
+    if (ctx.CovBranch(strcmp(verb, "CWD") == 0, kSite + 34)) {
+      if (ctx.CovBranch(arg[0] == '/', kSite + 36)) {
+        strncpy(st->cwd, arg, sizeof(st->cwd) - 1);
+        st->cwd[sizeof(st->cwd) - 1] = '\0';
+        Reply(ctx, fd, "250 OK\r\n");
+      } else if (ctx.CovBranch(strcmp(arg, "..") == 0, kSite + 38)) {
+        char* slash = strrchr(st->cwd, '/');
+        if (slash != nullptr && slash != st->cwd) {
+          *slash = '\0';
+        } else {
+          strcpy(st->cwd, "/");
+        }
+        Reply(ctx, fd, "250 OK\r\n");
+      } else if (ctx.CovBranch(strlen(st->cwd) + strlen(arg) + 2 < sizeof(st->cwd),
+                               kSite + 40)) {
+        if (st->cwd[strlen(st->cwd) - 1] != '/') {
+          strcat(st->cwd, "/");
+        }
+        strcat(st->cwd, arg);
+        Reply(ctx, fd, "250 OK\r\n");
+      } else {
+        Reply(ctx, fd, "550 Path too long\r\n");
+      }
+      return;
+    }
+    if (ctx.CovBranch(strcmp(verb, "TYPE") == 0, kSite + 42)) {
+      if (ctx.CovBranch(arg[0] == 'I', kSite + 44)) {
+        st->type_binary = 1;
+        Reply(ctx, fd, "200 Binary\r\n");
+      } else if (ctx.CovBranch(arg[0] == 'A', kSite + 46)) {
+        st->type_binary = 0;
+        Reply(ctx, fd, "200 ASCII\r\n");
+      } else {
+        Reply(ctx, fd, "504 Unknown type\r\n");
+      }
+      return;
+    }
+    if (ctx.CovBranch(strcmp(verb, "PASV") == 0, kSite + 48)) {
+      st->passive_mode = 1;
+      Reply(ctx, fd, "227 Entering Passive Mode (127,0,0,1,8,0)\r\n");
+      return;
+    }
+    if (ctx.CovBranch(strcmp(verb, "PORT") == 0, kSite + 50)) {
+      // Parse h1,h2,h3,h4,p1,p2.
+      int commas = 0;
+      for (const char* p = arg; *p != '\0'; p++) {
+        commas += *p == ',' ? 1 : 0;
+      }
+      if (ctx.CovBranch(commas == 5, kSite + 52)) {
+        st->passive_mode = 0;
+        Reply(ctx, fd, "200 PORT OK\r\n");
+      } else {
+        Reply(ctx, fd, "501 Bad PORT\r\n");
+      }
+      return;
+    }
+    if (ctx.CovBranch(strcmp(verb, "STOR") == 0, kSite + 54)) {
+      if (ctx.CovBranch(arg[0] == '\0', kSite + 56)) {
+        Reply(ctx, fd, "501 Need filename\r\n");
+        return;
+      }
+      VfsFile* slot = FindFile(st, arg);
+      if (slot == nullptr) {
+        for (auto& f : st->files) {
+          if (!f.used) {
+            slot = &f;
+            break;
+          }
+        }
+      }
+      if (ctx.CovBranch(slot == nullptr, kSite + 58)) {
+        Reply(ctx, fd, "452 Disk full\r\n");
+        return;
+      }
+      slot->used = 1;
+      strncpy(slot->name, arg, sizeof(slot->name) - 1);
+      slot->disk_off = st->disk_brk;
+      const char content[] = "uploaded";
+      slot->size = sizeof(content) - 1;
+      // A real write to the emulated disk: the snapshot layer must roll this
+      // back (what AFLNet needs cleanup scripts for).
+      ctx.disk().WriteBytes(slot->disk_off, content, slot->size);
+      st->disk_brk += 512;
+      Reply(ctx, fd, "226 Stored\r\n");
+      return;
+    }
+    if (ctx.CovBranch(strcmp(verb, "RETR") == 0, kSite + 60)) {
+      VfsFile* f = FindFile(st, arg);
+      if (ctx.CovBranch(f == nullptr, kSite + 62)) {
+        Reply(ctx, fd, "550 No such file\r\n");
+        return;
+      }
+      char content[64];
+      const uint32_t n = f->size < sizeof(content) ? f->size : sizeof(content);
+      ctx.disk().ReadBytes(f->disk_off, content, n);
+      ctx.net().Send(fd, content, n);
+      Reply(ctx, fd, "226 Transfer complete\r\n");
+      return;
+    }
+    if (ctx.CovBranch(strcmp(verb, "SIZE") == 0, kSite + 64)) {
+      VfsFile* f = FindFile(st, arg);
+      if (ctx.CovBranch(f == nullptr, kSite + 66)) {
+        Reply(ctx, fd, "550 No such file\r\n");
+      } else {
+        char msg[32];
+        snprintf(msg, sizeof(msg), "213 %u\r\n", f->size);
+        Reply(ctx, fd, msg);
+      }
+      return;
+    }
+    if (ctx.CovBranch(strcmp(verb, "DELE") == 0, kSite + 68)) {
+      VfsFile* f = FindFile(st, arg);
+      if (ctx.CovBranch(f != nullptr, kSite + 70)) {
+        f->used = 0;
+        Reply(ctx, fd, "250 Deleted\r\n");
+      } else {
+        Reply(ctx, fd, "550 No such file\r\n");
+      }
+      return;
+    }
+    if (ctx.CovBranch(strcmp(verb, "MKD") == 0, kSite + 72)) {
+      Reply(ctx, fd, arg[0] != '\0' ? "257 Created\r\n" : "501 Need dirname\r\n");
+      return;
+    }
+    if (ctx.CovBranch(strcmp(verb, "RMD") == 0, kSite + 74)) {
+      Reply(ctx, fd, "250 Removed\r\n");
+      return;
+    }
+    if (ctx.CovBranch(strcmp(verb, "RNFR") == 0, kSite + 76)) {
+      strncpy(st->rename_from, arg, sizeof(st->rename_from) - 1);
+      Reply(ctx, fd, "350 Ready for RNTO\r\n");
+      return;
+    }
+    if (ctx.CovBranch(strcmp(verb, "RNTO") == 0, kSite + 78)) {
+      if (ctx.CovBranch(st->rename_from[0] == '\0', kSite + 80)) {
+        Reply(ctx, fd, "503 RNFR first\r\n");
+        return;
+      }
+      VfsFile* f = FindFile(st, st->rename_from);
+      if (ctx.CovBranch(f != nullptr, kSite + 82)) {
+        strncpy(f->name, arg, sizeof(f->name) - 1);
+        Reply(ctx, fd, "250 Renamed\r\n");
+      } else {
+        Reply(ctx, fd, "550 No such file\r\n");
+      }
+      st->rename_from[0] = '\0';
+      return;
+    }
+    if (ctx.CovBranch(strcmp(verb, "LIST") == 0, kSite + 84)) {
+      char msg[256] = "150 Listing\r\n";
+      for (const auto& f : st->files) {
+        if (f.used) {
+          ctx.Cov(kSite + 86);
+          char row[48];
+          snprintf(row, sizeof(row), "-rw-r--r-- %u %s\r\n", f.size, f.name);
+          strncat(msg, row, sizeof(msg) - strlen(msg) - 1);
+        }
+      }
+      strncat(msg, "226 Done\r\n", sizeof(msg) - strlen(msg) - 1);
+      Reply(ctx, fd, msg);
+      return;
+    }
+    ctx.Cov(kSite + 88);
+    Reply(ctx, fd, "500 Unknown command\r\n");
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Target> MakeLightFtp() { return std::make_unique<LightFtp>(); }
+
+}  // namespace nyx

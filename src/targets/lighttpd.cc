@@ -1,0 +1,283 @@
+// lighttpd analogue (case study, paper section 5.5).
+//
+// "We also used Nyx-Net on Lighttpd's development branch and found a memory
+// corruption issue where a negative amount of memory could be allocated
+// under specific circumstances" / "an integer underflow in malloc". We
+// reproduce the class: a chunked-upload path computes the buffer size as
+// (declared content length - bytes already buffered); a small declared
+// length with a larger buffered preamble underflows, the huge allocation
+// fails, and the unchecked result is dereferenced.
+
+#include <cstdio>
+#include <cstring>
+
+#include "src/targets/registry.h"
+#include "src/targets/textproto.h"
+
+namespace nyx {
+namespace {
+
+constexpr uint32_t kSite = 14000;
+constexpr uint16_t kPort = 8081;
+constexpr uint64_t kStartupNs = 25'000'000;
+constexpr uint64_t kRequestNs = 250'000;
+constexpr uint64_t kAflnetExtraNs = 60'000'000;
+
+struct State {
+  int listener;
+  int conn;
+  LineBuffer rx;
+  char method[8];
+  char url[96];
+  uint8_t have_request_line;
+  uint8_t keep_alive;
+  uint8_t have_content_length;
+  int64_t content_length;
+  uint32_t buffered_body;
+  uint8_t in_body;
+  uint32_t requests;
+};
+
+class Lighttpd final : public Target {
+ public:
+  TargetInfo info() const override {
+    TargetInfo ti;
+    ti.name = "lighttpd";
+    ti.port = kPort;
+    ti.split = SplitStrategy::kCrlf;
+    ti.desock_compatible = true;
+    ti.startup_ns = kStartupNs;
+    ti.request_ns = kRequestNs;
+    ti.aflnet_extra_ns = kAflnetExtraNs;
+    ti.startup_dirty_pages = 8;
+    return ti;
+  }
+
+  void Init(GuestContext& ctx) override {
+    auto* st = ctx.State<State>();
+    memset(st, 0, sizeof(*st));
+    st->conn = -1;
+    st->listener = ctx.net().Socket(SockKind::kStream);
+    ctx.net().Bind(st->listener, kPort);
+    ctx.net().Listen(st->listener, 8);
+    ctx.TouchScratch(8, 0xee);
+    ctx.Charge(kStartupNs);
+  }
+
+  void Step(GuestContext& ctx) override {
+    auto* st = ctx.State<State>();
+    for (;;) {
+      if (ctx.crash().crashed) {
+        return;
+      }
+      if (st->conn < 0) {
+        const int fd = ctx.net().Accept(st->listener);
+        if (fd < 0) {
+          return;
+        }
+        ctx.Cov(kSite + 0);
+        st->conn = fd;
+        ResetRequest(st);
+        st->rx.len = 0;
+      }
+      uint8_t buf[300];
+      const int n = ctx.net().Recv(st->conn, buf, sizeof(buf));
+      if (n == kErrAgain) {
+        return;
+      }
+      if (n <= 0) {
+        ctx.Cov(kSite + 1);
+        ctx.net().Close(st->conn);
+        st->conn = -1;
+        continue;
+      }
+      if (st->in_body) {
+        ConsumeBody(ctx, st, static_cast<uint32_t>(n));
+        continue;
+      }
+      st->rx.Push(buf, static_cast<uint32_t>(n));
+      char line[300];
+      while (!st->in_body && st->rx.PopLine(line, sizeof(line))) {
+        HandleLine(ctx, st, line);
+        if (st->conn < 0 || ctx.crash().crashed) {
+          break;
+        }
+      }
+    }
+  }
+
+ private:
+  void ResetRequest(State* st) {
+    st->have_request_line = 0;
+    st->have_content_length = 0;
+    st->content_length = 0;
+    st->buffered_body = 0;
+    st->in_body = 0;
+    st->method[0] = '\0';
+    st->url[0] = '\0';
+  }
+
+  void HandleLine(GuestContext& ctx, State* st, const char* line) {
+    const int fd = st->conn;
+    ctx.Charge(ctx.cost().per_byte_ns * strlen(line));
+    if (!st->have_request_line) {
+      // "METHOD /url HTTP/1.x"
+      if (ctx.CovBranch(line[0] == '\0', kSite + 10)) {
+        return;  // tolerate leading blank lines
+      }
+      const char* rest = nullptr;
+      SplitVerb(line, st->method, sizeof(st->method), &rest);
+      size_t u = 0;
+      while (rest[u] != '\0' && rest[u] != ' ' && u < sizeof(st->url) - 1) {
+        st->url[u] = rest[u];
+        u++;
+      }
+      st->url[u] = '\0';
+      const char* version = rest + u;
+      while (*version == ' ') {
+        version++;
+      }
+      if (ctx.CovBranch(strncmp(version, "HTTP/1.", 7) != 0, kSite + 12)) {
+        Reply(ctx, fd, "HTTP/1.0 400 Bad Request\r\n\r\n");
+        ctx.net().Close(st->conn);
+        st->conn = -1;
+        return;
+      }
+      st->keep_alive = version[7] == '1';
+      st->have_request_line = 1;
+      return;
+    }
+    if (line[0] != '\0') {
+      // Header line.
+      if (ctx.CovBranch(StartsWithNoCase(line, "Content-Length:"), kSite + 14)) {
+        const char* v = line + 15;
+        while (*v == ' ') {
+          v++;
+        }
+        // BUG SETUP: strtoll-style parse accepts a leading '-'.
+        bool neg = false;
+        if (ctx.CovBranch(*v == '-', kSite + 16)) {
+          neg = true;
+          v++;
+        }
+        int64_t cl = 0;
+        bool digits = false;
+        while (*v >= '0' && *v <= '9') {
+          cl = cl * 10 + (*v - '0');
+          digits = true;
+          v++;
+        }
+        if (ctx.CovBranch(!digits, kSite + 18)) {
+          Reply(ctx, fd, "HTTP/1.1 400 Bad Content-Length\r\n\r\n");
+          ctx.net().Close(st->conn);
+          st->conn = -1;
+          return;
+        }
+        st->content_length = neg ? -cl : cl;
+        st->have_content_length = 1;
+        // The sanity check compares against the limit but not against zero.
+        if (ctx.CovBranch(st->content_length > 1 << 20, kSite + 20)) {
+          Reply(ctx, fd, "HTTP/1.1 413 Payload Too Large\r\n\r\n");
+          ctx.net().Close(st->conn);
+          st->conn = -1;
+          return;
+        }
+        return;
+      }
+      if (ctx.CovBranch(StartsWithNoCase(line, "Connection:"), kSite + 22)) {
+        st->keep_alive = strstr(line, "keep-alive") != nullptr;
+        return;
+      }
+      if (ctx.CovBranch(StartsWithNoCase(line, "Host:"), kSite + 24)) {
+        ctx.Cov(kSite + 26);
+        return;
+      }
+      if (ctx.CovBranch(StartsWithNoCase(line, "Transfer-Encoding:"), kSite + 28)) {
+        if (ctx.CovBranch(strstr(line, "chunked") != nullptr, kSite + 30)) {
+          ctx.Cov(kSite + 32);
+        }
+        return;
+      }
+      ctx.Cov(kSite + 34);
+      return;
+    }
+    // Blank line: end of headers.
+    DispatchRequest(ctx, st);
+  }
+
+  void DispatchRequest(GuestContext& ctx, State* st) {
+    st->requests++;
+    ctx.Charge(kRequestNs);
+    const int fd = st->conn;
+
+    if (ctx.CovBranch(strcmp(st->method, "GET") == 0, kSite + 40)) {
+      if (ctx.CovBranch(strcmp(st->url, "/") == 0, kSite + 42)) {
+        Reply(ctx, fd, "HTTP/1.1 200 OK\r\nContent-Length: 6\r\n\r\nindex\n");
+      } else if (ctx.CovBranch(strncmp(st->url, "/cgi/", 5) == 0, kSite + 44)) {
+        Reply(ctx, fd, "HTTP/1.1 403 Forbidden\r\n\r\n");
+      } else if (ctx.CovBranch(strstr(st->url, "..") != nullptr, kSite + 46)) {
+        Reply(ctx, fd, "HTTP/1.1 400 Bad Request\r\n\r\n");
+      } else {
+        Reply(ctx, fd, "HTTP/1.1 404 Not Found\r\n\r\n");
+      }
+      ResetRequest(st);
+      return;
+    }
+    if (ctx.CovBranch(strcmp(st->method, "HEAD") == 0, kSite + 48)) {
+      Reply(ctx, fd, "HTTP/1.1 200 OK\r\nContent-Length: 0\r\n\r\n");
+      ResetRequest(st);
+      return;
+    }
+    if (ctx.CovBranch(strcmp(st->method, "POST") == 0 || strcmp(st->method, "PUT") == 0,
+                      kSite + 50)) {
+      if (ctx.CovBranch(!st->have_content_length, kSite + 54)) {
+        Reply(ctx, fd, "HTTP/1.1 411 Length Required\r\n\r\n");
+        ResetRequest(st);
+        return;
+      }
+      // THE BUG (section 5.5): the body staging buffer is sized as
+      // content_length - buffered_body using unsigned arithmetic. A
+      // negative Content-Length survives the "> limit" check above and
+      // underflows here.
+      const uint64_t alloc_size =
+          static_cast<uint64_t>(st->content_length) - st->buffered_body;
+      if (ctx.CovBranch(alloc_size > (1ull << 32), kSite + 56)) {
+        // malloc(negative-turned-huge): returns NULL, and the memcpy into
+        // it crashes. This is the integer underflow fixed before release.
+        ctx.Crash(kCrashLighttpdAllocUnderflow, "malloc-integer-underflow");
+        return;
+      }
+      st->in_body = st->content_length > 0;
+      if (!st->in_body) {
+        Reply(ctx, fd, "HTTP/1.1 201 Created\r\nContent-Length: 0\r\n\r\n");
+        ResetRequest(st);
+      }
+      return;
+    }
+    if (ctx.CovBranch(strcmp(st->method, "OPTIONS") == 0, kSite + 58)) {
+      Reply(ctx, fd, "HTTP/1.1 200 OK\r\nAllow: GET, HEAD, POST, PUT\r\n\r\n");
+      ResetRequest(st);
+      return;
+    }
+    ctx.Cov(kSite + 60);
+    Reply(ctx, fd, "HTTP/1.1 501 Not Implemented\r\n\r\n");
+    ResetRequest(st);
+  }
+
+  void ConsumeBody(GuestContext& ctx, State* st, uint32_t n) {
+    st->buffered_body += n;
+    ctx.Charge(ctx.cost().per_byte_ns * n);
+    if (ctx.CovBranch(st->buffered_body >= static_cast<uint64_t>(st->content_length),
+                      kSite + 62)) {
+      ctx.disk().WriteBytes(32768, &st->buffered_body, sizeof(st->buffered_body));
+      Reply(ctx, st->conn, "HTTP/1.1 201 Created\r\nContent-Length: 0\r\n\r\n");
+      ResetRequest(st);
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Target> MakeLighttpd() { return std::make_unique<Lighttpd>(); }
+
+}  // namespace nyx

@@ -1,0 +1,284 @@
+// live555 analogue: an RTSP media server.
+//
+// Seeded bug (found by every fuzzer in Table 1): a NULL dereference when a
+// PLAY request carries an open-ended Range header ("npt=-") before any
+// SETUP created a session — the Range normalization dereferences the
+// (absent) session's duration.
+
+#include <cstdio>
+#include <cstring>
+
+#include "src/targets/registry.h"
+#include "src/targets/textproto.h"
+
+namespace nyx {
+namespace {
+
+constexpr uint32_t kSite = 7000;
+constexpr uint16_t kPort = 8554;
+constexpr uint64_t kStartupNs = 40'000'000;
+constexpr uint64_t kRequestNs = 3'800'000;
+constexpr uint64_t kAflnetExtraNs = 74'000'000;
+
+struct State {
+  int listener;
+  int conn;
+  uint32_t cseq;
+  uint8_t have_session;
+  uint32_t session_id;
+  uint8_t playing;
+  char track[48];
+  LineBuffer rx;
+  // RTSP requests are multi-line; we accumulate until the blank line.
+  char request[768];
+  uint32_t request_len;
+};
+
+class Live555 final : public Target {
+ public:
+  TargetInfo info() const override {
+    TargetInfo ti;
+    ti.name = "live555";
+    ti.port = kPort;
+    ti.split = SplitStrategy::kCrlf;
+    ti.desock_compatible = false;  // n/a for AFL++ in Tables 1-3
+    ti.startup_ns = kStartupNs;
+    ti.request_ns = kRequestNs;
+    ti.aflnet_extra_ns = kAflnetExtraNs;
+    ti.startup_dirty_pages = 14;
+    return ti;
+  }
+
+  void Init(GuestContext& ctx) override {
+    auto* st = ctx.State<State>();
+    memset(st, 0, sizeof(*st));
+    st->conn = -1;
+    st->listener = ctx.net().Socket(SockKind::kStream);
+    ctx.net().Bind(st->listener, kPort);
+    ctx.net().Listen(st->listener, 4);
+    ctx.TouchScratch(14, 0x99);
+    ctx.Charge(kStartupNs);
+  }
+
+  void Step(GuestContext& ctx) override {
+    auto* st = ctx.State<State>();
+    for (;;) {
+      if (ctx.crash().crashed) {
+        return;
+      }
+      if (st->conn < 0) {
+        const int fd = ctx.net().Accept(st->listener);
+        if (fd < 0) {
+          return;
+        }
+        ctx.Cov(kSite + 0);
+        st->conn = fd;
+        st->rx.len = 0;
+        st->request_len = 0;
+      }
+      uint8_t buf[300];
+      const int n = ctx.net().Recv(st->conn, buf, sizeof(buf));
+      if (n == kErrAgain) {
+        return;
+      }
+      if (n <= 0) {
+        ctx.Cov(kSite + 1);
+        ctx.net().Close(st->conn);
+        st->conn = -1;
+        continue;
+      }
+      st->rx.Push(buf, static_cast<uint32_t>(n));
+      char line[300];
+      while (st->rx.PopLine(line, sizeof(line))) {
+        if (line[0] == '\0') {
+          // Blank line terminates the request.
+          if (ctx.CovBranch(st->request_len > 0, kSite + 2)) {
+            HandleRequest(ctx, st);
+            st->request_len = 0;
+          }
+        } else {
+          const uint32_t len = static_cast<uint32_t>(strlen(line));
+          if (st->request_len + len + 1 < sizeof(st->request)) {
+            memcpy(st->request + st->request_len, line, len);
+            st->request_len += len;
+            st->request[st->request_len++] = '\n';
+          } else {
+            ctx.Cov(kSite + 3);  // oversized request dropped
+            st->request_len = 0;
+          }
+        }
+        if (st->conn < 0 || ctx.crash().crashed) {
+          break;
+        }
+      }
+    }
+  }
+
+ private:
+  // Finds "Header:" inside the accumulated request; returns value pointer or
+  // nullptr (value terminated by '\n').
+  const char* FindHeader(State* st, const char* name) {
+    st->request[st->request_len] = '\0';
+    const size_t nlen = strlen(name);
+    const char* p = st->request;
+    while ((p = strstr(p, name)) != nullptr) {
+      if ((p == st->request || p[-1] == '\n') && p[nlen] == ':') {
+        const char* v = p + nlen + 1;
+        while (*v == ' ') {
+          v++;
+        }
+        return v;
+      }
+      p += nlen;
+    }
+    return nullptr;
+  }
+
+  void HandleRequest(GuestContext& ctx, State* st) {
+    ctx.Charge(kRequestNs + ctx.cost().per_byte_ns * st->request_len);
+    const int fd = st->conn;
+    st->request[st->request_len] = '\0';
+
+    char verb[12];
+    const char* rest = nullptr;
+    SplitVerb(st->request, verb, sizeof(verb), &rest);
+
+    // CSeq is mandatory.
+    const char* cseq_v = FindHeader(st, "CSeq");
+    if (ctx.CovBranch(cseq_v == nullptr, kSite + 10)) {
+      Reply(ctx, fd, "RTSP/1.0 400 Bad Request\r\n\r\n");
+      return;
+    }
+    st->cseq = 0;
+    for (const char* p = cseq_v; *p >= '0' && *p <= '9'; p++) {
+      st->cseq = st->cseq * 10 + static_cast<uint32_t>(*p - '0');
+    }
+
+    char resp[256];
+    if (ctx.CovBranch(strcmp(verb, "OPTIONS") == 0, kSite + 12)) {
+      snprintf(resp, sizeof(resp),
+               "RTSP/1.0 200 OK\r\nCSeq: %u\r\nPublic: OPTIONS, DESCRIBE, SETUP, PLAY, "
+               "PAUSE, TEARDOWN\r\n\r\n",
+               st->cseq);
+      Reply(ctx, fd, resp);
+      return;
+    }
+    if (ctx.CovBranch(strcmp(verb, "DESCRIBE") == 0, kSite + 14)) {
+      const char* accept = FindHeader(st, "Accept");
+      if (ctx.CovBranch(accept != nullptr && strncmp(accept, "application/sdp", 15) != 0,
+                        kSite + 16)) {
+        snprintf(resp, sizeof(resp), "RTSP/1.0 406 Not Acceptable\r\nCSeq: %u\r\n\r\n",
+                 st->cseq);
+        Reply(ctx, fd, resp);
+        return;
+      }
+      snprintf(resp, sizeof(resp),
+               "RTSP/1.0 200 OK\r\nCSeq: %u\r\nContent-Type: application/sdp\r\n\r\n"
+               "v=0\r\nm=video 0 RTP/AVP 96\r\n",
+               st->cseq);
+      Reply(ctx, fd, resp);
+      return;
+    }
+    if (ctx.CovBranch(strcmp(verb, "SETUP") == 0, kSite + 18)) {
+      const char* transport = FindHeader(st, "Transport");
+      if (ctx.CovBranch(transport == nullptr, kSite + 20)) {
+        snprintf(resp, sizeof(resp),
+                 "RTSP/1.0 461 Unsupported Transport\r\nCSeq: %u\r\n\r\n", st->cseq);
+        Reply(ctx, fd, resp);
+        return;
+      }
+      if (ctx.CovBranch(strncmp(transport, "RTP/AVP/TCP", 11) == 0, kSite + 22)) {
+        ctx.Cov(kSite + 24);  // interleaved mode
+      } else if (ctx.CovBranch(strncmp(transport, "RTP/AVP", 7) != 0, kSite + 26)) {
+        snprintf(resp, sizeof(resp),
+                 "RTSP/1.0 461 Unsupported Transport\r\nCSeq: %u\r\n\r\n", st->cseq);
+        Reply(ctx, fd, resp);
+        return;
+      }
+      st->have_session = 1;
+      st->session_id = 0x1e55 + st->cseq;
+      // Track name from the request line.
+      sscanf(rest, "%47s", st->track);
+      snprintf(resp, sizeof(resp), "RTSP/1.0 200 OK\r\nCSeq: %u\r\nSession: %08X\r\n\r\n",
+               st->cseq, st->session_id);
+      Reply(ctx, fd, resp);
+      return;
+    }
+    if (ctx.CovBranch(strcmp(verb, "PLAY") == 0, kSite + 28)) {
+      const char* range = FindHeader(st, "Range");
+      if (ctx.CovBranch(range != nullptr, kSite + 30)) {
+        if (ctx.CovBranch(strncmp(range, "npt=", 4) == 0, kSite + 32)) {
+          const char* npt = range + 4;
+          if (ctx.CovBranch(npt[0] == '-', kSite + 34)) {
+            // Open-ended range: normalization reads the session's duration.
+            if (ctx.CovBranch(!st->have_session, kSite + 36)) {
+              // session == NULL: the dereference live555's handler performs
+              // here is the crash every fuzzer finds (Table 1).
+              ctx.Crash(kCrashLive555RangeNull, "null-deref-range-without-session");
+              return;
+            }
+            ctx.Cov(kSite + 38);
+          } else {
+            // "npt=<start>-<end>" parse.
+            double start = 0;
+            for (const char* p = npt; *p >= '0' && *p <= '9'; p++) {
+              start = start * 10 + (*p - '0');
+            }
+            (void)start;
+            ctx.Cov(kSite + 40);
+          }
+        } else if (ctx.CovBranch(strncmp(range, "clock=", 6) == 0, kSite + 42)) {
+          ctx.Cov(kSite + 44);
+        } else {
+          snprintf(resp, sizeof(resp),
+                   "RTSP/1.0 457 Invalid Range\r\nCSeq: %u\r\n\r\n", st->cseq);
+          Reply(ctx, fd, resp);
+          return;
+        }
+      }
+      if (ctx.CovBranch(!st->have_session, kSite + 46)) {
+        snprintf(resp, sizeof(resp),
+                 "RTSP/1.0 454 Session Not Found\r\nCSeq: %u\r\n\r\n", st->cseq);
+        Reply(ctx, fd, resp);
+        return;
+      }
+      st->playing = 1;
+      snprintf(resp, sizeof(resp), "RTSP/1.0 200 OK\r\nCSeq: %u\r\nSession: %08X\r\n\r\n",
+               st->cseq, st->session_id);
+      Reply(ctx, fd, resp);
+      return;
+    }
+    if (ctx.CovBranch(strcmp(verb, "PAUSE") == 0, kSite + 48)) {
+      if (ctx.CovBranch(!st->playing, kSite + 50)) {
+        snprintf(resp, sizeof(resp),
+                 "RTSP/1.0 455 Method Not Valid in This State\r\nCSeq: %u\r\n\r\n", st->cseq);
+      } else {
+        st->playing = 0;
+        snprintf(resp, sizeof(resp), "RTSP/1.0 200 OK\r\nCSeq: %u\r\n\r\n", st->cseq);
+      }
+      Reply(ctx, fd, resp);
+      return;
+    }
+    if (ctx.CovBranch(strcmp(verb, "TEARDOWN") == 0, kSite + 52)) {
+      st->have_session = 0;
+      st->playing = 0;
+      snprintf(resp, sizeof(resp), "RTSP/1.0 200 OK\r\nCSeq: %u\r\n\r\n", st->cseq);
+      Reply(ctx, fd, resp);
+      return;
+    }
+    if (ctx.CovBranch(strcmp(verb, "GET_PARAMETER") == 0, kSite + 54)) {
+      snprintf(resp, sizeof(resp), "RTSP/1.0 200 OK\r\nCSeq: %u\r\n\r\n", st->cseq);
+      Reply(ctx, fd, resp);
+      return;
+    }
+    ctx.Cov(kSite + 56);
+    snprintf(resp, sizeof(resp), "RTSP/1.0 501 Not Implemented\r\nCSeq: %u\r\n\r\n", st->cseq);
+    Reply(ctx, fd, resp);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Target> MakeLive555() { return std::make_unique<Live555>(); }
+
+}  // namespace nyx

@@ -1,0 +1,280 @@
+// MySQL client analogue (case study, paper section 5.4).
+//
+// This is a *client* target: the program under test connects out and parses
+// server responses, so the fuzzer plays the server. Running the five-step
+// workflow from the paper against it "yields an out-of-bound read on the
+// current version of the client after a few minutes": the result-set parser
+// trusts the column-count length-encoded integer and reads column
+// definitions past the packet.
+
+#include <cstring>
+
+#include "src/targets/registry.h"
+#include "src/targets/textproto.h"
+
+namespace nyx {
+namespace {
+
+constexpr uint32_t kSite = 15000;
+constexpr uint16_t kServerPort = 3306;
+constexpr uint64_t kStartupNs = 10'000'000;
+constexpr uint64_t kRequestNs = 150'000;
+constexpr uint64_t kAflnetExtraNs = 30'000'000;
+
+enum ClientPhase : uint8_t {
+  kPhaseAwaitGreeting = 0,
+  kPhaseAuthSent,
+  kPhaseReady,
+  kPhaseAwaitColumns,
+  kPhaseAwaitRows,
+};
+
+struct State {
+  int sock;
+  uint8_t phase;
+  uint8_t seq;
+  uint32_t expected_columns;
+  uint32_t columns_seen;
+  uint8_t server_caps_cs;  // client-server protocol capability
+  uint8_t buf[2048];
+  uint32_t buf_len;
+};
+
+class MysqlClient final : public Target {
+ public:
+  TargetInfo info() const override {
+    TargetInfo ti;
+    ti.name = "mysql-client";
+    ti.port = kServerPort;
+    ti.split = SplitStrategy::kSegment;
+    ti.is_client = true;
+    ti.desock_compatible = false;
+    ti.startup_ns = kStartupNs;
+    ti.request_ns = kRequestNs;
+    ti.aflnet_extra_ns = kAflnetExtraNs;
+    ti.startup_dirty_pages = 6;
+    return ti;
+  }
+
+  void Init(GuestContext& ctx) override {
+    auto* st = ctx.State<State>();
+    memset(st, 0, sizeof(*st));
+    st->sock = ctx.net().Socket(SockKind::kStream);
+    ctx.net().Connect(st->sock, kServerPort);
+    st->phase = kPhaseAwaitGreeting;
+    ctx.TouchScratch(6, 0xf1);
+    ctx.Charge(kStartupNs);
+  }
+
+  void Step(GuestContext& ctx) override {
+    auto* st = ctx.State<State>();
+    for (;;) {
+      if (ctx.crash().crashed) {
+        return;
+      }
+      uint8_t chunk[512];
+      const int n = ctx.net().Recv(st->sock, chunk, sizeof(chunk));
+      if (n <= 0) {
+        return;
+      }
+      const uint32_t space = sizeof(st->buf) - st->buf_len;
+      const uint32_t take = static_cast<uint32_t>(n) < space ? static_cast<uint32_t>(n) : space;
+      memcpy(st->buf + st->buf_len, chunk, take);
+      st->buf_len += take;
+      Drain(ctx, st);
+    }
+  }
+
+ private:
+  void Drain(GuestContext& ctx, State* st) {
+    // MySQL wire packets: [len u24le][seq u8][payload].
+    while (!ctx.crash().crashed) {
+      if (st->buf_len < 4) {
+        return;
+      }
+      const uint32_t len = static_cast<uint32_t>(st->buf[0]) |
+                           static_cast<uint32_t>(st->buf[1]) << 8 |
+                           static_cast<uint32_t>(st->buf[2]) << 16;
+      if (ctx.CovBranch(len > sizeof(st->buf) - 4, kSite + 10)) {
+        Disconnect(ctx, st);
+        return;
+      }
+      if (4 + len > st->buf_len) {
+        return;
+      }
+      st->seq = st->buf[3];
+      ctx.Charge(kRequestNs + ctx.cost().per_byte_ns * len);
+      HandlePacket(ctx, st, st->buf + 4, len);
+      memmove(st->buf, st->buf + 4 + len, st->buf_len - 4 - len);
+      st->buf_len -= 4 + len;
+    }
+  }
+
+  // Length-encoded integer; returns bytes consumed (0 on error).
+  uint32_t ReadLenEnc(GuestContext& ctx, const uint8_t* p, uint32_t len, uint64_t* out) {
+    if (len == 0) {
+      return 0;
+    }
+    const uint8_t first = p[0];
+    if (ctx.CovBranch(first < 0xfb, kSite + 12)) {
+      *out = first;
+      return 1;
+    }
+    if (ctx.CovBranch(first == 0xfc, kSite + 14)) {
+      if (len < 3) {
+        return 0;
+      }
+      *out = static_cast<uint64_t>(p[1]) | static_cast<uint64_t>(p[2]) << 8;
+      return 3;
+    }
+    if (ctx.CovBranch(first == 0xfd, kSite + 16)) {
+      if (len < 4) {
+        return 0;
+      }
+      *out = static_cast<uint64_t>(p[1]) | static_cast<uint64_t>(p[2]) << 8 |
+             static_cast<uint64_t>(p[3]) << 16;
+      return 4;
+    }
+    if (ctx.CovBranch(first == 0xfe, kSite + 18)) {
+      if (len < 9) {
+        return 0;
+      }
+      uint64_t v = 0;
+      for (int i = 0; i < 8; i++) {
+        v |= static_cast<uint64_t>(p[1 + i]) << (8 * i);
+      }
+      *out = v;
+      return 9;
+    }
+    return 0;  // 0xfb (NULL) / 0xff invalid here
+  }
+
+  void HandlePacket(GuestContext& ctx, State* st, const uint8_t* pkt, uint32_t len) {
+    switch (st->phase) {
+      case kPhaseAwaitGreeting: {
+        ctx.Cov(kSite + 20);
+        // Greeting: [proto u8][version \0][thread id u32][salt 8]\0[caps u16]...
+        if (ctx.CovBranch(len < 20, kSite + 22)) {
+          Disconnect(ctx, st);
+          return;
+        }
+        if (ctx.CovBranch(pkt[0] != 10, kSite + 24)) {
+          if (ctx.CovBranch(pkt[0] == 0xff, kSite + 26)) {
+            // ERR packet before handshake (server too busy).
+            Disconnect(ctx, st);
+            return;
+          }
+          Disconnect(ctx, st);
+          return;
+        }
+        // Version string must be NUL-terminated within the packet.
+        uint32_t v = 1;
+        while (v < len && pkt[v] != 0) {
+          v++;
+        }
+        if (ctx.CovBranch(v >= len || v - 1 > 32, kSite + 28)) {
+          Disconnect(ctx, st);
+          return;
+        }
+        if (ctx.CovBranch(v + 14 > len, kSite + 30)) {
+          Disconnect(ctx, st);
+          return;
+        }
+        st->server_caps_cs = 1;
+        // Send auth response.
+        uint8_t auth[36] = {32, 0, 0, 1};
+        memcpy(auth + 4, "\x8d\xa6\x03\x00", 4);  // client flags
+        ctx.net().Send(st->sock, auth, sizeof(auth));
+        st->phase = kPhaseAuthSent;
+        return;
+      }
+      case kPhaseAuthSent: {
+        ctx.Cov(kSite + 32);
+        if (ctx.CovBranch(len >= 1 && pkt[0] == 0x00, kSite + 34)) {
+          st->phase = kPhaseReady;
+          // Issue the query the user typed ("SHOW DATABASES").
+          uint8_t query[20] = {15, 0, 0, 0, 0x03};
+          memcpy(query + 5, "SHOW DATABASES", 14);
+          ctx.net().Send(st->sock, query, sizeof(query));
+          st->phase = kPhaseAwaitColumns;
+          return;
+        }
+        if (ctx.CovBranch(len >= 3 && pkt[0] == 0xff, kSite + 36)) {
+          // ERR: print message & exit. Message must be valid ASCII.
+          for (uint32_t i = 3; i < len; i++) {
+            if (ctx.CovBranch(pkt[i] >= 0x80, kSite + 38)) {
+              break;
+            }
+          }
+          Disconnect(ctx, st);
+          return;
+        }
+        if (ctx.CovBranch(len >= 1 && pkt[0] == 0xfe, kSite + 40)) {
+          ctx.Cov(kSite + 42);  // auth switch request
+          Disconnect(ctx, st);
+          return;
+        }
+        Disconnect(ctx, st);
+        return;
+      }
+      case kPhaseAwaitColumns: {
+        ctx.Cov(kSite + 44);
+        uint64_t ncols = 0;
+        const uint32_t used = ReadLenEnc(ctx, pkt, len, &ncols);
+        if (ctx.CovBranch(used == 0, kSite + 46)) {
+          Disconnect(ctx, st);
+          return;
+        }
+        // BUG (section 5.4): the column count is trusted without an upper
+        // bound; the client allocates a small fixed array of column
+        // metadata and indexes it with the running column counter while
+        // parsing definitions — reading out of bounds once the wire
+        // carries more definitions than MAX_COLUMNS.
+        st->expected_columns = static_cast<uint32_t>(ncols);
+        st->columns_seen = 0;
+        if (ctx.CovBranch(ncols == 0, kSite + 48)) {
+          st->phase = kPhaseReady;  // OK-style empty result
+          return;
+        }
+        st->phase = kPhaseAwaitRows;
+        return;
+      }
+      case kPhaseAwaitRows: {
+        ctx.Cov(kSite + 50);
+        if (ctx.CovBranch(len >= 1 && pkt[0] == 0xfe, kSite + 52)) {
+          // EOF: end of column definitions / rows.
+          st->phase = kPhaseReady;
+          return;
+        }
+        // A column-definition packet.
+        st->columns_seen++;
+        if (ctx.CovBranch(st->columns_seen > 16, kSite + 54)) {
+          // columns_seen indexes a 16-entry metadata array: OOB read.
+          ctx.Crash(kCrashMysqlClientOobRead, "oob-read-column-metadata");
+          return;
+        }
+        if (ctx.CovBranch(st->columns_seen > st->expected_columns, kSite + 56)) {
+          // More definitions than declared: the real client tolerates this,
+          // feeding the counter further.
+          ctx.Cov(kSite + 58);
+        }
+        return;
+      }
+      case kPhaseReady:
+        ctx.Cov(kSite + 60);
+        return;  // unsolicited packet after completion: ignored
+    }
+  }
+
+  void Disconnect(GuestContext& ctx, State* st) {
+    ctx.net().Close(st->sock);
+    // The client would exit here; keep draining nothing.
+    st->phase = kPhaseReady;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Target> MakeMysqlClient() { return std::make_unique<MysqlClient>(); }
+
+}  // namespace nyx

@@ -1,0 +1,327 @@
+// proftpd analogue, carrying one of the two bugs only Nyx-Net found in
+// ProFuzzBench (Table 1): a dangling current-directory pointer.
+//
+// Bug mechanics: CWD auto-creates directory-cache entries (mod-style
+// auto-vivification) and points the session cwd at them; "RMD ." removes
+// the current directory, but the removal fast path for deeply nested
+// directories (three or more '/' separators) forgets to clear the session's
+// cwd pointer; a subsequent LIST dereferences the freed entry. Coverage
+// exposes the nesting-depth gradient on CWD and the distinct "RMD ."
+// handling, so a coverage-guided fuzzer can assemble the trigger step by
+// step — but it still needs on the order of 10^5 executions from the
+// standard seeds, which only a snapshot fuzzer's throughput delivers within
+// the campaign budget. That reproduces *why* only Nyx-Net found this crash.
+
+#include <cstring>
+
+#include "src/targets/registry.h"
+#include "src/targets/textproto.h"
+
+namespace nyx {
+namespace {
+
+constexpr uint32_t kSite = 3000;
+constexpr uint16_t kPort = 2122;
+constexpr uint64_t kStartupNs = 150'000'000;
+constexpr uint64_t kRequestNs = 580'000;
+constexpr uint64_t kAflnetExtraNs = 230'000'000;
+
+struct DirEntry {
+  char path[48];
+  uint8_t used;
+  uint8_t depth;  // number of '/' separators
+};
+
+struct State {
+  int listener;
+  int conn;
+  uint8_t logged_in;
+  uint8_t got_user;
+  int8_t cwd_entry;  // index into dirs, -1 = root
+  char username[32];
+  LineBuffer rx;
+  DirEntry dirs[8];
+  uint32_t commands;
+};
+
+class ProFtpd final : public Target {
+ public:
+  TargetInfo info() const override {
+    TargetInfo ti;
+    ti.name = "proftpd";
+    ti.port = kPort;
+    ti.split = SplitStrategy::kCrlf;
+    ti.desock_compatible = false;  // needs real accept semantics (mod_auth)
+    ti.startup_ns = kStartupNs;
+    ti.request_ns = kRequestNs;
+    ti.aflnet_extra_ns = kAflnetExtraNs;
+    ti.startup_dirty_pages = 16;
+    return ti;
+  }
+
+  void Init(GuestContext& ctx) override {
+    auto* st = ctx.State<State>();
+    memset(st, 0, sizeof(*st));
+    st->conn = -1;
+    st->cwd_entry = -1;
+    st->listener = ctx.net().Socket(SockKind::kStream);
+    ctx.net().Bind(st->listener, kPort);
+    ctx.net().Listen(st->listener, 8);
+    ctx.TouchScratch(16, 0x33);
+    ctx.Charge(kStartupNs);
+  }
+
+  void Step(GuestContext& ctx) override {
+    auto* st = ctx.State<State>();
+    for (;;) {
+      if (ctx.crash().crashed) {
+        return;
+      }
+      if (st->conn < 0) {
+        const int fd = ctx.net().Accept(st->listener);
+        if (fd < 0) {
+          return;
+        }
+        ctx.Cov(kSite + 0);
+        st->conn = fd;
+        st->logged_in = 0;
+        st->got_user = 0;
+        st->cwd_entry = -1;
+        st->rx.len = 0;
+        Reply(ctx, fd, "220 ProFTPD 1.3.8 Server ready\r\n");
+      }
+      uint8_t buf[200];
+      const int n = ctx.net().Recv(st->conn, buf, sizeof(buf));
+      if (n == kErrAgain) {
+        return;
+      }
+      if (n <= 0) {
+        ctx.Cov(kSite + 1);
+        ctx.net().Close(st->conn);
+        st->conn = -1;
+        continue;
+      }
+      st->rx.Push(buf, static_cast<uint32_t>(n));
+      char line[200];
+      while (st->rx.PopLine(line, sizeof(line))) {
+        Handle(ctx, st, line);
+        if (st->conn < 0 || ctx.crash().crashed) {
+          break;
+        }
+      }
+    }
+  }
+
+ private:
+  static uint8_t PathDepth(const char* path) {
+    uint8_t depth = 0;
+    for (const char* p = path; *p != '\0'; p++) {
+      depth += *p == '/' ? 1 : 0;
+    }
+    return depth;
+  }
+
+  DirEntry* FindDir(State* st, const char* path) {
+    for (auto& d : st->dirs) {
+      if (d.used && strncmp(d.path, path, sizeof(d.path)) == 0) {
+        return &d;
+      }
+    }
+    return nullptr;
+  }
+
+  void Handle(GuestContext& ctx, State* st, const char* line) {
+    st->commands++;
+    ctx.Charge(kRequestNs + ctx.cost().per_byte_ns * strlen(line));
+    char verb[8];
+    const char* arg = nullptr;
+    SplitVerb(line, verb, sizeof(verb), &arg);
+    const int fd = st->conn;
+
+    if (ctx.CovBranch(strcmp(verb, "USER") == 0, kSite + 10)) {
+      strncpy(st->username, arg, sizeof(st->username) - 1);
+      st->got_user = 1;
+      Reply(ctx, fd, "331 Password required\r\n");
+      return;
+    }
+    if (ctx.CovBranch(strcmp(verb, "PASS") == 0, kSite + 12)) {
+      if (ctx.CovBranch(!st->got_user, kSite + 14)) {
+        Reply(ctx, fd, "503 Login with USER first\r\n");
+      } else {
+        st->logged_in = 1;
+        Reply(ctx, fd, "230 User logged in\r\n");
+      }
+      return;
+    }
+    if (ctx.CovBranch(strcmp(verb, "QUIT") == 0, kSite + 16)) {
+      Reply(ctx, fd, "221 Goodbye\r\n");
+      ctx.net().Close(st->conn);
+      st->conn = -1;
+      return;
+    }
+    if (ctx.CovBranch(strcmp(verb, "SYST") == 0, kSite + 18)) {
+      Reply(ctx, fd, "215 UNIX Type: L8\r\n");
+      return;
+    }
+    if (ctx.CovBranch(!st->logged_in, kSite + 20)) {
+      Reply(ctx, fd, "530 Please login with USER and PASS\r\n");
+      return;
+    }
+
+    if (ctx.CovBranch(strcmp(verb, "MKD") == 0, kSite + 22)) {
+      if (ctx.CovBranch(arg[0] == '\0' || strlen(arg) >= sizeof(DirEntry{}.path), kSite + 24)) {
+        Reply(ctx, fd, "501 Bad directory name\r\n");
+        return;
+      }
+      // Coverage gradient over nesting depth: the fuzzer can climb toward
+      // the deep-path handling one '/' at a time.
+      const uint8_t depth = PathDepth(arg);
+      if (ctx.CovBranch(depth >= 1, kSite + 26)) {
+        ctx.Cov(kSite + 27);
+      }
+      if (ctx.CovBranch(depth >= 2, kSite + 28)) {
+        ctx.Cov(kSite + 29);
+      }
+      if (ctx.CovBranch(depth >= 3, kSite + 30)) {
+        ctx.Cov(kSite + 31);
+      }
+      DirEntry* slot = nullptr;
+      for (auto& d : st->dirs) {
+        if (!d.used) {
+          slot = &d;
+          break;
+        }
+      }
+      if (ctx.CovBranch(slot == nullptr, kSite + 32)) {
+        Reply(ctx, fd, "550 Too many directories\r\n");
+        return;
+      }
+      slot->used = 1;
+      slot->depth = depth;
+      strncpy(slot->path, arg, sizeof(slot->path) - 1);
+      Reply(ctx, fd, "257 Directory created\r\n");
+      return;
+    }
+    if (ctx.CovBranch(strcmp(verb, "CWD") == 0, kSite + 34)) {
+      if (ctx.CovBranch(arg[0] == '\0' || strlen(arg) >= sizeof(DirEntry{}.path), kSite + 72)) {
+        Reply(ctx, fd, "550 Bad directory\r\n");
+        return;
+      }
+      DirEntry* d = FindDir(st, arg);
+      if (ctx.CovBranch(d == nullptr, kSite + 36)) {
+        // Directory-cache auto-vivification: CWD into an unknown path
+        // creates the cache entry (as MKD would).
+        for (auto& slot : st->dirs) {
+          if (!slot.used) {
+            d = &slot;
+            break;
+          }
+        }
+        if (ctx.CovBranch(d == nullptr, kSite + 74)) {
+          Reply(ctx, fd, "550 Directory cache full\r\n");
+          return;
+        }
+        d->used = 1;
+        d->depth = PathDepth(arg);
+        strncpy(d->path, arg, sizeof(d->path) - 1);
+      }
+      // Depth gradient on the session cwd: the fuzzer can climb one '/' at
+      // a time.
+      if (ctx.CovBranch(d->depth >= 1, kSite + 62)) {
+        ctx.Cov(kSite + 63);
+      }
+      if (ctx.CovBranch(d->depth >= 2, kSite + 64)) {
+        ctx.Cov(kSite + 65);
+      }
+      if (ctx.CovBranch(d->depth >= 3, kSite + 66)) {
+        ctx.Cov(kSite + 67);
+      }
+      st->cwd_entry = static_cast<int8_t>(d - st->dirs);
+      Reply(ctx, fd, "250 CWD successful\r\n");
+      return;
+    }
+    if (ctx.CovBranch(strcmp(verb, "RMD") == 0, kSite + 38)) {
+      DirEntry* d = nullptr;
+      if (ctx.CovBranch(strcmp(arg, ".") == 0, kSite + 76)) {
+        // "RMD .": remove the current directory. The dispatch switches over
+        // the cwd's nesting depth (separate cache shards per depth in the
+        // original) — real branches, and the gradient that lets coverage
+        // assemble the full trigger.
+        if (st->cwd_entry >= 0 && st->dirs[st->cwd_entry].used) {
+          d = &st->dirs[st->cwd_entry];
+          const uint8_t depth = d->depth < 3 ? d->depth : 3;
+          ctx.Cov(kSite + 80 + depth);
+        }
+      } else {
+        d = FindDir(st, arg);
+      }
+      if (ctx.CovBranch(d == nullptr, kSite + 40)) {
+        Reply(ctx, fd, "550 No such directory\r\n");
+        return;
+      }
+      // The removal fast path for deeply nested directories skips the
+      // session-cwd fixup that the shallow path performs.
+      if (ctx.CovBranch(d->depth >= 3, kSite + 42)) {
+        d->used = 0;  // freed, but st->cwd_entry may still point here
+      } else {
+        d->used = 0;
+        if (st->cwd_entry == d - st->dirs) {
+          st->cwd_entry = -1;
+        }
+      }
+      Reply(ctx, fd, "250 Directory removed\r\n");
+      return;
+    }
+    if (ctx.CovBranch(strcmp(verb, "LIST") == 0 || strcmp(verb, "NLST") == 0, kSite + 44)) {
+      if (ctx.CovBranch(st->cwd_entry >= 0, kSite + 46)) {
+        const DirEntry& d = st->dirs[st->cwd_entry];
+        if (ctx.CovBranch(!d.used, kSite + 48)) {
+          // Dangling cwd: dereference of freed directory state. Only Nyx-Net
+          // reaches this within budget (Table 1).
+          ctx.Crash(kCrashProftpdMkdNull, "null-deref-dangling-cwd");
+          return;
+        }
+        char msg[96];
+        snprintf(msg, sizeof(msg), "150 Listing %s\r\ndrwxr-xr-x .\r\n226 Done\r\n", d.path);
+        Reply(ctx, fd, msg);
+      } else {
+        Reply(ctx, fd, "150 Listing /\r\n226 Done\r\n");
+      }
+      return;
+    }
+    if (ctx.CovBranch(strcmp(verb, "PWD") == 0, kSite + 50)) {
+      char msg[96];
+      if (st->cwd_entry >= 0 && st->dirs[st->cwd_entry].used) {
+        snprintf(msg, sizeof(msg), "257 \"/%s\"\r\n", st->dirs[st->cwd_entry].path);
+      } else {
+        snprintf(msg, sizeof(msg), "257 \"/\"\r\n");
+      }
+      Reply(ctx, fd, msg);
+      return;
+    }
+    if (ctx.CovBranch(strcmp(verb, "TYPE") == 0, kSite + 52)) {
+      Reply(ctx, fd, arg[0] == 'I' || arg[0] == 'A' ? "200 Type set\r\n" : "504 Bad type\r\n");
+      return;
+    }
+    if (ctx.CovBranch(strcmp(verb, "PASV") == 0, kSite + 54)) {
+      Reply(ctx, fd, "227 Entering Passive Mode (127,0,0,1,10,0)\r\n");
+      return;
+    }
+    if (ctx.CovBranch(strcmp(verb, "FEAT") == 0, kSite + 56)) {
+      Reply(ctx, fd, "211-Features\r\n MDTM\r\n SIZE\r\n211 End\r\n");
+      return;
+    }
+    if (ctx.CovBranch(strcmp(verb, "NOOP") == 0, kSite + 58)) {
+      Reply(ctx, fd, "200 NOOP ok\r\n");
+      return;
+    }
+    ctx.Cov(kSite + 60);
+    Reply(ctx, fd, "500 Command not understood\r\n");
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Target> MakeProFtpd() { return std::make_unique<ProFtpd>(); }
+
+}  // namespace nyx

@@ -1,0 +1,214 @@
+// pure-ftpd analogue.
+//
+// Table 1 footnote (*): "On pure-ftpd, AFLNET-no-state managed to trigger an
+// OOM that was due to an internal limit and not the ProFuzzBench limit." We
+// reproduce the mechanism: the server leaks a little session bookkeeping on
+// every command into a process-lifetime arena with a hard internal cap.
+// Snapshot fuzzers reset the process every execution, so the arena never
+// fills; a fuzzer that keeps the server process alive across executions
+// (AFLNet-no-state) eventually trips the cap and aborts.
+
+#include <cstring>
+
+#include "src/targets/registry.h"
+#include "src/targets/textproto.h"
+
+namespace nyx {
+namespace {
+
+constexpr uint32_t kSite = 4000;
+constexpr uint16_t kPort = 2123;
+constexpr uint64_t kStartupNs = 60'000'000;
+constexpr uint64_t kRequestNs = 280'000;
+constexpr uint64_t kAflnetExtraNs = 95'000'000;
+// Internal allocation cap: ~3000 leaked command records.
+constexpr uint32_t kArenaCapBytes = 3000 * 96;
+
+struct State {
+  int listener;
+  int conn;
+  uint8_t logged_in;
+  uint8_t got_user;
+  uint8_t tls_pending;
+  char username[32];
+  LineBuffer rx;
+  uint32_t arena_used;  // process-lifetime leak (the internal limit)
+  uint32_t commands;
+};
+
+class PureFtpd final : public Target {
+ public:
+  TargetInfo info() const override {
+    TargetInfo ti;
+    ti.name = "pure-ftpd";
+    ti.port = kPort;
+    ti.split = SplitStrategy::kCrlf;
+    ti.desock_compatible = false;  // privilege-separated processes
+    ti.startup_ns = kStartupNs;
+    ti.request_ns = kRequestNs;
+    ti.aflnet_extra_ns = kAflnetExtraNs;
+    ti.startup_dirty_pages = 8;
+    return ti;
+  }
+
+  void Init(GuestContext& ctx) override {
+    auto* st = ctx.State<State>();
+    memset(st, 0, sizeof(*st));
+    st->conn = -1;
+    st->listener = ctx.net().Socket(SockKind::kStream);
+    ctx.net().Bind(st->listener, kPort);
+    ctx.net().Listen(st->listener, 8);
+    ctx.TouchScratch(8, 0x44);
+    ctx.Charge(kStartupNs);
+  }
+
+  void Step(GuestContext& ctx) override {
+    auto* st = ctx.State<State>();
+    for (;;) {
+      if (ctx.crash().crashed) {
+        return;
+      }
+      if (st->conn < 0) {
+        const int fd = ctx.net().Accept(st->listener);
+        if (fd < 0) {
+          return;
+        }
+        ctx.Cov(kSite + 0);
+        st->conn = fd;
+        st->logged_in = 0;
+        st->got_user = 0;
+        st->rx.len = 0;
+        Reply(ctx, fd, "220 Pure-FTPd ready\r\n");
+      }
+      uint8_t buf[200];
+      const int n = ctx.net().Recv(st->conn, buf, sizeof(buf));
+      if (n == kErrAgain) {
+        return;
+      }
+      if (n <= 0) {
+        ctx.Cov(kSite + 1);
+        ctx.net().Close(st->conn);
+        st->conn = -1;
+        continue;
+      }
+      st->rx.Push(buf, static_cast<uint32_t>(n));
+      char line[200];
+      while (st->rx.PopLine(line, sizeof(line))) {
+        Handle(ctx, st, line);
+        if (st->conn < 0 || ctx.crash().crashed) {
+          break;
+        }
+      }
+    }
+  }
+
+ private:
+  void Handle(GuestContext& ctx, State* st, const char* line) {
+    st->commands++;
+    ctx.Charge(kRequestNs + ctx.cost().per_byte_ns * strlen(line));
+    // Each command leaks a log record into the process arena. A single
+    // session can never fill the arena; thousands of sessions in one
+    // process lifetime can.
+    st->arena_used += 96;
+    if (ctx.CovBranch(st->arena_used > kArenaCapBytes, kSite + 2)) {
+      ctx.Crash(kCrashPureFtpdOom, "internal-allocation-limit-abort");
+      return;
+    }
+
+    char verb[8];
+    const char* arg = nullptr;
+    SplitVerb(line, verb, sizeof(verb), &arg);
+    const int fd = st->conn;
+
+    if (ctx.CovBranch(strcmp(verb, "USER") == 0, kSite + 10)) {
+      strncpy(st->username, arg, sizeof(st->username) - 1);
+      st->got_user = 1;
+      Reply(ctx, fd, "331 Any password will work\r\n");
+      return;
+    }
+    if (ctx.CovBranch(strcmp(verb, "PASS") == 0, kSite + 12)) {
+      if (ctx.CovBranch(!st->got_user, kSite + 14)) {
+        Reply(ctx, fd, "503 USER first\r\n");
+      } else {
+        st->logged_in = 1;
+        Reply(ctx, fd, "230 Welcome\r\n");
+      }
+      return;
+    }
+    if (ctx.CovBranch(strcmp(verb, "AUTH") == 0, kSite + 16)) {
+      if (ctx.CovBranch(StartsWithNoCase(arg, "TLS"), kSite + 18)) {
+        st->tls_pending = 1;
+        Reply(ctx, fd, "234 AUTH TLS OK\r\n");
+      } else {
+        Reply(ctx, fd, "504 Unknown AUTH\r\n");
+      }
+      return;
+    }
+    if (ctx.CovBranch(strcmp(verb, "PBSZ") == 0, kSite + 20)) {
+      Reply(ctx, fd, st->tls_pending ? "200 PBSZ=0\r\n" : "503 AUTH first\r\n");
+      return;
+    }
+    if (ctx.CovBranch(strcmp(verb, "PROT") == 0, kSite + 22)) {
+      if (ctx.CovBranch(arg[0] == 'P', kSite + 24)) {
+        Reply(ctx, fd, "200 Protection level P\r\n");
+      } else if (ctx.CovBranch(arg[0] == 'C', kSite + 26)) {
+        Reply(ctx, fd, "200 Protection level C\r\n");
+      } else {
+        Reply(ctx, fd, "504 Bad protection level\r\n");
+      }
+      return;
+    }
+    if (ctx.CovBranch(strcmp(verb, "QUIT") == 0, kSite + 28)) {
+      Reply(ctx, fd, "221 Logout\r\n");
+      ctx.net().Close(st->conn);
+      st->conn = -1;
+      return;
+    }
+    if (ctx.CovBranch(!st->logged_in, kSite + 30)) {
+      Reply(ctx, fd, "530 You aren't logged in\r\n");
+      return;
+    }
+    if (ctx.CovBranch(strcmp(verb, "MLSD") == 0 || strcmp(verb, "MLST") == 0, kSite + 32)) {
+      Reply(ctx, fd, "250-Listing\r\n type=dir; .\r\n250 End\r\n");
+      return;
+    }
+    if (ctx.CovBranch(strcmp(verb, "OPTS") == 0, kSite + 34)) {
+      if (ctx.CovBranch(StartsWithNoCase(arg, "UTF8"), kSite + 36)) {
+        Reply(ctx, fd, "200 UTF8 on\r\n");
+      } else if (ctx.CovBranch(StartsWithNoCase(arg, "MLST"), kSite + 38)) {
+        Reply(ctx, fd, "200 MLST OPTS\r\n");
+      } else {
+        Reply(ctx, fd, "501 Unknown option\r\n");
+      }
+      return;
+    }
+    if (ctx.CovBranch(strcmp(verb, "SIZE") == 0, kSite + 40)) {
+      Reply(ctx, fd, arg[0] != '\0' ? "213 0\r\n" : "501 Need filename\r\n");
+      return;
+    }
+    if (ctx.CovBranch(strcmp(verb, "MDTM") == 0, kSite + 42)) {
+      Reply(ctx, fd, "213 20220101000000\r\n");
+      return;
+    }
+    if (ctx.CovBranch(strcmp(verb, "PASV") == 0, kSite + 44)) {
+      Reply(ctx, fd, "227 Entering Passive Mode (127,0,0,1,12,0)\r\n");
+      return;
+    }
+    if (ctx.CovBranch(strcmp(verb, "TYPE") == 0, kSite + 46)) {
+      Reply(ctx, fd, "200 TYPE OK\r\n");
+      return;
+    }
+    if (ctx.CovBranch(strcmp(verb, "NOOP") == 0, kSite + 48)) {
+      Reply(ctx, fd, "200 Zzz...\r\n");
+      return;
+    }
+    ctx.Cov(kSite + 50);
+    Reply(ctx, fd, "500 Unknown command\r\n");
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Target> MakePureFtpd() { return std::make_unique<PureFtpd>(); }
+
+}  // namespace nyx

@@ -1,0 +1,470 @@
+#include "src/targets/registry.h"
+
+#include "src/spec/builder.h"
+
+namespace nyx {
+namespace {
+
+Spec MakeGeneric() { return Spec::GenericNetwork(); }
+Spec MakeMulti() { return Spec::MultiConnection(); }
+
+Program LinesSeed(const Spec& spec, std::initializer_list<const char*> lines) {
+  Builder b(spec);
+  ValueRef con = b.Connection();
+  for (const char* l : lines) {
+    b.Packet(con, std::string(l) + "\r\n");
+  }
+  return *b.Build();
+}
+
+Program RawSeed(const Spec& spec, std::initializer_list<Bytes> packets) {
+  Builder b(spec);
+  ValueRef con = b.Connection();
+  for (const Bytes& p : packets) {
+    b.Packet(con, p);
+  }
+  return *b.Build();
+}
+
+std::vector<Program> FtpSeeds(const Spec& spec) {
+  return {
+      LinesSeed(spec, {"USER anonymous", "PASS guest@example.com", "SYST", "PWD", "TYPE I",
+                       "PASV", "LIST", "QUIT"}),
+      LinesSeed(spec, {"USER admin", "PASS hunter2", "CWD upload", "MKD files", "CWD files",
+                       "STOR data.bin", "SIZE data.bin", "RETR data.bin"}),
+      LinesSeed(spec, {"USER anonymous", "PASS x", "MKD a", "CWD a", "RMD a", "LIST", "NOOP",
+                       "QUIT"}),
+  };
+}
+
+std::vector<Program> BftpdSeeds(const Spec& spec) {
+  return {
+      LinesSeed(spec, {"USER test", "PASS test", "STAT", "MODE S", "STRU F", "EPSV",
+                       "STOR f.txt", "QUIT"}),
+      LinesSeed(spec, {"USER test", "PASS test", "CWD /tmp", "CDUP", "PWD", "REST 100",
+                       "APPE log.txt", "ABOR"}),
+  };
+}
+
+std::vector<Program> PureFtpdSeeds(const Spec& spec) {
+  return {
+      LinesSeed(spec, {"USER ftp", "PASS ftp", "OPTS UTF8 ON", "MLSD", "PASV", "TYPE I",
+                       "SIZE readme", "QUIT"}),
+      LinesSeed(spec, {"AUTH TLS", "PBSZ 0", "PROT P", "USER secure", "PASS s3cret", "MDTM x",
+                       "NOOP"}),
+  };
+}
+
+Bytes DnsQuery(const char* name, uint8_t qtype) {
+  Bytes q = {0x12, 0x34, 0x01, 0x00, 0x00, 0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00};
+  const char* p = name;
+  while (*p != '\0') {
+    const char* dot = p;
+    while (*dot != '\0' && *dot != '.') {
+      dot++;
+    }
+    q.push_back(static_cast<uint8_t>(dot - p));
+    q.insert(q.end(), p, dot);
+    p = *dot == '.' ? dot + 1 : dot;
+  }
+  q.push_back(0);
+  q.push_back(0);
+  q.push_back(qtype);
+  q.push_back(0);
+  q.push_back(1);
+  return q;
+}
+
+std::vector<Program> DnsmasqSeeds(const Spec& spec) {
+  return {
+      RawSeed(spec, {DnsQuery("www.example.com", 1), DnsQuery("example.com", 28)}),
+      RawSeed(spec, {DnsQuery("mail.example.org", 15), DnsQuery("example.org", 16),
+                     DnsQuery("1.0.0.127.in-addr.arpa", 12)}),
+  };
+}
+
+std::vector<Program> EximSeeds(const Spec& spec) {
+  return {
+      LinesSeed(spec, {"EHLO client.example", "MAIL FROM:<alice@example.com>",
+                       "RCPT TO:<bob@example.com>", "DATA", "Subject: hi",
+                       "X-Mailer: test", "hello world", ".", "QUIT"}),
+      LinesSeed(spec, {"EHLO relay", "MAIL FROM:<a@b> SIZE=1000", "RCPT TO:<c@d>",
+                       "RCPT TO:<e@f>", "DATA", "X-Priority: 1", ".", "RSET", "NOOP"}),
+      LinesSeed(spec, {"HELO old.client", "MAIL FROM:<x@y>", "VRFY postmaster", "QUIT"}),
+  };
+}
+
+std::vector<Program> Live555Seeds(const Spec& spec) {
+  return {
+      RawSeed(spec,
+              {ToBytes("OPTIONS rtsp://h/s RTSP/1.0\r\nCSeq: 1\r\n\r\n"),
+               ToBytes("DESCRIBE rtsp://h/s RTSP/1.0\r\nCSeq: 2\r\nAccept: application/sdp\r\n\r\n"),
+               ToBytes("SETUP rtsp://h/s/track1 RTSP/1.0\r\nCSeq: 3\r\nTransport: "
+                       "RTP/AVP;unicast;client_port=5000-5001\r\n\r\n"),
+               ToBytes("PLAY rtsp://h/s RTSP/1.0\r\nCSeq: 4\r\nRange: npt=0-\r\n\r\n"),
+               ToBytes("TEARDOWN rtsp://h/s RTSP/1.0\r\nCSeq: 5\r\n\r\n")}),
+      RawSeed(spec, {ToBytes("OPTIONS * RTSP/1.0\r\nCSeq: 10\r\n\r\n"),
+                     ToBytes("PLAY rtsp://h/s RTSP/1.0\r\nCSeq: 11\r\nRange: npt=30-60\r\n\r\n"),
+                     ToBytes("PAUSE rtsp://h/s RTSP/1.0\r\nCSeq: 12\r\n\r\n")}),
+  };
+}
+
+std::vector<Program> DaapdSeeds(const Spec& spec) {
+  return {
+      RawSeed(spec, {ToBytes("GET /server-info HTTP/1.1\r\nHost: x\r\n\r\n"),
+                     ToBytes("GET /login HTTP/1.1\r\nUser-Agent: iTunes/12\r\n\r\n"),
+                     ToBytes("GET /databases HTTP/1.1\r\nHost: x\r\n\r\n")}),
+      RawSeed(spec,
+              {ToBytes("GET /login HTTP/1.1\r\n\r\n"),
+               ToBytes("GET /databases/1/items?query=('dmap.itemname:*a*') HTTP/1.1\r\n\r\n"),
+               ToBytes("GET /databases/1/browse/artists HTTP/1.1\r\n\r\n"),
+               ToBytes("GET /update HTTP/1.1\r\n\r\n")}),
+  };
+}
+
+std::vector<Program> KamailioSeeds(const Spec& spec) {
+  return {
+      RawSeed(spec, {ToBytes("REGISTER sip:example.com SIP/2.0\r\nVia: SIP/2.0/UDP "
+                             "10.0.0.1:5060\r\nFrom: <sip:alice@example.com>\r\nTo: "
+                             "<sip:alice@example.com>\r\nCall-ID: a1@10.0.0.1\r\nCSeq: 1 "
+                             "REGISTER\r\nContact: <sip:alice@10.0.0.1>\r\nExpires: "
+                             "3600\r\n\r\n"),
+                     ToBytes("INVITE sip:alice@example.com SIP/2.0\r\nVia: SIP/2.0/UDP "
+                             "10.0.0.2\r\nFrom: <sip:bob@example.com>\r\nTo: "
+                             "<sip:alice@example.com>\r\nCall-ID: b2@10.0.0.2\r\nCSeq: 1 "
+                             "INVITE\r\n\r\n"),
+                     ToBytes("ACK sip:alice@example.com SIP/2.0\r\nVia: SIP/2.0/UDP "
+                             "10.0.0.2\r\nFrom: <sip:bob@e>\r\nTo: <sip:alice@e>\r\nCall-ID: "
+                             "b2@10.0.0.2\r\nCSeq: 1 ACK\r\n\r\n"),
+                     ToBytes("BYE sip:alice@example.com SIP/2.0\r\nVia: SIP/2.0/UDP "
+                             "10.0.0.2\r\nFrom: <sip:bob@e>\r\nTo: <sip:alice@e>\r\nCall-ID: "
+                             "b2@10.0.0.2\r\nCSeq: 2 BYE\r\n\r\n")}),
+      RawSeed(spec, {ToBytes("OPTIONS sip:example.com SIP/2.0\r\nVia: SIP/2.0/TCP "
+                             "10.0.0.3;branch=z9hG4bK1\r\nFrom: <sip:x@e>;tag=1\r\nTo: "
+                             "<sip:y@e>\r\nCall-ID: c3\r\nCSeq: 7 OPTIONS\r\n\r\n"),
+                     ToBytes("MESSAGE sip:alice@example.com;transport=udp SIP/2.0\r\nVia: "
+                             "SIP/2.0/UDP 10.0.0.4\r\nFrom: <sips:z@e:5061;lr>\r\nTo: "
+                             "<sip:alice@e>\r\nCall-ID: d4\r\nCSeq: 1 MESSAGE\r\n\r\n")}),
+  };
+}
+
+Bytes SshPacket(uint8_t type, const Bytes& payload) {
+  Bytes pkt;
+  PutBe32(pkt, static_cast<uint32_t>(payload.size()) + 2);
+  pkt.push_back(0);  // padlen
+  pkt.push_back(type);
+  Append(pkt, payload);
+  return pkt;
+}
+
+Bytes SshNameLists() {
+  Bytes b(16, 0xab);  // cookie
+  const char* lists[10] = {
+      "curve25519-sha256,diffie-hellman-group14-sha256",
+      "ssh-ed25519,rsa-sha2-512",
+      "aes128-ctr,aes256-gcm@openssh.com",
+      "aes128-ctr,aes256-gcm@openssh.com",
+      "hmac-sha2-256,hmac-sha1",
+      "hmac-sha2-256,hmac-sha1",
+      "none,zlib@openssh.com",
+      "none,zlib@openssh.com",
+      "",
+      "",
+  };
+  for (const char* l : lists) {
+    PutBe32(b, static_cast<uint32_t>(strlen(l)));
+    Append(b, l);
+  }
+  b.push_back(0);  // first_kex_packet_follows
+  PutBe32(b, 0);   // reserved
+  return b;
+}
+
+std::vector<Program> OpenSshSeeds(const Spec& spec) {
+  Bytes service;
+  PutBe32(service, 12);
+  Append(service, "ssh-userauth");
+  Bytes auth;
+  PutBe32(auth, 4);
+  Append(auth, "root");
+  PutBe32(auth, 14);
+  Append(auth, "ssh-connection");
+  Append(auth, "password");
+  return {
+      RawSeed(spec, {ToBytes("SSH-2.0-OpenSSH_8.9 client\r\n"),
+                     SshPacket(20, SshNameLists()), SshPacket(30, Bytes(64, 0x11)),
+                     SshPacket(21, {}), SshPacket(5, service), SshPacket(50, auth)}),
+  };
+}
+
+Bytes TlsClientHello() {
+  Bytes hello;
+  hello.push_back(3);
+  hello.push_back(3);               // client version TLS1.2
+  hello.resize(hello.size() + 32);  // random
+  hello.push_back(0);               // session id len
+  PutBe16(hello, 6);                // cipher suites bytes
+  PutBe16(hello, 0xc02f);
+  PutBe16(hello, 0x009e);
+  PutBe16(hello, 0x00ff);
+  hello.push_back(1);  // compression methods
+  hello.push_back(0);
+  // Extensions: SNI + ALPN(h2).
+  Bytes ext;
+  PutBe16(ext, 0);  // SNI
+  PutBe16(ext, 12);
+  PutBe16(ext, 10);
+  ext.push_back(0);
+  PutBe16(ext, 7);
+  Append(ext, "example");
+  PutBe16(ext, 16);  // ALPN
+  PutBe16(ext, 5);
+  PutBe16(ext, 3);
+  ext.push_back(2);
+  Append(ext, "h2");
+  PutBe16(hello, static_cast<uint16_t>(ext.size()));
+  Append(hello, ext);
+
+  Bytes hs;
+  hs.push_back(1);  // ClientHello
+  hs.push_back(0);
+  PutBe16(hs, static_cast<uint16_t>(hello.size()));
+  Append(hs, hello);
+
+  Bytes rec;
+  rec.push_back(22);
+  rec.push_back(3);
+  rec.push_back(3);
+  PutBe16(rec, static_cast<uint16_t>(hs.size()));
+  Append(rec, hs);
+  return rec;
+}
+
+Bytes TlsHandshakeRecord(uint8_t type, uint16_t body) {
+  Bytes rec = {22, 3, 3};
+  PutBe16(rec, static_cast<uint16_t>(4 + body));
+  rec.push_back(type);
+  rec.push_back(0);
+  PutBe16(rec, body);
+  rec.resize(rec.size() + body, 0);
+  return rec;
+}
+
+std::vector<Program> OpenSslSeeds(const Spec& spec) {
+  Bytes ccs = {20, 3, 3, 0, 1, 1};
+  Bytes appdata = {23, 3, 3, 0, 3, 'G', 'E', 'T'};
+  return {
+      RawSeed(spec, {TlsClientHello(), TlsHandshakeRecord(16, 48), ccs,
+                     TlsHandshakeRecord(20, 12), appdata}),
+  };
+}
+
+Bytes DtlsRecord(uint8_t content, const Bytes& body) {
+  Bytes rec = {content, 0xfe, 0xfd, 0, 0, 0, 0, 0, 0, 0, 0};
+  PutBe16(rec, static_cast<uint16_t>(body.size()));
+  Append(rec, body);
+  return rec;
+}
+
+Bytes DtlsHandshake(uint8_t hs_type, const Bytes& body) {
+  Bytes hs;
+  hs.push_back(hs_type);
+  hs.push_back(0);
+  PutBe16(hs, static_cast<uint16_t>(body.size()));  // 24-bit length (hi byte 0)
+  hs.push_back(0);
+  hs.push_back(0);  // message_seq
+  hs.push_back(0);
+  hs.push_back(0);
+  hs.push_back(0);  // frag offset (24)
+  hs.push_back(0);
+  PutBe16(hs, static_cast<uint16_t>(body.size()));  // frag length low bytes
+  Append(hs, body);
+  return hs;
+}
+
+std::vector<Program> TinyDtlsSeeds(const Spec& spec) {
+  // ClientHello without cookie (the server replies with one), then with it.
+  Bytes hello1(35, 0);
+  hello1[0] = 0xfe;
+  hello1[1] = 0xfd;
+  hello1.push_back(0);  // cookie len 0
+  Bytes hello2(35, 0);
+  hello2[0] = 0xfe;
+  hello2[1] = 0xfd;
+  hello2.push_back(8);
+  for (int i = 0; i < 8; i++) {
+    hello2.push_back(static_cast<uint8_t>(0xc0 + i));
+  }
+  return {
+      RawSeed(spec, {DtlsRecord(22, DtlsHandshake(1, hello1)),
+                     DtlsRecord(22, DtlsHandshake(1, hello2)),
+                     DtlsRecord(22, DtlsHandshake(16, Bytes(32, 0x5a))),
+                     DtlsRecord(22, DtlsHandshake(20, Bytes(12, 0x0f))),
+                     DtlsRecord(23, ToBytes("coap-ping"))}),
+  };
+}
+
+Bytes DicomAssociateRq() {
+  Bytes body;
+  PutBe16(body, 1);  // protocol version
+  PutBe16(body, 0);
+  for (int i = 0; i < 16; i++) {
+    body.push_back(i < 7 ? "STORAGE"[i] : ' ');  // called AE
+  }
+  for (int i = 0; i < 16; i++) {
+    body.push_back(i < 6 ? "CLIENT"[i] : ' ');  // calling AE
+  }
+  body.resize(68, 0);
+  // Application context item.
+  body.push_back(0x10);
+  body.push_back(0);
+  PutBe16(body, 4);
+  Append(body, "1.2.8");
+  body.resize(body.size() - 1);  // 4 bytes of the UID
+  // Presentation context item.
+  body.push_back(0x20);
+  body.push_back(0);
+  PutBe16(body, 4);
+  PutBe32(body, 0x01000000);
+
+  Bytes pdu;
+  pdu.push_back(0x01);
+  pdu.push_back(0);
+  PutBe32(pdu, static_cast<uint32_t>(body.size()));
+  Append(pdu, body);
+  return pdu;
+}
+
+Bytes DicomDataTf(uint16_t elem_len) {
+  Bytes pdv;
+  // DICOM element: group 0008, elem 0016, len.
+  pdv.push_back(0x08);
+  pdv.push_back(0x00);
+  pdv.push_back(0x16);
+  pdv.push_back(0x00);
+  pdv.push_back(static_cast<uint8_t>(elem_len));
+  pdv.push_back(static_cast<uint8_t>(elem_len >> 8));
+  pdv.resize(pdv.size() + elem_len, 0x41);
+
+  Bytes body;
+  PutBe32(body, static_cast<uint32_t>(pdv.size()) + 2);
+  body.push_back(1);  // context id
+  body.push_back(2);  // flags: last fragment
+  Append(body, pdv);
+
+  Bytes pdu;
+  pdu.push_back(0x04);
+  pdu.push_back(0);
+  PutBe32(pdu, static_cast<uint32_t>(body.size()));
+  Append(pdu, body);
+  return pdu;
+}
+
+std::vector<Program> DcmtkSeeds(const Spec& spec) {
+  Bytes release = {0x05, 0, 0, 0, 0, 4, 0, 0, 0, 0};
+  return {
+      RawSeed(spec, {DicomAssociateRq(), DicomDataTf(32), DicomDataTf(64), release}),
+  };
+}
+
+std::vector<Program> LighttpdSeeds(const Spec& spec) {
+  return {
+      RawSeed(spec, {ToBytes("GET / HTTP/1.1\r\nHost: localhost\r\n\r\n"),
+                     ToBytes("POST /upload HTTP/1.1\r\nContent-Length: 5\r\n\r\n"),
+                     ToBytes("hello")}),
+      RawSeed(spec, {ToBytes("HEAD /index.html HTTP/1.0\r\n\r\n"),
+                     ToBytes("OPTIONS * HTTP/1.1\r\nConnection: keep-alive\r\n\r\n")}),
+  };
+}
+
+Bytes MysqlPacket(uint8_t seq, const Bytes& payload) {
+  Bytes pkt;
+  pkt.push_back(static_cast<uint8_t>(payload.size()));
+  pkt.push_back(static_cast<uint8_t>(payload.size() >> 8));
+  pkt.push_back(static_cast<uint8_t>(payload.size() >> 16));
+  pkt.push_back(seq);
+  Append(pkt, payload);
+  return pkt;
+}
+
+std::vector<Program> MysqlClientSeeds(const Spec& spec) {
+  Bytes greeting;
+  greeting.push_back(10);  // protocol
+  Append(greeting, "8.0.32-server");
+  greeting.push_back(0);
+  PutLe32(greeting, 1234);          // thread id
+  greeting.resize(greeting.size() + 9, 0x5b);  // salt + nul
+  PutLe16(greeting, 0xf7ff);        // caps
+
+  Bytes ok = {0x00, 0x00, 0x00, 0x02, 0x00, 0x00};
+  Bytes colcount = {0x02};
+  Bytes coldef = ToBytes("def-db-tbl-col");
+  Bytes eof = {0xfe, 0x00, 0x00, 0x02, 0x00};
+  return {
+      RawSeed(spec, {MysqlPacket(0, greeting), MysqlPacket(2, ok), MysqlPacket(1, colcount),
+                     MysqlPacket(2, coldef), MysqlPacket(3, coldef), MysqlPacket(4, eof)}),
+  };
+}
+
+std::vector<Program> FirefoxIpcSeeds(const Spec& spec) {
+  auto msg = [](uint32_t actor, uint32_t type, const Bytes& payload) {
+    Bytes m;
+    PutLe32(m, actor);
+    PutLe32(m, type);
+    PutLe32(m, static_cast<uint32_t>(payload.size()));
+    Append(m, payload);
+    return m;
+  };
+  Builder b(spec);
+  ValueRef c1 = b.Connection();
+  ValueRef c2 = b.Connection();
+  b.Packet(c1, msg(0, 1, {4}));                    // construct PWindow -> actor 1
+  b.Packet(c1, msg(1, 4, ToBytes("nav:home")));    // window message
+  b.Packet(c2, msg(0, 1, {5}));                    // construct PNecko -> actor 2
+  b.Packet(c2, msg(2, 5, ToBytes("http GET /")));  // necko request
+  b.Packet(c1, msg(1, 2, {}));                     // __delete__ actor 1
+  b.Packet(c2, msg(0, 6, {}));                     // sync ping to root
+  b.Close(c1);
+  return {*b.Build()};
+}
+
+const std::vector<TargetRegistration>& Registry() {
+  static const std::vector<TargetRegistration> kTargets = {
+      {"bftpd", MakeBftpd, MakeGeneric, BftpdSeeds, {}, true},
+      {"dcmtk", MakeDcmtk, MakeGeneric, DcmtkSeeds,
+       {kCrashDcmtkOobWrite, kCrashDcmtkLateHeap}, true},
+      {"dnsmasq", MakeDnsmasq, MakeGeneric, DnsmasqSeeds, {kCrashDnsmasqOobRead}, true},
+      {"exim", MakeExim, MakeGeneric, EximSeeds, {kCrashEximHeaderOverflow}, true},
+      {"forked-daapd", MakeForkedDaapd, MakeGeneric, DaapdSeeds, {}, true},
+      {"kamailio", MakeKamailio, MakeGeneric, KamailioSeeds, {}, true},
+      {"lightftp", MakeLightFtp, MakeGeneric, FtpSeeds, {}, true},
+      {"live555", MakeLive555, MakeGeneric, Live555Seeds, {kCrashLive555RangeNull}, true},
+      {"openssh", MakeOpenSsh, MakeGeneric, OpenSshSeeds, {}, true},
+      {"openssl", MakeOpenSsl, MakeGeneric, OpenSslSeeds, {}, true},
+      {"proftpd", MakeProFtpd, MakeGeneric, FtpSeeds, {kCrashProftpdMkdNull}, true},
+      {"pure-ftpd", MakePureFtpd, MakeGeneric, PureFtpdSeeds, {kCrashPureFtpdOom}, true},
+      {"tinydtls", MakeTinyDtls, MakeGeneric, TinyDtlsSeeds, {kCrashTinyDtlsFragLen}, true},
+      {"lighttpd", MakeLighttpd, MakeGeneric, LighttpdSeeds,
+       {kCrashLighttpdAllocUnderflow}, false},
+      {"mysql-client", MakeMysqlClient, MakeGeneric, MysqlClientSeeds,
+       {kCrashMysqlClientOobRead}, false},
+      {"firefox-ipc", MakeFirefoxIpc, MakeMulti, FirefoxIpcSeeds,
+       {kCrashFirefoxIpcNullDeref}, false},
+  };
+  return kTargets;
+}
+
+}  // namespace
+
+const std::vector<TargetRegistration>& AllTargets() { return Registry(); }
+
+std::optional<TargetRegistration> FindTarget(const std::string& name) {
+  for (const auto& t : Registry()) {
+    if (t.name == name) {
+      return t;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace nyx

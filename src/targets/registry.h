@@ -1,0 +1,67 @@
+// Registry of fuzz targets: the 13 ProFuzzBench analogues plus the case
+// studies (lighttpd, mysql-client, firefox-ipc). The harness and benches
+// look targets up by name; each target also declares which spec and stream
+// splitter suit it.
+
+#ifndef SRC_TARGETS_REGISTRY_H_
+#define SRC_TARGETS_REGISTRY_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/fuzz/guest.h"
+#include "src/spec/program.h"
+#include "src/spec/spec.h"
+
+namespace nyx {
+
+struct TargetRegistration {
+  std::string name;
+  TargetFactory factory = nullptr;
+  // Spec used to fuzz this target (most use Spec::GenericNetwork()).
+  Spec (*make_spec)() = nullptr;
+  // Seed inputs, built with the Builder the way a user would convert a PCAP.
+  std::vector<Program> (*make_seeds)(const Spec& spec) = nullptr;
+  // Crash ids this target can produce (empty if none) — used by Table 1.
+  std::vector<uint32_t> known_crashes;
+  bool in_profuzzbench = true;
+};
+
+const std::vector<TargetRegistration>& AllTargets();
+std::optional<TargetRegistration> FindTarget(const std::string& name);
+
+// Per-target factory declarations (each lives in its own translation unit).
+std::unique_ptr<Target> MakeLightFtp();
+std::unique_ptr<Target> MakeBftpd();
+std::unique_ptr<Target> MakeProFtpd();
+std::unique_ptr<Target> MakePureFtpd();
+std::unique_ptr<Target> MakeDnsmasq();
+std::unique_ptr<Target> MakeExim();
+std::unique_ptr<Target> MakeLive555();
+std::unique_ptr<Target> MakeForkedDaapd();
+std::unique_ptr<Target> MakeKamailio();
+std::unique_ptr<Target> MakeOpenSsh();
+std::unique_ptr<Target> MakeOpenSsl();
+std::unique_ptr<Target> MakeTinyDtls();
+std::unique_ptr<Target> MakeDcmtk();
+std::unique_ptr<Target> MakeLighttpd();
+std::unique_ptr<Target> MakeMysqlClient();
+std::unique_ptr<Target> MakeFirefoxIpc();
+
+// Well-known crash ids (Table 1 and the case studies).
+inline constexpr uint32_t kCrashDcmtkOobWrite = 0xa5a50001;       // ASan-dependent
+inline constexpr uint32_t kCrashDcmtkLateHeap = 0xc0de0001;       // layout-dependent
+inline constexpr uint32_t kCrashDnsmasqOobRead = 0xd5a10001;
+inline constexpr uint32_t kCrashEximHeaderOverflow = 0xe4130001;  // Nyx-Net only
+inline constexpr uint32_t kCrashLive555RangeNull = 0x55550001;
+inline constexpr uint32_t kCrashProftpdMkdNull = 0x9f7d0001;      // Nyx-Net only
+inline constexpr uint32_t kCrashPureFtpdOom = 0x9e0f0001;         // no-reset fuzzers only
+inline constexpr uint32_t kCrashTinyDtlsFragLen = 0x7d715001;
+inline constexpr uint32_t kCrashLighttpdAllocUnderflow = 0x119d0001;
+inline constexpr uint32_t kCrashMysqlClientOobRead = 0x30360001;
+inline constexpr uint32_t kCrashFirefoxIpcNullDeref = 0xff0c0001;
+
+}  // namespace nyx
+
+#endif  // SRC_TARGETS_REGISTRY_H_

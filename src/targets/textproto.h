@@ -1,0 +1,93 @@
+// Shared helpers for line-oriented protocol targets. Everything here
+// operates on POD state that lives in guest memory, keeping the
+// snapshot-safety contract.
+
+#ifndef SRC_TARGETS_TEXTPROTO_H_
+#define SRC_TARGETS_TEXTPROTO_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+#include "src/fuzz/guest.h"
+
+namespace nyx {
+
+// Accumulates raw bytes and yields complete lines (LF- or CRLF-terminated).
+// Fixed-size so it can live in guest state; overlong lines are truncated at
+// the buffer boundary and flushed as one line, like most real servers do.
+struct LineBuffer {
+  char data[1024];
+  uint32_t len;
+
+  void Push(const uint8_t* in, uint32_t n) {
+    const uint32_t space = static_cast<uint32_t>(sizeof(data)) - len;
+    const uint32_t take = n < space ? n : space;
+    memcpy(data + len, in, take);
+    len += take;
+  }
+
+  // Extracts the first complete line (without its terminator) into `out`
+  // (capacity `cap`, NUL-terminated). Returns false if no full line is
+  // buffered. A full buffer with no newline is flushed as a line.
+  bool PopLine(char* out, uint32_t cap) {
+    uint32_t eol = UINT32_MAX;
+    for (uint32_t i = 0; i < len; i++) {
+      if (data[i] == '\n') {
+        eol = i;
+        break;
+      }
+    }
+    uint32_t line_len;
+    uint32_t consumed;
+    if (eol == UINT32_MAX) {
+      if (len < sizeof(data)) {
+        return false;
+      }
+      line_len = len;
+      consumed = len;
+    } else {
+      line_len = eol;
+      if (line_len > 0 && data[line_len - 1] == '\r') {
+        line_len--;
+      }
+      consumed = eol + 1;
+    }
+    const uint32_t copy = line_len < cap - 1 ? line_len : cap - 1;
+    memcpy(out, data, copy);
+    out[copy] = '\0';
+    memmove(data, data + consumed, len - consumed);
+    len -= consumed;
+    return true;
+  }
+};
+
+// Sends a NUL-terminated reply on `fd`.
+inline void Reply(GuestContext& ctx, int fd, const char* msg) {
+  ctx.net().Send(fd, msg, strlen(msg));
+}
+
+// Splits "VERB rest" in place; returns the verb (upper-cased into `verb`).
+inline std::string_view SplitVerb(const char* line, char* verb, uint32_t cap,
+                                  const char** rest) {
+  uint32_t i = 0;
+  while (line[i] != '\0' && line[i] != ' ' && i < cap - 1) {
+    char c = line[i];
+    if (c >= 'a' && c <= 'z') {
+      c = static_cast<char>(c - 'a' + 'A');
+    }
+    verb[i] = c;
+    i++;
+  }
+  verb[i] = '\0';
+  const char* r = line + i;
+  while (*r == ' ') {
+    r++;
+  }
+  *rest = r;
+  return std::string_view(verb, i);
+}
+
+}  // namespace nyx
+
+#endif  // SRC_TARGETS_TEXTPROTO_H_

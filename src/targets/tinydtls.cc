@@ -1,0 +1,257 @@
+// tinydtls analogue: a DTLS 1.2 record/handshake parser over UDP.
+//
+// Seeded bug (found by every fuzzer in Table 1): an out-of-bounds read when
+// a handshake fragment's fragment_length exceeds the bytes actually present
+// in the record — the reassembly path trusts the header field.
+
+#include <cstring>
+
+#include "src/targets/registry.h"
+#include "src/targets/textproto.h"
+
+namespace nyx {
+namespace {
+
+constexpr uint32_t kSite = 12000;
+constexpr uint16_t kPort = 5684;
+constexpr uint64_t kStartupNs = 30'000'000;
+constexpr uint64_t kRequestNs = 300'000;
+constexpr uint64_t kAflnetExtraNs = 420'000'000;
+
+constexpr uint8_t kContentHandshake = 22;
+constexpr uint8_t kContentAlert = 21;
+constexpr uint8_t kContentCcs = 20;
+constexpr uint8_t kContentAppData = 23;
+
+constexpr uint8_t kHsClientHello = 1;
+constexpr uint8_t kHsClientKeyExchange = 16;
+constexpr uint8_t kHsFinished = 20;
+
+struct State {
+  int sock;
+  uint8_t handshake_state;  // 0=start,1=hello-verified,2=keyed,3=finished
+  uint8_t cookie[8];
+  uint8_t have_cookie;
+  uint32_t records;
+};
+
+class TinyDtls final : public Target {
+ public:
+  TargetInfo info() const override {
+    TargetInfo ti;
+    ti.name = "tinydtls";
+    ti.port = kPort;
+    ti.transport = SockKind::kDgram;
+    ti.split = SplitStrategy::kSegment;
+    ti.desock_compatible = false;  // UDP handshake needs datagram semantics
+    ti.startup_ns = kStartupNs;
+    ti.request_ns = kRequestNs;
+    ti.aflnet_extra_ns = kAflnetExtraNs;
+    ti.startup_dirty_pages = 4;
+    return ti;
+  }
+
+  void Init(GuestContext& ctx) override {
+    auto* st = ctx.State<State>();
+    memset(st, 0, sizeof(*st));
+    st->sock = ctx.net().Socket(SockKind::kDgram);
+    ctx.net().Bind(st->sock, kPort);
+    ctx.TouchScratch(4, 0x66);
+    ctx.Charge(kStartupNs);
+  }
+
+  void Step(GuestContext& ctx) override {
+    auto* st = ctx.State<State>();
+    for (;;) {
+      if (ctx.crash().crashed) {
+        return;
+      }
+      uint8_t pkt[512];
+      const int n = ctx.net().Recv(st->sock, pkt, sizeof(pkt));
+      if (n <= 0) {
+        return;
+      }
+      HandleDatagram(ctx, st, pkt, static_cast<size_t>(n));
+    }
+  }
+
+ private:
+  void HandleDatagram(GuestContext& ctx, State* st, const uint8_t* pkt, size_t len) {
+    ctx.Charge(kRequestNs + ctx.cost().per_byte_ns * len);
+    size_t off = 0;
+    // A datagram can carry several records.
+    while (off + 13 <= len) {
+      st->records++;
+      const uint8_t content_type = pkt[off];
+      const uint16_t version = static_cast<uint16_t>(pkt[off + 1] << 8 | pkt[off + 2]);
+      const uint16_t epoch = static_cast<uint16_t>(pkt[off + 3] << 8 | pkt[off + 4]);
+      const uint16_t rec_len = static_cast<uint16_t>(pkt[off + 11] << 8 | pkt[off + 12]);
+      const size_t body = off + 13;
+
+      if (ctx.CovBranch(version != 0xfefd && version != 0xfeff, kSite + 10)) {
+        SendAlert(ctx, st, 70);  // protocol_version
+        return;
+      }
+      if (ctx.CovBranch(body + rec_len > len, kSite + 12)) {
+        SendAlert(ctx, st, 50);  // decode_error
+        return;
+      }
+      if (ctx.CovBranch(epoch > 1, kSite + 14)) {
+        return;  // silently drop future epochs
+      }
+
+      switch (content_type) {
+        case kContentHandshake:
+          ctx.Cov(kSite + 16);
+          HandleHandshake(ctx, st, pkt + body, rec_len);
+          break;
+        case kContentAlert:
+          ctx.Cov(kSite + 18);
+          if (ctx.CovBranch(rec_len >= 2 && pkt[body] == 2, kSite + 20)) {
+            st->handshake_state = 0;  // fatal alert resets
+          }
+          break;
+        case kContentCcs:
+          ctx.Cov(kSite + 22);
+          if (ctx.CovBranch(st->handshake_state >= 2, kSite + 24)) {
+            ctx.Cov(kSite + 26);
+          }
+          break;
+        case kContentAppData:
+          ctx.Cov(kSite + 28);
+          if (ctx.CovBranch(st->handshake_state == 3, kSite + 30)) {
+            // Echo application data (CoAP-ish usage).
+            ctx.net().Send(st->sock, pkt + body, rec_len);
+          } else {
+            SendAlert(ctx, st, 10);  // unexpected_message
+          }
+          break;
+        default:
+          ctx.Cov(kSite + 32);
+          SendAlert(ctx, st, 10);
+          return;
+      }
+      if (ctx.crash().crashed) {
+        return;
+      }
+      off = body + rec_len;
+    }
+    if (ctx.CovBranch(off != len, kSite + 34)) {
+      SendAlert(ctx, st, 50);  // trailing garbage
+    }
+  }
+
+  void HandleHandshake(GuestContext& ctx, State* st, const uint8_t* msg, size_t len) {
+    if (ctx.CovBranch(len < 12, kSite + 40)) {
+      SendAlert(ctx, st, 50);
+      return;
+    }
+    const uint8_t hs_type = msg[0];
+    const uint32_t msg_len =
+        static_cast<uint32_t>(msg[1]) << 16 | static_cast<uint32_t>(msg[2]) << 8 | msg[3];
+    const uint32_t frag_off =
+        static_cast<uint32_t>(msg[6]) << 16 | static_cast<uint32_t>(msg[7]) << 8 | msg[8];
+    const uint32_t frag_len =
+        static_cast<uint32_t>(msg[9]) << 16 | static_cast<uint32_t>(msg[10]) << 8 | msg[11];
+
+    if (ctx.CovBranch(frag_off + frag_len > msg_len, kSite + 42)) {
+      SendAlert(ctx, st, 47);  // illegal_parameter
+      return;
+    }
+    // BUG: the reassembly path only validated the fragment against msg_len
+    // (above) but not against the bytes actually present in this record.
+    if (ctx.CovBranch(12 + static_cast<size_t>(frag_len) > len, kSite + 44)) {
+      // memcpy(reassembly_buf + frag_off, msg + 12, frag_len) reads past the
+      // record (Table 1: all fuzzers find this).
+      ctx.Crash(kCrashTinyDtlsFragLen, "oob-read-handshake-fragment-length");
+      return;
+    }
+
+    switch (hs_type) {
+      case kHsClientHello: {
+        ctx.Cov(kSite + 46);
+        // ClientHello body: version(2) random(32) session_id cookie ...
+        const uint8_t* body = msg + 12;
+        const size_t body_len = frag_len;
+        if (ctx.CovBranch(body_len < 35, kSite + 48)) {
+          SendAlert(ctx, st, 50);
+          return;
+        }
+        const uint8_t sid_len = body[34];
+        size_t p = 35 + sid_len;
+        if (ctx.CovBranch(p >= body_len, kSite + 50)) {
+          SendAlert(ctx, st, 50);
+          return;
+        }
+        const uint8_t cookie_len = body[p];
+        p++;
+        if (ctx.CovBranch(cookie_len == 0, kSite + 52)) {
+          // First flight: respond with HelloVerifyRequest carrying a cookie.
+          st->have_cookie = 1;
+          for (int i = 0; i < 8; i++) {
+            st->cookie[i] = static_cast<uint8_t>(0xc0 + i);
+          }
+          uint8_t hvr[25] = {kContentHandshake, 0xfe, 0xfd};
+          hvr[12] = 11;  // rec_len
+          hvr[13] = 3;   // HelloVerifyRequest
+          ctx.net().Send(st->sock, hvr, sizeof(hvr));
+          return;
+        }
+        if (ctx.CovBranch(p + cookie_len > body_len, kSite + 54)) {
+          SendAlert(ctx, st, 50);
+          return;
+        }
+        if (ctx.CovBranch(
+                st->have_cookie && cookie_len == 8 && memcmp(body + p, st->cookie, 8) == 0,
+                kSite + 56)) {
+          st->handshake_state = 1;
+          uint8_t sh[40] = {kContentHandshake, 0xfe, 0xfd};
+          sh[12] = 26;
+          sh[13] = 2;  // ServerHello
+          ctx.net().Send(st->sock, sh, sizeof(sh));
+        } else {
+          SendAlert(ctx, st, 40);  // handshake_failure (bad cookie)
+        }
+        return;
+      }
+      case kHsClientKeyExchange:
+        ctx.Cov(kSite + 58);
+        if (ctx.CovBranch(st->handshake_state == 1, kSite + 60)) {
+          st->handshake_state = 2;
+        } else {
+          SendAlert(ctx, st, 10);
+        }
+        return;
+      case kHsFinished:
+        ctx.Cov(kSite + 62);
+        if (ctx.CovBranch(st->handshake_state == 2, kSite + 64)) {
+          st->handshake_state = 3;
+          uint8_t fin[26] = {kContentHandshake, 0xfe, 0xfd};
+          fin[12] = 12;
+          fin[13] = kHsFinished;
+          ctx.net().Send(st->sock, fin, sizeof(fin));
+        } else {
+          SendAlert(ctx, st, 10);
+        }
+        return;
+      default:
+        ctx.Cov(kSite + 66);
+        SendAlert(ctx, st, 10);
+        return;
+    }
+  }
+
+  void SendAlert(GuestContext& ctx, State* st, uint8_t desc) {
+    uint8_t alert[15] = {kContentAlert, 0xfe, 0xfd};
+    alert[12] = 2;  // rec_len
+    alert[13] = 2;  // fatal
+    alert[14] = desc;
+    ctx.net().Send(st->sock, alert, sizeof(alert));
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Target> MakeTinyDtls() { return std::make_unique<TinyDtls>(); }
+
+}  // namespace nyx

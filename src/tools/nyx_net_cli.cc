@@ -1,0 +1,329 @@
+// nyx-net: command-line front end, mirroring the five-step workflow of
+// paper section 5.4 (pick target -> pick spec -> gather seeds -> bundle ->
+// run the fuzzer).
+//
+//   nyx-net targets
+//       List the available fuzz targets and their seeded bugs.
+//   nyx-net fuzz --target NAME [--policy none|balanced|aggressive|aflnet|
+//       aflnet-no-state|aflnwe|desock|ijon] [--vtime SECONDS] [--wall SECONDS]
+//       [--seed N] [--asan] [--workdir DIR] [--resume]
+//       Run a campaign; persists queue/crashes/stats into the workdir.
+//   nyx-net pcap --target NAME --pcap FILE [--port P]
+//       [--split crlf|len16|len32|segment] [--workdir DIR]
+//       Convert a capture into bytecode seeds (section 4.4).
+//   nyx-net repro --target NAME --input FILE [--asan] [--seed N]
+//       Replay one input against the target and report the outcome.
+//   nyx-net mario --level 1-1 [--policy ...] [--wall SECONDS]
+//       Solve a Super Mario level (section 5.3).
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "src/fuzz/workdir.h"
+#include "src/harness/campaign.h"
+#include "src/harness/table.h"
+#include "src/mario/mario_target.h"
+#include "src/spec/pcap.h"
+#include "src/targets/registry.h"
+
+namespace nyx {
+namespace {
+
+struct Args {
+  std::map<std::string, std::string> values;
+  bool Has(const std::string& key) const { return values.count(key) != 0; }
+  std::string Get(const std::string& key, const std::string& def = "") const {
+    auto it = values.find(key);
+    return it == values.end() ? def : it->second;
+  }
+  double GetDouble(const std::string& key, double def) const {
+    return Has(key) ? atof(Get(key).c_str()) : def;
+  }
+  uint64_t GetU64(const std::string& key, uint64_t def) const {
+    return Has(key) ? strtoull(Get(key).c_str(), nullptr, 10) : def;
+  }
+};
+
+Args ParseArgs(int argc, char** argv, int from) {
+  Args args;
+  for (int i = from; i < argc; i++) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) {
+      continue;
+    }
+    key = key.substr(2);
+    if (i + 1 < argc && strncmp(argv[i + 1], "--", 2) != 0) {
+      args.values[key] = argv[++i];
+    } else {
+      args.values[key] = "1";  // boolean flag
+    }
+  }
+  return args;
+}
+
+int Usage() {
+  fprintf(stderr,
+          "usage: nyx-net <targets|fuzz|pcap|repro|mario> [--help]\n"
+          "run with a command and no arguments for that command's options\n");
+  return 2;
+}
+
+FuzzerKind ParseFuzzer(const std::string& name) {
+  if (name == "none") return FuzzerKind::kNyxNone;
+  if (name == "balanced") return FuzzerKind::kNyxBalanced;
+  if (name == "aggressive") return FuzzerKind::kNyxAggressive;
+  if (name == "aflnet") return FuzzerKind::kAflnet;
+  if (name == "aflnet-no-state") return FuzzerKind::kAflnetNoState;
+  if (name == "aflnwe") return FuzzerKind::kAflnwe;
+  if (name == "desock") return FuzzerKind::kAflppDesock;
+  if (name == "ijon") return FuzzerKind::kIjon;
+  fprintf(stderr, "unknown policy/fuzzer '%s', using balanced\n", name.c_str());
+  return FuzzerKind::kNyxBalanced;
+}
+
+int CmdTargets() {
+  TextTable table({"target", "spec", "seeds", "profuzzbench", "seeded crashes"});
+  for (const auto& reg : AllTargets()) {
+    const Spec spec = reg.make_spec();
+    std::string crashes;
+    for (uint32_t id : reg.known_crashes) {
+      char buf[16];
+      snprintf(buf, sizeof(buf), "%08x ", id);
+      crashes += buf;
+    }
+    table.AddRow({reg.name, spec.node_type_count() == 2 ? "generic" : "multi-connection",
+                  std::to_string(reg.make_seeds(spec).size()),
+                  reg.in_profuzzbench ? "yes" : "no", crashes.empty() ? "-" : crashes});
+  }
+  table.Print();
+  printf("\nmario levels: 1-1 .. 8-4 (see 'nyx-net mario')\n");
+  return 0;
+}
+
+int CmdFuzz(const Args& args) {
+  const std::string target = args.Get("target");
+  if (FindTarget(target) == std::nullopt) {
+    fprintf(stderr, "unknown target '%s' (see 'nyx-net targets')\n", target.c_str());
+    return 2;
+  }
+  auto reg = FindTarget(target);
+  const Spec spec = reg->make_spec();
+
+  EngineConfig engine_cfg;
+  engine_cfg.vm.mem_pages = args.GetU64("vm-pages", 1024);
+  engine_cfg.asan = args.Has("asan");
+  engine_cfg.seed = args.GetU64("seed", 1);
+
+  CampaignLimits limits;
+  limits.vtime_seconds = args.GetDouble("vtime", 120.0);
+  limits.wall_seconds = args.GetDouble("wall", 600.0);
+  limits.stop_on_crash = args.Has("stop-on-crash");
+
+  const FuzzerKind kind = ParseFuzzer(args.Get("policy", "balanced"));
+  std::optional<Workdir> workdir;
+  if (args.Has("workdir")) {
+    workdir = Workdir::Open(args.Get("workdir"));
+    if (!workdir.has_value()) {
+      fprintf(stderr, "cannot open workdir %s\n", args.Get("workdir").c_str());
+      return 2;
+    }
+  }
+
+  CampaignResult result;
+  if (IsNyxKind(kind)) {
+    FuzzerConfig fcfg;
+    fcfg.policy = kind == FuzzerKind::kNyxNone        ? PolicyMode::kNone
+                  : kind == FuzzerKind::kNyxBalanced ? PolicyMode::kBalanced
+                                                     : PolicyMode::kAggressive;
+    fcfg.seed = engine_cfg.seed;
+    NyxFuzzer fuzzer(engine_cfg, reg->factory, spec, fcfg);
+    size_t seeds = 0;
+    if (workdir.has_value() && args.Has("resume")) {
+      for (Program& p : workdir->LoadQueue(spec)) {
+        fuzzer.AddSeed(std::move(p));
+        seeds++;
+      }
+      printf("resumed %zu corpus entries from %s\n", seeds, workdir->path().c_str());
+    }
+    if (seeds == 0) {
+      for (Program& p : reg->make_seeds(spec)) {
+        fuzzer.AddSeed(std::move(p));
+      }
+    }
+    printf("fuzzing %s with Nyx-Net (%s policy), %.0f virtual seconds...\n", target.c_str(),
+           args.Get("policy", "balanced").c_str(), limits.vtime_seconds);
+    result = fuzzer.Run(limits);
+    if (workdir.has_value()) {
+      workdir->SaveCampaign(result, fuzzer.corpus());
+    }
+  } else {
+    CampaignSpec cs;
+    cs.target = target;
+    cs.fuzzer = kind;
+    cs.limits = limits;
+    cs.seed = engine_cfg.seed;
+    cs.asan = engine_cfg.asan;
+    cs.vm_pages = engine_cfg.vm.mem_pages;
+    printf("fuzzing %s with baseline %s, %.0f virtual seconds...\n", target.c_str(),
+           FuzzerKindName(kind), limits.vtime_seconds);
+    CampaignOutcome out = RunCampaign(cs);
+    if (!out.supported) {
+      fprintf(stderr, "this baseline cannot run %s (n/a)\n", target.c_str());
+      return 1;
+    }
+    result = std::move(out.result);
+  }
+
+  printf("\nexecs:      %llu (%.1f per virtual second)\n",
+         static_cast<unsigned long long>(result.execs), result.execs_per_vsecond);
+  printf("coverage:   %zu branch sites, %zu edges\n", result.branch_coverage,
+         result.edge_coverage);
+  printf("corpus:     %zu entries\n", result.corpus_size);
+  printf("snapshots:  %llu incremental created, %llu reused\n",
+         static_cast<unsigned long long>(result.incremental_creates),
+         static_cast<unsigned long long>(result.incremental_restores));
+  printf("crashes:    %zu\n", result.crashes.size());
+  for (const auto& [id, rec] : result.crashes) {
+    printf("  %08x %-40s x%llu first at %.1f vsec\n", id, rec.kind.c_str(),
+           static_cast<unsigned long long>(rec.count), rec.first_seen_vsec);
+  }
+  return 0;
+}
+
+int CmdPcap(const Args& args) {
+  auto reg = FindTarget(args.Get("target"));
+  if (!reg.has_value()) {
+    fprintf(stderr, "unknown target '%s'\n", args.Get("target").c_str());
+    return 2;
+  }
+  const Spec spec = reg->make_spec();
+  FILE* f = fopen(args.Get("pcap").c_str(), "rb");
+  if (f == nullptr) {
+    fprintf(stderr, "cannot read %s\n", args.Get("pcap").c_str());
+    return 2;
+  }
+  Bytes raw;
+  uint8_t buf[4096];
+  size_t n;
+  while ((n = fread(buf, 1, sizeof(buf), f)) > 0) {
+    raw.insert(raw.end(), buf, buf + n);
+  }
+  fclose(f);
+
+  const std::string split = args.Get("split", "crlf");
+  SplitStrategy strategy = SplitStrategy::kCrlf;
+  if (split == "len16") strategy = SplitStrategy::kLengthPrefixBe16;
+  if (split == "len32") strategy = SplitStrategy::kLengthPrefixBe32;
+  if (split == "segment") strategy = SplitStrategy::kSegment;
+
+  const uint16_t port =
+      static_cast<uint16_t>(args.GetU64("port", reg->factory()->info().port));
+  auto program = ProgramFromPcap(spec, raw, port, strategy);
+  if (!program.has_value()) {
+    fprintf(stderr, "no usable client->server traffic for port %u found\n", port);
+    return 1;
+  }
+  printf("converted: %zu ops, %zu packets, %zu payload bytes\n", program->ops.size(),
+         program->PacketOpIndices(spec).size(), program->TotalDataBytes());
+  const std::string out = args.Get("workdir", "nyx-out");
+  auto workdir = Workdir::Open(out);
+  if (!workdir.has_value() || !workdir->SaveQueueEntry(*program, 0)) {
+    fprintf(stderr, "cannot write seed into %s/queue\n", out.c_str());
+    return 1;
+  }
+  printf("seed written to %s/queue/id_000000.nyx (fuzz with --workdir %s --resume)\n",
+         out.c_str(), out.c_str());
+  return 0;
+}
+
+int CmdRepro(const Args& args) {
+  auto reg = FindTarget(args.Get("target"));
+  if (!reg.has_value()) {
+    fprintf(stderr, "unknown target '%s'\n", args.Get("target").c_str());
+    return 2;
+  }
+  const Spec spec = reg->make_spec();
+  auto program = Workdir::ReadProgram(args.Get("input"), spec);
+  if (!program.has_value()) {
+    fprintf(stderr, "cannot parse %s as a bytecode program\n", args.Get("input").c_str());
+    return 2;
+  }
+  EngineConfig engine_cfg;
+  engine_cfg.vm.mem_pages = 1024;
+  engine_cfg.asan = args.Has("asan");
+  engine_cfg.seed = args.GetU64("seed", 1);
+  NyxEngine engine(engine_cfg, reg->factory, spec);
+  engine.Boot();
+  CoverageMap cov;
+  const ExecResult r = engine.Run(*program, cov);
+  printf("packets delivered: %zu\n", r.packets_delivered);
+  printf("virtual time:      %.3f ms\n", static_cast<double>(r.vtime_ns) * 1e-6);
+  const auto responses = engine.LastResponses();
+  printf("responses:         %zu\n", responses.size());
+  for (size_t i = 0; i < responses.size() && i < 16; i++) {
+    std::string line = ToString(responses[i]).substr(0, 70);
+    for (char& c : line) {
+      if (c == '\r' || c == '\n') {
+        c = ' ';
+      }
+    }
+    printf("  <- %s\n", line.c_str());
+  }
+  if (r.crash.crashed) {
+    printf("CRASH: id=%08x kind=%s\n", r.crash.crash_id, r.crash.kind.c_str());
+    return 1;
+  }
+  printf("no crash\n");
+  return 0;
+}
+
+int CmdMario(const Args& args) {
+  const std::string level = args.Get("level", "1-1");
+  if (FindLevel(level) == nullptr) {
+    fprintf(stderr, "unknown level '%s' (1-1 .. 8-4)\n", level.c_str());
+    return 2;
+  }
+  const FuzzerKind kind = ParseFuzzer(args.Get("policy", "aggressive"));
+  printf("solving %s with %s...\n", level.c_str(), FuzzerKindName(kind));
+  CampaignOutcome out = RunMarioCampaign(level, kind, args.GetDouble("wall", 60.0),
+                                         args.GetU64("seed", 1));
+  const LevelDef* lv = FindLevel(level);
+  if (out.result.ijon_goal_vsec >= 0) {
+    printf("SOLVED in %.1f virtual seconds (%llu executions)\n", out.result.ijon_goal_vsec,
+           static_cast<unsigned long long>(out.result.execs));
+    return 0;
+  }
+  printf("unsolved; best progress %.1f of %u tiles\n",
+         static_cast<double>(out.result.ijon_best) / kSub, lv->length);
+  return 1;
+}
+
+}  // namespace
+}  // namespace nyx
+
+int main(int argc, char** argv) {
+  using namespace nyx;
+  if (argc < 2) {
+    return Usage();
+  }
+  const std::string cmd = argv[1];
+  const Args args = ParseArgs(argc, argv, 2);
+  if (cmd == "targets") {
+    return CmdTargets();
+  }
+  if (cmd == "fuzz") {
+    return CmdFuzz(args);
+  }
+  if (cmd == "pcap") {
+    return CmdPcap(args);
+  }
+  if (cmd == "repro") {
+    return CmdRepro(args);
+  }
+  if (cmd == "mario") {
+    return CmdMario(args);
+  }
+  return Usage();
+}

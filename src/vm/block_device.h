@@ -1,0 +1,75 @@
+// Emulated block device with two snapshot caching layers.
+//
+// "To handle write accesses to emulated disks, Nyx-Net introduces a second
+// caching layer to store dirtied sectors representing incremental snapshots.
+// Like Nyx, we use a hashmap lookup to find sectors in the snapshot,
+// otherwise we fall back to Nyx's root snapshot." (paper, section 4.2)
+//
+// Targets use this device for filesystem effects (FTP uploads, mail spools,
+// databases) so that snapshot restores genuinely roll back disk state — the
+// very thing AFLNet needs user-written cleanup scripts for.
+
+#ifndef SRC_VM_BLOCK_DEVICE_H_
+#define SRC_VM_BLOCK_DEVICE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/bytes.h"
+
+namespace nyx {
+
+class BlockDevice {
+ public:
+  static constexpr size_t kSectorSize = 512;
+
+  explicit BlockDevice(size_t num_sectors);
+
+  size_t num_sectors() const { return num_sectors_; }
+  size_t size_bytes() const { return data_.size(); }
+
+  // Byte-granularity I/O (sector dirtiness is tracked internally).
+  void WriteBytes(uint64_t offset, const void* src, size_t len);
+  void ReadBytes(uint64_t offset, void* dst, size_t len) const;
+
+  const std::vector<uint32_t>& dirty_sectors() const { return dirty_stack_; }
+  void ClearDirty();
+
+  const uint8_t* SectorPtr(uint32_t sector) const {
+    return data_.data() + static_cast<size_t>(sector) * kSectorSize;
+  }
+
+  // Snapshot support -------------------------------------------------------
+
+  // Root layer: full copy of the device contents.
+  struct RootLayer {
+    Bytes data;
+  };
+  RootLayer CaptureRoot() const;
+  void RestoreFromRoot(const RootLayer& root);
+
+  // Incremental layer: hashmap of sectors dirtied since the root snapshot.
+  struct IncrementalLayer {
+    std::unordered_map<uint32_t, Bytes> sectors;
+    // Sectors dirtied between root and the incremental snapshot: going back
+    // to root later must also revert these.
+    std::vector<uint32_t> base_dirty;
+  };
+  IncrementalLayer CaptureIncremental() const;
+  // Restores every currently-dirty sector from the incremental layer if
+  // present there, otherwise falls back to the root layer.
+  void RestoreFromIncremental(const IncrementalLayer& inc, const RootLayer& root);
+
+ private:
+  void MarkSectorDirty(uint32_t sector);
+
+  size_t num_sectors_;
+  Bytes data_;
+  std::vector<uint8_t> dirty_bitmap_;
+  std::vector<uint32_t> dirty_stack_;
+};
+
+}  // namespace nyx
+
+#endif  // SRC_VM_BLOCK_DEVICE_H_

@@ -1,0 +1,97 @@
+#include "src/vm/device_state.h"
+
+#include <cstring>
+
+namespace nyx {
+
+namespace {
+constexpr uint32_t kSectionMagic = 0x51454d55;  // "QEMU"
+}
+
+size_t DeviceState::AddDevice(std::string name, size_t reg_bytes) {
+  devices_.push_back(Device{std::move(name), Bytes(reg_bytes, 0)});
+  return devices_.size() - 1;
+}
+
+size_t DeviceState::total_bytes() const {
+  size_t n = 0;
+  for (const auto& d : devices_) {
+    n += d.regs.size();
+  }
+  return n;
+}
+
+void DeviceState::CopyFrom(const DeviceState& other) {
+  for (size_t i = 0; i < devices_.size(); i++) {
+    memcpy(devices_[i].regs.data(), other.devices_[i].regs.data(), devices_[i].regs.size());
+  }
+}
+
+Bytes DeviceState::Serialize() const {
+  Bytes out;
+  PutLe32(out, kSectionMagic);
+  PutLe32(out, static_cast<uint32_t>(devices_.size()));
+  for (const auto& d : devices_) {
+    PutLe32(out, static_cast<uint32_t>(d.name.size()));
+    Append(out, d.name);
+    PutLe32(out, static_cast<uint32_t>(d.regs.size()));
+    // Field-at-a-time emission with per-field tags, mimicking vmstate's
+    // walk over field descriptors.
+    for (size_t i = 0; i < d.regs.size(); i++) {
+      out.push_back(static_cast<uint8_t>(i & 0x7f));
+      out.push_back(d.regs[i]);
+    }
+  }
+  return out;
+}
+
+bool DeviceState::Deserialize(const Bytes& blob) {
+  size_t off = 0;
+  if (ReadLe32(blob, off) != kSectionMagic) {
+    return false;
+  }
+  off += 4;
+  const uint32_t count = ReadLe32(blob, off);
+  off += 4;
+  if (count != devices_.size()) {
+    return false;
+  }
+  for (auto& d : devices_) {
+    const uint32_t name_len = ReadLe32(blob, off);
+    off += 4;
+    if (off + name_len > blob.size() ||
+        std::string(blob.begin() + static_cast<long>(off),
+                    blob.begin() + static_cast<long>(off + name_len)) != d.name) {
+      return false;
+    }
+    off += name_len;
+    const uint32_t reg_len = ReadLe32(blob, off);
+    off += 4;
+    if (reg_len != d.regs.size() || off + 2ul * reg_len > blob.size()) {
+      return false;
+    }
+    for (size_t i = 0; i < reg_len; i++) {
+      if (blob[off] != static_cast<uint8_t>(i & 0x7f)) {
+        return false;
+      }
+      d.regs[i] = blob[off + 1];
+      off += 2;
+    }
+  }
+  return off == blob.size();
+}
+
+bool DeviceState::operator==(const DeviceState& other) const {
+  if (devices_.size() != other.devices_.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < devices_.size(); i++) {
+    if (devices_[i].name != other.devices_[i].name ||
+        devices_[i].regs != other.devices_[i].regs) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace nyx

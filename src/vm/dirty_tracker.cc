@@ -1,0 +1,32 @@
+#include "src/vm/dirty_tracker.h"
+
+namespace nyx {
+
+DirtyTracker::DirtyTracker(size_t num_pages) : bitmap_(num_pages, 0), stack_(num_pages, 0) {}
+
+void DirtyTracker::MarkDirty(uint32_t page) {
+  if (page >= bitmap_.size() || bitmap_[page] != 0) {
+    return;
+  }
+  bitmap_[page] = 1;
+  stack_[stack_size_++] = page;
+  total_marks_++;
+  if (++ring_fill_ >= kDirtyRingCapacity) {
+    ring_fill_ = 0;
+    ring_exits_++;
+  }
+}
+
+std::vector<uint32_t> DirtyTracker::DirtyPages() const {
+  return std::vector<uint32_t>(stack_.begin(), stack_.begin() + static_cast<long>(stack_size_));
+}
+
+void DirtyTracker::Clear() {
+  for (size_t i = 0; i < stack_size_; i++) {
+    bitmap_[stack_[i]] = 0;
+  }
+  stack_size_ = 0;
+  ring_fill_ = 0;
+}
+
+}  // namespace nyx

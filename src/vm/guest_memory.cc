@@ -1,0 +1,198 @@
+#include "src/vm/guest_memory.h"
+
+#include <signal.h>
+#include <string.h>
+#include <sys/mman.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace nyx {
+namespace {
+
+// Registry of live regions consulted by the (process-wide) SIGSEGV handler.
+// Fixed-size and lock-free: fuzzing is single-threaded and regions are
+// registered before tracking is armed.
+constexpr size_t kMaxRegions = 64;
+GuestMemory* g_regions[kMaxRegions] = {};
+UnresolvedFaultHook g_unresolved_hook = nullptr;
+
+void SegvHandler(int sig, siginfo_t* info, void* ucontext) {
+  const uintptr_t addr = reinterpret_cast<uintptr_t>(info->si_addr);
+  for (GuestMemory* region : g_regions) {
+    if (region != nullptr && region->Contains(addr)) {
+      if (region->HandleFault(addr)) {
+        return;
+      }
+    }
+  }
+  // Not a tracking fault. Give the execution engine a chance to turn it
+  // into a detected target crash (it siglongjmps and never returns here).
+  if (g_unresolved_hook != nullptr && g_unresolved_hook()) {
+    return;
+  }
+  // Restore the default disposition; the faulting instruction re-executes
+  // and the process dies with a genuine SIGSEGV.
+  signal(SIGSEGV, SIG_DFL);
+}
+
+void InstallHandlerOnce() {
+  static bool installed = false;
+  if (installed) {
+    return;
+  }
+  struct sigaction sa = {};
+  sa.sa_sigaction = SegvHandler;
+  sa.sa_flags = SA_SIGINFO;
+  sigemptyset(&sa.sa_mask);
+  if (sigaction(SIGSEGV, &sa, nullptr) != 0) {
+    perror("sigaction");
+    abort();
+  }
+  installed = true;
+}
+
+void RegisterRegion(GuestMemory* gm) {
+  for (auto& slot : g_regions) {
+    if (slot == nullptr) {
+      slot = gm;
+      return;
+    }
+  }
+  fprintf(stderr, "nyx: too many live GuestMemory regions\n");
+  abort();
+}
+
+void UnregisterRegion(GuestMemory* gm) {
+  for (auto& slot : g_regions) {
+    if (slot == gm) {
+      slot = nullptr;
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+void SetUnresolvedFaultHook(UnresolvedFaultHook hook) { g_unresolved_hook = hook; }
+
+GuestMemory::GuestMemory(size_t num_pages, TrackingMode mode)
+    : num_pages_(num_pages), mode_(mode), tracker_(num_pages) {
+  // One extra PROT_NONE guard page so a target running off the end of guest
+  // memory faults immediately and deterministically instead of silently
+  // reading whatever mapping happens to be adjacent.
+  void* p = mmap(nullptr, size_bytes() + kPageSize, PROT_READ | PROT_WRITE,
+                 MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (p == MAP_FAILED) {
+    perror("mmap guest memory");
+    abort();
+  }
+  base_ = static_cast<uint8_t*>(p);
+  if (mprotect(base_ + size_bytes(), kPageSize, PROT_NONE) != 0) {
+    perror("mprotect guard page");
+    abort();
+  }
+  if (mode_ == TrackingMode::kMprotect) {
+    InstallHandlerOnce();
+    RegisterRegion(this);
+  }
+}
+
+GuestMemory::~GuestMemory() {
+  if (mode_ == TrackingMode::kMprotect) {
+    UnregisterRegion(this);
+  }
+  munmap(base_, size_bytes() + kPageSize);
+}
+
+void GuestMemory::Protect(uint32_t first_page, size_t count, int prot) {
+  if (count == 0) {
+    return;
+  }
+  if (mprotect(base_ + static_cast<size_t>(first_page) * kPageSize, count * kPageSize, prot) !=
+      0) {
+    perror("mprotect");
+    abort();
+  }
+  protect_calls_++;
+}
+
+void GuestMemory::ArmTracking() {
+  tracker_.Clear();
+  armed_ = true;
+  if (mode_ == TrackingMode::kMprotect) {
+    Protect(0, num_pages_, PROT_READ);
+  }
+}
+
+void GuestMemory::DisarmTracking() {
+  armed_ = false;
+  if (mode_ == TrackingMode::kMprotect) {
+    Protect(0, num_pages_, PROT_READ | PROT_WRITE);
+  }
+}
+
+void GuestMemory::ReArmDirtyPages() {
+  if (mode_ == TrackingMode::kMprotect) {
+    // Coalesce runs of consecutive dirty pages into single mprotect calls.
+    const uint32_t* stack = tracker_.stack_data();
+    const size_t n = tracker_.stack_size();
+    size_t i = 0;
+    while (i < n) {
+      uint32_t start = stack[i];
+      size_t run = 1;
+      while (i + run < n && stack[i + run] == start + run) {
+        run++;
+      }
+      Protect(start, run, PROT_READ);
+      i += run;
+    }
+  }
+  tracker_.Clear();
+  armed_ = true;
+}
+
+void GuestMemory::Write(uint64_t guest_offset, const void* src, size_t len) {
+  if (armed_ && mode_ == TrackingMode::kSoftware) {
+    for (uint32_t p = PageOf(guest_offset); p <= PageOf(guest_offset + len - 1); p++) {
+      tracker_.MarkDirty(p);
+    }
+  }
+  memcpy(base_ + guest_offset, src, len);
+}
+
+void GuestMemory::Read(uint64_t guest_offset, void* dst, size_t len) const {
+  memcpy(dst, base_ + guest_offset, len);
+}
+
+void GuestMemory::Memset(uint64_t guest_offset, uint8_t value, size_t len) {
+  if (armed_ && mode_ == TrackingMode::kSoftware && len > 0) {
+    for (uint32_t p = PageOf(guest_offset); p <= PageOf(guest_offset + len - 1); p++) {
+      tracker_.MarkDirty(p);
+    }
+  }
+  memset(base_ + guest_offset, value, len);
+}
+
+bool GuestMemory::HandleFault(uintptr_t addr) {
+  if (!armed_ || mode_ != TrackingMode::kMprotect) {
+    return false;
+  }
+  const uint32_t page = PageOf(addr - reinterpret_cast<uintptr_t>(base_));
+  if (tracker_.IsDirty(page)) {
+    // The page is already writable; this fault is a genuine bug (e.g. a wild
+    // write the handler cannot resolve).
+    return false;
+  }
+  tracker_.MarkDirty(page);
+  // Re-enable writes for this single page. mprotect is async-signal-safe in
+  // practice on Linux (it is a plain syscall).
+  if (mprotect(base_ + static_cast<size_t>(page) * kPageSize, kPageSize,
+               PROT_READ | PROT_WRITE) != 0) {
+    return false;
+  }
+  protect_calls_++;
+  return true;
+}
+
+}  // namespace nyx

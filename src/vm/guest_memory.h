@@ -1,0 +1,104 @@
+// Guest physical memory with hardware-style dirty-page logging.
+//
+// The paper relies on KVM's hardware-assisted dirty logging: the CPU traps
+// the first write to each page and reports it to the hypervisor. We reproduce
+// the same mechanism in userspace: guest RAM is an anonymous mmap region that
+// is write-protected (PROT_READ) whenever tracking is armed. The first write
+// to a page raises SIGSEGV; our handler records the page in the DirtyTracker
+// and re-enables writes for that page. Subsequent writes to the page are
+// full speed — exactly the cost profile of the hardware mechanism.
+//
+// A software-tracking mode (explicit Write()/Memset() calls) exists for unit
+// tests that want to exercise tracker logic without signals.
+
+#ifndef SRC_VM_GUEST_MEMORY_H_
+#define SRC_VM_GUEST_MEMORY_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/vm/dirty_tracker.h"
+#include "src/vm/page.h"
+
+namespace nyx {
+
+enum class TrackingMode {
+  kMprotect,  // real write-protection faults (default)
+  kSoftware,  // dirty marks only via the explicit accessors
+};
+
+// Last-resort hook consulted when a SIGSEGV cannot be resolved as a
+// dirty-tracking fault (e.g. a target bug walked off guest memory). If the
+// hook returns, it must not return control to the faulting instruction —
+// implementations siglongjmp back into the execution engine. Returning
+// false reinstates the default fatal behaviour.
+using UnresolvedFaultHook = bool (*)();
+void SetUnresolvedFaultHook(UnresolvedFaultHook hook);
+
+class GuestMemory {
+ public:
+  GuestMemory(size_t num_pages, TrackingMode mode = TrackingMode::kMprotect);
+  ~GuestMemory();
+
+  GuestMemory(const GuestMemory&) = delete;
+  GuestMemory& operator=(const GuestMemory&) = delete;
+
+  uint8_t* base() { return base_; }
+  const uint8_t* base() const { return base_; }
+  size_t size_bytes() const { return num_pages_ * kPageSize; }
+  size_t num_pages() const { return num_pages_; }
+  TrackingMode mode() const { return mode_; }
+
+  // Write-protects the whole region and clears the dirty set. From this point
+  // every first write per page is recorded.
+  void ArmTracking();
+
+  // Makes everything writable and stops recording (used during setup).
+  void DisarmTracking();
+
+  bool armed() const { return armed_; }
+
+  // Re-protects exactly the currently dirty pages (cheap re-arm used after a
+  // snapshot restore: only pages that were made writable need mprotect).
+  void ReArmDirtyPages();
+
+  DirtyTracker& tracker() { return tracker_; }
+  const DirtyTracker& tracker() const { return tracker_; }
+
+  // Typed view into guest memory. The object must fit inside the region.
+  template <typename T>
+  T* At(uint64_t guest_offset) {
+    return reinterpret_cast<T*>(base_ + guest_offset);
+  }
+
+  // Explicit accessors (required in software mode; allowed in both).
+  void Write(uint64_t guest_offset, const void* src, size_t len);
+  void Read(uint64_t guest_offset, void* dst, size_t len) const;
+  void Memset(uint64_t guest_offset, uint8_t value, size_t len);
+
+  // Called by the SIGSEGV handler. Returns true if `addr` was a tracking
+  // fault inside this region and has been resolved.
+  bool HandleFault(uintptr_t addr);
+
+  bool Contains(uintptr_t addr) const {
+    return addr >= reinterpret_cast<uintptr_t>(base_) &&
+           addr < reinterpret_cast<uintptr_t>(base_) + size_bytes();
+  }
+
+  // mprotect syscalls issued, for the overhead statistics.
+  uint64_t protect_calls() const { return protect_calls_; }
+
+ private:
+  void Protect(uint32_t first_page, size_t count, int prot);
+
+  uint8_t* base_ = nullptr;
+  size_t num_pages_;
+  TrackingMode mode_;
+  bool armed_ = false;
+  DirtyTracker tracker_;
+  uint64_t protect_calls_ = 0;
+};
+
+}  // namespace nyx
+
+#endif  // SRC_VM_GUEST_MEMORY_H_

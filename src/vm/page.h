@@ -1,0 +1,25 @@
+// Page-level constants for the userspace VM.
+
+#ifndef SRC_VM_PAGE_H_
+#define SRC_VM_PAGE_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace nyx {
+
+inline constexpr size_t kPageSize = 4096;
+inline constexpr size_t kPageShift = 12;
+
+// Capacity of the hardware dirty ring we model: "Once a certain amount of
+// pages have been dirtied (typically up to 512 pages), the CPU exits the VM
+// context and informs the hypervisor" (paper, section 2.3).
+inline constexpr size_t kDirtyRingCapacity = 512;
+
+inline constexpr uint32_t PageOf(uint64_t offset) {
+  return static_cast<uint32_t>(offset >> kPageShift);
+}
+
+}  // namespace nyx
+
+#endif  // SRC_VM_PAGE_H_

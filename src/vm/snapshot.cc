@@ -1,0 +1,135 @@
+#include "src/vm/snapshot.h"
+
+#include <string.h>
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+#ifndef MFD_CLOEXEC
+#include <sys/syscall.h>
+#endif
+
+namespace nyx {
+
+RootSnapshot::RootSnapshot(const GuestMemory& mem, const DeviceState& devices,
+                           const BlockDevice& disk)
+    : size_bytes_(mem.size_bytes()), devices_(devices), disk_(disk.CaptureRoot()) {
+  memfd_ = memfd_create("nyx-root-snapshot", MFD_CLOEXEC);
+  if (memfd_ < 0) {
+    perror("memfd_create");
+    abort();
+  }
+  if (ftruncate(memfd_, static_cast<off_t>(size_bytes_)) != 0) {
+    perror("ftruncate");
+    abort();
+  }
+  void* w = mmap(nullptr, size_bytes_, PROT_READ | PROT_WRITE, MAP_SHARED, memfd_, 0);
+  if (w == MAP_FAILED) {
+    perror("mmap root snapshot");
+    abort();
+  }
+  memcpy(w, mem.base(), size_bytes_);
+  // Keep a read-only view for restores; drop the writable one.
+  if (mprotect(w, size_bytes_, PROT_READ) != 0) {
+    perror("mprotect root snapshot");
+    abort();
+  }
+  view_ = static_cast<const uint8_t*>(w);
+}
+
+RootSnapshot::~RootSnapshot() {
+  if (view_ != nullptr) {
+    munmap(const_cast<uint8_t*>(view_), size_bytes_);
+  }
+  if (memfd_ >= 0) {
+    close(memfd_);
+  }
+}
+
+IncrementalSnapshot::IncrementalSnapshot(const RootSnapshot& root)
+    : root_(root),
+      size_bytes_(root.size_bytes()),
+      in_mirror_(root.size_bytes() / kPageSize, 0),
+      devices_(root.devices()) {
+  void* m = mmap(nullptr, size_bytes_, PROT_READ | PROT_WRITE, MAP_PRIVATE, root.memfd(), 0);
+  if (m == MAP_FAILED) {
+    perror("mmap incremental mirror");
+    abort();
+  }
+  mirror_ = static_cast<uint8_t*>(m);
+}
+
+IncrementalSnapshot::~IncrementalSnapshot() {
+  if (mirror_ != nullptr) {
+    munmap(mirror_, size_bytes_);
+  }
+}
+
+void IncrementalSnapshot::ReMirror() {
+  munmap(mirror_, size_bytes_);
+  void* m = mmap(nullptr, size_bytes_, PROT_READ | PROT_WRITE, MAP_PRIVATE, root_.memfd(), 0);
+  if (m == MAP_FAILED) {
+    perror("mmap re-mirror");
+    abort();
+  }
+  mirror_ = static_cast<uint8_t*>(m);
+  for (uint32_t p : base_pages_) {
+    in_mirror_[p] = 0;
+  }
+  // base_pages_ is rebuilt by the caller right after a re-mirror; any other
+  // private copies are gone with the old mapping.
+  for (auto& flag : in_mirror_) {
+    flag = 0;
+  }
+  private_page_count_ = 0;
+  remirrors_++;
+}
+
+void IncrementalSnapshot::Capture(const GuestMemory& mem, const DeviceState& devices,
+                                  const BlockDevice& disk) {
+  captures_++;
+  if (captures_ % kReMirrorInterval == 0) {
+    ReMirror();
+    base_pages_.clear();
+  }
+
+  const uint32_t* stack = mem.tracker().stack_data();
+  const size_t n = mem.tracker().stack_size();
+
+  // Revert pages captured previously but not dirtied this time: overwrite the
+  // (already private) mirror page with root content. Reusing the existing
+  // private copy avoids a page-table change.
+  if (!base_pages_.empty()) {
+    // Membership mask for the new dirty set.
+    for (size_t i = 0; i < n; i++) {
+      in_mirror_[stack[i]] |= 2;
+    }
+    for (uint32_t p : base_pages_) {
+      if ((in_mirror_[p] & 2) == 0 && (in_mirror_[p] & 1) != 0) {
+        memcpy(mirror_ + static_cast<size_t>(p) * kPageSize, root_.PagePtr(p), kPageSize);
+      }
+    }
+    for (size_t i = 0; i < n; i++) {
+      in_mirror_[stack[i]] &= 1;
+    }
+  }
+
+  base_pages_.assign(stack, stack + n);
+  for (size_t i = 0; i < n; i++) {
+    const uint32_t p = stack[i];
+    if ((in_mirror_[p] & 1) == 0) {
+      in_mirror_[p] |= 1;
+      private_page_count_++;
+    }
+    memcpy(mirror_ + static_cast<size_t>(p) * kPageSize,
+           mem.base() + static_cast<size_t>(p) * kPageSize, kPageSize);
+  }
+
+  devices_.CopyFrom(devices);
+  disk_ = disk.CaptureIncremental();
+  valid_ = true;
+}
+
+}  // namespace nyx

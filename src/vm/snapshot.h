@@ -1,0 +1,112 @@
+// Root and incremental VM snapshots (paper sections 2.3 and 4.2).
+//
+// Root snapshot: a full copy of guest physical memory into a memfd, plus
+// device and disk state. Restoring copies back only the pages named by the
+// dirty stack.
+//
+// Incremental snapshot: "we simply remap the existing root snapshot to a
+// second location as Copy-On-Write pages. This way, the incremental snapshot
+// itself looks like a complete root snapshot without incurring anywhere near
+// the full memory cost. To create the incremental snapshot, the pages that
+// were dirtied by the execution since the root snapshot are overwritten with
+// the content of the VM's physical memory."
+//
+// We implement this literally: the mirror is an mmap(MAP_PRIVATE) of the
+// root memfd; writing a dirtied page into the mirror triggers a kernel CoW
+// fault that creates a private copy of just that page. Pages captured by a
+// previous incremental snapshot but absent from the next one are reverted by
+// copying the root content over the (already private) mirror page — reusing
+// the existing copy "avoids more expensive changes to the page tables". To
+// bound the accumulation of private pages (worst case: a full second copy of
+// the VM), the mirror is re-mapped fresh every kReMirrorInterval creations.
+
+#ifndef SRC_VM_SNAPSHOT_H_
+#define SRC_VM_SNAPSHOT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/vm/block_device.h"
+#include "src/vm/device_state.h"
+#include "src/vm/guest_memory.h"
+
+namespace nyx {
+
+inline constexpr uint64_t kReMirrorInterval = 2000;
+
+class RootSnapshot {
+ public:
+  RootSnapshot(const GuestMemory& mem, const DeviceState& devices, const BlockDevice& disk);
+  ~RootSnapshot();
+
+  RootSnapshot(const RootSnapshot&) = delete;
+  RootSnapshot& operator=(const RootSnapshot&) = delete;
+
+  const uint8_t* PagePtr(uint32_t page) const {
+    return view_ + static_cast<size_t>(page) * kPageSize;
+  }
+  int memfd() const { return memfd_; }
+  size_t size_bytes() const { return size_bytes_; }
+
+  const DeviceState& devices() const { return devices_; }
+  const BlockDevice::RootLayer& disk() const { return disk_; }
+
+ private:
+  int memfd_ = -1;
+  size_t size_bytes_ = 0;
+  const uint8_t* view_ = nullptr;  // read-only shared mapping of the memfd
+  DeviceState devices_;
+  BlockDevice::RootLayer disk_;
+};
+
+class IncrementalSnapshot {
+ public:
+  explicit IncrementalSnapshot(const RootSnapshot& root);
+  ~IncrementalSnapshot();
+
+  IncrementalSnapshot(const IncrementalSnapshot&) = delete;
+  IncrementalSnapshot& operator=(const IncrementalSnapshot&) = delete;
+
+  // Captures the current VM state: pages in `mem`'s dirty stack are written
+  // into the CoW mirror; device and disk state are copied. May be called
+  // repeatedly — prior captures are reverted as needed.
+  void Capture(const GuestMemory& mem, const DeviceState& devices, const BlockDevice& disk);
+
+  bool valid() const { return valid_; }
+  void Invalidate() { valid_ = false; }
+
+  // Pages dirtied between the root snapshot and this capture. A later root
+  // restore must revert these in addition to the current dirty stack.
+  const std::vector<uint32_t>& base_pages() const { return base_pages_; }
+
+  const uint8_t* PagePtr(uint32_t page) const {
+    return mirror_ + static_cast<size_t>(page) * kPageSize;
+  }
+
+  const DeviceState& devices() const { return devices_; }
+  const BlockDevice::IncrementalLayer& disk() const { return disk_; }
+
+  // Accounting for the re-mirror ablation.
+  uint64_t captures() const { return captures_; }
+  uint64_t remirrors() const { return remirrors_; }
+  size_t private_pages() const { return private_page_count_; }
+
+ private:
+  void ReMirror();
+
+  const RootSnapshot& root_;
+  uint8_t* mirror_ = nullptr;
+  size_t size_bytes_ = 0;
+  bool valid_ = false;
+  std::vector<uint32_t> base_pages_;
+  std::vector<uint8_t> in_mirror_;  // page -> has a private copy in the mirror
+  size_t private_page_count_ = 0;
+  uint64_t captures_ = 0;
+  uint64_t remirrors_ = 0;
+  DeviceState devices_;
+  BlockDevice::IncrementalLayer disk_;
+};
+
+}  // namespace nyx
+
+#endif  // SRC_VM_SNAPSHOT_H_

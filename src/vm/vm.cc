@@ -1,0 +1,141 @@
+#include "src/vm/vm.h"
+
+#include <string.h>
+#include <sys/mman.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace nyx {
+
+Vm::Vm(const VmConfig& config)
+    : config_(config), mem_(config.mem_pages, config.tracking), disk_(config.disk_sectors) {
+  // A small standard device complement; targets may add more before the root
+  // snapshot is taken.
+  devices_.AddDevice("serial", 64);
+  devices_.AddDevice("rtc", 32);
+  devices_.AddDevice("virtio-net", 512);
+  devices_.AddDevice("virtio-blk", 256);
+}
+
+void Vm::TakeRootSnapshot(Bytes aux) {
+  root_ = std::make_unique<RootSnapshot>(mem_, devices_, disk_);
+  root_aux_ = std::move(aux);
+  current_aux_ = root_aux_;
+  inc_.reset();
+  disk_.ClearDirty();
+  mem_.ArmTracking();
+}
+
+void Vm::RestoreDevices(const DeviceState& saved) {
+  if (config_.fast_device_reset) {
+    devices_.CopyFrom(saved);
+    Charge(cost_ != nullptr ? cost_->device_reset_fast_ns : 0);
+  } else {
+    // QEMU-style: serialize the saved state and parse it back field by field.
+    Bytes blob = saved.Serialize();
+    if (!devices_.Deserialize(blob)) {
+      fprintf(stderr, "nyx: device state deserialization failed\n");
+      abort();
+    }
+    Charge(cost_ != nullptr ? cost_->device_reset_slow_ns : 0);
+  }
+}
+
+void Vm::RestoreRoot() {
+  const uint32_t* stack = mem_.tracker().stack_data();
+  const size_t n = mem_.tracker().stack_size();
+  uint64_t restored = 0;
+
+  // Pages captured by the incremental snapshot are dirty relative to root but
+  // are no longer in the tracker (it was cleared when the incremental
+  // snapshot was created); revert them first.
+  if (has_incremental()) {
+    for (uint32_t p : inc_->base_pages()) {
+      if (!mem_.tracker().IsDirty(p)) {
+        // These pages were re-protected when the incremental snapshot was
+        // taken; toggle protection around the copy without polluting the
+        // dirty log.
+        uint8_t* dst = mem_.base() + static_cast<size_t>(p) * kPageSize;
+        if (mem_.mode() == TrackingMode::kMprotect) {
+          mprotect(dst, kPageSize, PROT_READ | PROT_WRITE);
+        }
+        memcpy(dst, root_->PagePtr(p), kPageSize);
+        if (mem_.mode() == TrackingMode::kMprotect) {
+          mprotect(dst, kPageSize, PROT_READ);
+        }
+        restored++;
+      }
+    }
+  }
+
+  for (size_t i = 0; i < n; i++) {
+    const uint32_t p = stack[i];
+    memcpy(mem_.base() + static_cast<size_t>(p) * kPageSize, root_->PagePtr(p), kPageSize);
+    restored++;
+  }
+  mem_.ReArmDirtyPages();
+
+  // The incremental snapshot describes a state we just discarded.
+  if (inc_ != nullptr) {
+    inc_->Invalidate();
+  }
+
+  disk_.RestoreFromRoot(root_->disk());
+  RestoreDevices(root_->devices());
+  current_aux_ = root_aux_;
+
+  stats_.root_restores++;
+  stats_.pages_restored += restored;
+  if (cost_ != nullptr) {
+    Charge(cost_->snapshot_restore_fixed_ns + restored * cost_->snapshot_page_copy_ns);
+  }
+}
+
+void Vm::CreateIncremental(Bytes aux) {
+  if (inc_ == nullptr) {
+    inc_ = std::make_unique<IncrementalSnapshot>(*root_);
+  }
+  const size_t dirty = mem_.tracker().stack_size();
+  inc_->Capture(mem_, devices_, disk_);
+  mem_.ReArmDirtyPages();
+  inc_aux_ = std::move(aux);
+  current_aux_ = inc_aux_;
+
+  stats_.incremental_creates++;
+  stats_.pages_captured += dirty;
+  if (cost_ != nullptr) {
+    Charge(dirty * cost_->incremental_create_page_ns + cost_->device_reset_fast_ns);
+  }
+}
+
+void Vm::RestoreIncremental() {
+  const uint32_t* stack = mem_.tracker().stack_data();
+  const size_t n = mem_.tracker().stack_size();
+  // The mirror is a complete image of the VM at capture time (CoW of the
+  // root plus the overwritten dirty pages), so there is no per-page decision
+  // about which snapshot to read from.
+  for (size_t i = 0; i < n; i++) {
+    const uint32_t p = stack[i];
+    memcpy(mem_.base() + static_cast<size_t>(p) * kPageSize, inc_->PagePtr(p), kPageSize);
+  }
+  mem_.ReArmDirtyPages();
+
+  disk_.RestoreFromIncremental(inc_->disk(), root_->disk());
+  RestoreDevices(inc_->devices());
+  current_aux_ = inc_aux_;
+
+  stats_.incremental_restores++;
+  stats_.pages_restored += n;
+  if (cost_ != nullptr) {
+    Charge(cost_->snapshot_restore_fixed_ns + n * cost_->snapshot_page_copy_ns);
+  }
+}
+
+void Vm::DropIncremental() {
+  if (inc_ != nullptr) {
+    inc_->Invalidate();
+  }
+}
+
+}  // namespace nyx

@@ -1,0 +1,115 @@
+// The userspace virtual machine: guest memory + emulated devices + block
+// device, with Nyx-style root and incremental snapshots.
+//
+// The fuzzer-facing contract mirrors Nyx-Net's (Figure 3): there is exactly
+// one root snapshot and at most one incremental snapshot at any time.
+// "Creating incremental snapshots is so cheap that storing them would waste
+// space and time" — so the incremental snapshot is recreated on demand and
+// dropped whenever a different input is scheduled.
+//
+// An opaque auxiliary blob rides along with each snapshot. The execution
+// engine uses it to store host-side state that is logically part of the
+// guest (the emulated kernel's fd table and the input-stream position), so a
+// restore brings back *all* state, exactly like a whole-VM snapshot would.
+
+#ifndef SRC_VM_VM_H_
+#define SRC_VM_VM_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "src/common/bytes.h"
+#include "src/common/vclock.h"
+#include "src/vm/block_device.h"
+#include "src/vm/device_state.h"
+#include "src/vm/guest_memory.h"
+#include "src/vm/snapshot.h"
+
+namespace nyx {
+
+struct VmConfig {
+  size_t mem_pages = 1024;     // 4 MiB default guest RAM
+  size_t disk_sectors = 2048;  // 1 MiB default disk
+  TrackingMode tracking = TrackingMode::kMprotect;
+  bool fast_device_reset = true;  // false = QEMU-style serialize/deserialize
+};
+
+struct VmStats {
+  uint64_t root_restores = 0;
+  uint64_t incremental_restores = 0;
+  uint64_t incremental_creates = 0;
+  uint64_t pages_restored = 0;
+  uint64_t pages_captured = 0;
+};
+
+class Vm {
+ public:
+  explicit Vm(const VmConfig& config);
+
+  Vm(const Vm&) = delete;
+  Vm& operator=(const Vm&) = delete;
+
+  GuestMemory& mem() { return mem_; }
+  DeviceState& devices() { return devices_; }
+  BlockDevice& disk() { return disk_; }
+  const VmConfig& config() const { return config_; }
+
+  // Attaches a virtual clock; all snapshot operations then charge their cost.
+  void AttachClock(VirtualClock* clock, const CostModel* cost) {
+    clock_ = clock;
+    cost_ = cost;
+  }
+
+  // Root snapshot ----------------------------------------------------------
+
+  // Captures the root snapshot of the current state and arms dirty tracking.
+  // `aux` is returned verbatim by current_aux() after every root restore.
+  void TakeRootSnapshot(Bytes aux = {});
+  bool has_root() const { return root_ != nullptr; }
+  const RootSnapshot& root() const { return *root_; }
+
+  // Resets memory, devices and disk to the root snapshot; cost is
+  // proportional to the number of dirtied pages only.
+  void RestoreRoot();
+
+  // Incremental snapshot ---------------------------------------------------
+
+  // Captures the single second-level snapshot at the current state.
+  void CreateIncremental(Bytes aux = {});
+  bool has_incremental() const { return inc_ != nullptr && inc_->valid(); }
+  const IncrementalSnapshot& incremental() const { return *inc_; }
+  void RestoreIncremental();
+  void DropIncremental();
+
+  // The aux blob of whichever snapshot was restored last.
+  const Bytes& current_aux() const { return current_aux_; }
+
+  const VmStats& stats() const { return stats_; }
+
+ private:
+  void RestoreDevices(const DeviceState& saved);
+  void Charge(uint64_t ns) {
+    if (clock_ != nullptr) {
+      clock_->Advance(ns);
+    }
+  }
+
+  VmConfig config_;
+  GuestMemory mem_;
+  DeviceState devices_;
+  BlockDevice disk_;
+
+  std::unique_ptr<RootSnapshot> root_;
+  std::unique_ptr<IncrementalSnapshot> inc_;
+  Bytes root_aux_;
+  Bytes inc_aux_;
+  Bytes current_aux_;
+
+  VmStats stats_;
+  VirtualClock* clock_ = nullptr;
+  const CostModel* cost_ = nullptr;
+};
+
+}  // namespace nyx
+
+#endif  // SRC_VM_VM_H_

@@ -1,0 +1,202 @@
+// Tests for the baseline fuzzers: transport cost models, desock
+// compatibility/boundary loss, AFLNet state feedback, the no-state
+// pure-ftpd OOM, and the qualitative throughput ordering of Table 3.
+
+#include <gtest/gtest.h>
+
+#include "src/baselines/baseline.h"
+#include "src/fuzz/fuzzer.h"
+#include "src/mario/mario_target.h"
+#include "src/targets/registry.h"
+
+namespace nyx {
+namespace {
+
+EngineConfig SmallEngineConfig() {
+  EngineConfig cfg;
+  cfg.vm.mem_pages = 512;
+  cfg.vm.disk_sectors = 256;
+  return cfg;
+}
+
+CampaignLimits ShortLimits(double vtime = 30.0) {
+  CampaignLimits limits;
+  limits.vtime_seconds = vtime;
+  limits.wall_seconds = 60.0;
+  return limits;
+}
+
+BaselineConfig Cfg(BaselineKind kind, uint64_t seed = 1) {
+  BaselineConfig c;
+  c.kind = kind;
+  c.seed = seed;
+  return c;
+}
+
+TEST(BaselineTest, NamesAreStable) {
+  EXPECT_STREQ(BaselineName(BaselineKind::kAflnet), "aflnet");
+  EXPECT_STREQ(BaselineName(BaselineKind::kAflppDesock), "afl++-desock");
+  EXPECT_STREQ(BaselineName(BaselineKind::kIjon), "ijon");
+}
+
+TEST(BaselineTest, AflnetRunsLightFtp) {
+  auto reg = FindTarget("lightftp");
+  Spec spec = reg->make_spec();
+  BaselineFuzzer fuzzer(SmallEngineConfig(), reg->factory, spec,
+                        Cfg(BaselineKind::kAflnet));
+  for (auto& s : reg->make_seeds(spec)) {
+    fuzzer.AddSeed(s);
+  }
+  CampaignResult r = fuzzer.Run(ShortLimits());
+  EXPECT_GT(r.execs, 10u);
+  EXPECT_GT(r.branch_coverage, 20u);
+  EXPECT_TRUE(r.crashes.empty());
+}
+
+TEST(BaselineTest, DesockRejectsIncompatibleTargets) {
+  auto reg = FindTarget("kamailio");  // UDP multi-socket: n/a for desock
+  Spec spec = reg->make_spec();
+  BaselineFuzzer fuzzer(SmallEngineConfig(), reg->factory, spec,
+                        Cfg(BaselineKind::kAflppDesock));
+  EXPECT_FALSE(fuzzer.supported());
+  CampaignResult r = fuzzer.Run(ShortLimits());
+  EXPECT_EQ(r.execs, 0u);
+}
+
+TEST(BaselineTest, DesockLosesPacketBoundariesButRuns) {
+  auto reg = FindTarget("lightftp");
+  Spec spec = reg->make_spec();
+  BaselineFuzzer fuzzer(SmallEngineConfig(), reg->factory, spec,
+                        Cfg(BaselineKind::kAflppDesock));
+  ASSERT_TRUE(fuzzer.supported());
+  for (auto& s : reg->make_seeds(spec)) {
+    fuzzer.AddSeed(s);
+  }
+  CampaignResult r = fuzzer.Run(ShortLimits());
+  EXPECT_GT(r.execs, 10u);
+  EXPECT_GT(r.branch_coverage, 10u);
+}
+
+TEST(BaselineTest, NyxOutperformsAflnetThroughput) {
+  // The headline Table 3 relation, on one target, in miniature.
+  auto reg = FindTarget("lightftp");
+  Spec spec = reg->make_spec();
+
+  BaselineFuzzer aflnet(SmallEngineConfig(), reg->factory, spec,
+                        Cfg(BaselineKind::kAflnet));
+  for (auto& s : reg->make_seeds(spec)) {
+    aflnet.AddSeed(s);
+  }
+  CampaignResult aflnet_result = aflnet.Run(ShortLimits(30.0));
+
+  FuzzerConfig nyx_cfg;
+  nyx_cfg.policy = PolicyMode::kNone;
+  NyxFuzzer nyx(SmallEngineConfig(), reg->factory, spec, nyx_cfg);
+  for (auto& s : reg->make_seeds(spec)) {
+    nyx.AddSeed(s);
+  }
+  CampaignResult nyx_result = nyx.Run(ShortLimits(30.0));
+
+  ASSERT_GT(aflnet_result.execs_per_vsecond, 0.0);
+  // Nyx-Net's lightftp advantage in the paper is ~250x; require at least 50x.
+  EXPECT_GT(nyx_result.execs_per_vsecond, 50.0 * aflnet_result.execs_per_vsecond);
+}
+
+TEST(BaselineTest, AflnwePaysNoStateMachineCost) {
+  auto reg = FindTarget("lightftp");
+  Spec spec = reg->make_spec();
+  BaselineFuzzer aflnwe(SmallEngineConfig(), reg->factory, spec,
+                        Cfg(BaselineKind::kAflnwe));
+  for (auto& s : reg->make_seeds(spec)) {
+    aflnwe.AddSeed(s);
+  }
+  CampaignResult r = aflnwe.Run(ShortLimits());
+  EXPECT_GT(r.execs, 10u);
+}
+
+TEST(BaselineTest, NoStateVariantTriggersPureFtpdOom) {
+  // Table 1 footnote (*): only the variant that keeps the server process
+  // alive across executions accumulates enough leaked state to trip the
+  // internal allocation limit.
+  auto reg = FindTarget("pure-ftpd");
+  Spec spec = reg->make_spec();
+
+  BaselineConfig no_state = Cfg(BaselineKind::kAflnetNoState);
+  no_state.no_state_restart_period = 1u << 30;  // never restart
+  BaselineFuzzer fuzzer(SmallEngineConfig(), reg->factory, spec, no_state);
+  for (auto& s : reg->make_seeds(spec)) {
+    fuzzer.AddSeed(s);
+  }
+  CampaignLimits limits = ShortLimits(1e9);
+  limits.max_execs = 8000;
+  limits.wall_seconds = 90.0;
+  limits.stop_on_crash = true;
+  limits.stop_on_crash_id = kCrashPureFtpdOom;
+  CampaignResult r = fuzzer.Run(limits);
+  EXPECT_TRUE(r.FoundCrash(kCrashPureFtpdOom))
+      << "no-state fuzzing should eventually hit the internal limit";
+
+  // The restarting AFLNet never does within the same execution count.
+  BaselineFuzzer restarting(SmallEngineConfig(), reg->factory, spec,
+                            Cfg(BaselineKind::kAflnet));
+  for (auto& s : reg->make_seeds(spec)) {
+    restarting.AddSeed(s);
+  }
+  CampaignResult r2 = restarting.Run(limits);
+  EXPECT_FALSE(r2.FoundCrash(kCrashPureFtpdOom));
+}
+
+TEST(BaselineTest, AflnetFindsEasyCrashes) {
+  auto reg = FindTarget("live555");
+  Spec spec = reg->make_spec();
+  BaselineFuzzer fuzzer(SmallEngineConfig(), reg->factory, spec,
+                        Cfg(BaselineKind::kAflnet, 1));
+  for (auto& s : reg->make_seeds(spec)) {
+    fuzzer.AddSeed(s);
+  }
+  // AFLNet finds the live555 Range crash within its 24-virtual-hour budget
+  // (Table 1); observed discovery is at 20k-50k virtual seconds.
+  CampaignLimits limits;
+  limits.vtime_seconds = 86400.0;
+  limits.wall_seconds = 120.0;
+  limits.stop_on_crash = true;
+  limits.stop_on_crash_id = kCrashLive555RangeNull;
+  CampaignResult r = fuzzer.Run(limits);
+  EXPECT_TRUE(r.FoundCrash(kCrashLive555RangeNull)) << "after " << r.execs << " execs";
+}
+
+TEST(BaselineTest, IjonBaselineSolvesFlatMarioLevel) {
+  Spec spec = Spec::GenericNetwork();
+  auto factory = [] { return MakeMarioTarget("1-4"); };
+  BaselineConfig cfg = Cfg(BaselineKind::kIjon, 7);
+  cfg.per_byte_extra_ns = 54'000;  // fork-server frame overhead
+  BaselineFuzzer fuzzer(SmallEngineConfig(), factory, spec, cfg);
+  const LevelDef* lv = FindLevel("1-4");
+  fuzzer.AddSeed(MarioSeed(spec, *lv, 64));
+  CampaignLimits limits;
+  limits.vtime_seconds = 36000.0;
+  limits.wall_seconds = 120.0;
+  limits.ijon_goal = static_cast<uint64_t>(lv->length) * kSub;
+  CampaignResult r = fuzzer.Run(limits);
+  EXPECT_GE(r.ijon_best, limits.ijon_goal / 2)
+      << "IJON feedback must at least reach halfway";
+}
+
+TEST(BaselineTest, DeterministicWithSeed) {
+  auto reg = FindTarget("lightftp");
+  Spec spec = reg->make_spec();
+  CampaignResult results[2];
+  for (int i = 0; i < 2; i++) {
+    BaselineFuzzer fuzzer(SmallEngineConfig(), reg->factory, spec,
+                          Cfg(BaselineKind::kAflnet, 99));
+    for (auto& s : reg->make_seeds(spec)) {
+      fuzzer.AddSeed(s);
+    }
+    results[i] = fuzzer.Run(ShortLimits(20.0));
+  }
+  EXPECT_EQ(results[0].execs, results[1].execs);
+  EXPECT_EQ(results[0].branch_coverage, results[1].branch_coverage);
+}
+
+}  // namespace
+}  // namespace nyx

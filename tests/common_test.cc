@@ -1,0 +1,219 @@
+// Tests for src/common: RNG determinism and distribution, virtual clock,
+// byte helpers, hashing and the statistics used by the evaluation harness.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/common/bytes.h"
+#include "src/common/hash.h"
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/common/vclock.h"
+
+namespace nyx {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; i++) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; i++) {
+    if (a.Next() == b.Next()) {
+      equal++;
+    }
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, BelowRespectsBound) {
+  Rng rng(7);
+  for (uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 200; i++) {
+      EXPECT_LT(rng.Below(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, BelowZeroReturnsZero) {
+  Rng rng(7);
+  EXPECT_EQ(rng.Below(0), 0u);
+}
+
+TEST(RngTest, BelowIsRoughlyUniform) {
+  Rng rng(99);
+  constexpr int kBuckets = 8;
+  constexpr int kSamples = 80000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kSamples; i++) {
+    counts[rng.Below(kBuckets)]++;
+  }
+  for (int c : counts) {
+    EXPECT_GT(c, kSamples / kBuckets * 0.9);
+    EXPECT_LT(c, kSamples / kBuckets * 1.1);
+  }
+}
+
+TEST(RngTest, RangeInclusive) {
+  Rng rng(3);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; i++) {
+    uint64_t v = rng.Range(5, 7);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng rng(11);
+  for (int i = 0; i < 100; i++) {
+    EXPECT_FALSE(rng.Chance(0, 10));
+    EXPECT_TRUE(rng.Chance(10, 10));
+  }
+}
+
+TEST(RngTest, ProbabilityMatchesExpectation) {
+  Rng rng(13);
+  int hits = 0;
+  for (int i = 0; i < 100000; i++) {
+    if (rng.Probability(0.25)) {
+      hits++;
+    }
+  }
+  EXPECT_NEAR(hits / 100000.0, 0.25, 0.01);
+}
+
+TEST(VClockTest, AdvancesMonotonically) {
+  VirtualClock clock;
+  EXPECT_EQ(clock.now_ns(), 0u);
+  clock.Advance(100);
+  clock.Advance(50);
+  EXPECT_EQ(clock.now_ns(), 150u);
+  EXPECT_DOUBLE_EQ(clock.now_seconds(), 150e-9);
+  clock.Reset();
+  EXPECT_EQ(clock.now_ns(), 0u);
+}
+
+TEST(BytesTest, RoundTripScalars) {
+  Bytes b;
+  PutLe16(b, 0x1234);
+  PutLe32(b, 0xdeadbeef);
+  PutBe16(b, 0x5678);
+  PutBe32(b, 0xcafebabe);
+  EXPECT_EQ(ReadLe16(b, 0), 0x1234);
+  EXPECT_EQ(ReadLe32(b, 2), 0xdeadbeefu);
+  EXPECT_EQ(ReadBe16(b, 6), 0x5678);
+  EXPECT_EQ(ReadBe32(b, 8), 0xcafebabeu);
+}
+
+TEST(BytesTest, OutOfRangeReadsReturnZero) {
+  Bytes b = {1, 2};
+  EXPECT_EQ(ReadLe32(b, 0), 0u);
+  EXPECT_EQ(ReadBe16(b, 1), 0u);
+  EXPECT_EQ(ReadLe16(b, 2), 0u);
+}
+
+TEST(BytesTest, StringConversions) {
+  Bytes b = ToBytes("hello");
+  EXPECT_EQ(ToString(b), "hello");
+  EXPECT_EQ(AsStringView(b), "hello");
+}
+
+TEST(BytesTest, StartsWithNoCase) {
+  EXPECT_TRUE(StartsWithNoCase("USER anonymous", "user"));
+  EXPECT_TRUE(StartsWithNoCase("user anonymous", "USER"));
+  EXPECT_FALSE(StartsWithNoCase("USE", "USER"));
+  EXPECT_FALSE(StartsWithNoCase("PASS x", "USER"));
+}
+
+TEST(HashTest, Fnv1aStableAndSensitive) {
+  Bytes a = ToBytes("abc");
+  Bytes b = ToBytes("abd");
+  EXPECT_EQ(Fnv1a64(a), Fnv1a64(a));
+  EXPECT_NE(Fnv1a64(a), Fnv1a64(b));
+}
+
+TEST(StatsTest, MeanMedianStdDev) {
+  std::vector<double> xs = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(Mean(xs), 2.5);
+  EXPECT_DOUBLE_EQ(Median(xs), 2.5);
+  EXPECT_NEAR(StdDev(xs), 1.2909944, 1e-6);
+  EXPECT_DOUBLE_EQ(Median({5}), 5.0);
+  EXPECT_DOUBLE_EQ(Median({3, 1, 2}), 2.0);
+}
+
+TEST(StatsTest, EmptyInputs) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Median({}), 0.0);
+  EXPECT_DOUBLE_EQ(StdDev({}), 0.0);
+  EXPECT_DOUBLE_EQ(StdDev({1.0}), 0.0);
+}
+
+TEST(StatsTest, MannWhitneyDetectsClearDifference) {
+  std::vector<double> a = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  std::vector<double> b = {101, 102, 103, 104, 105, 106, 107, 108, 109, 110};
+  EXPECT_LT(MannWhitneyUPValue(a, b), 0.05);
+}
+
+TEST(StatsTest, MannWhitneyIdenticalSamplesNotSignificant) {
+  std::vector<double> a = {5, 5, 5, 5, 5, 5, 5, 5, 5, 5};
+  EXPECT_GE(MannWhitneyUPValue(a, a), 0.05);
+}
+
+TEST(StatsTest, MannWhitneyOverlappingNotSignificant) {
+  std::vector<double> a = {1, 3, 5, 7, 9, 11, 13, 15, 17, 19};
+  std::vector<double> b = {2, 4, 6, 8, 10, 12, 14, 16, 18, 20};
+  EXPECT_GE(MannWhitneyUPValue(a, b), 0.05);
+}
+
+TEST(TimeSeriesTest, ValueAtStepwise) {
+  TimeSeries ts;
+  ts.Record(10, 100);
+  ts.Record(20, 200);
+  EXPECT_DOUBLE_EQ(ts.ValueAt(5), 0.0);
+  EXPECT_DOUBLE_EQ(ts.ValueAt(10), 100.0);
+  EXPECT_DOUBLE_EQ(ts.ValueAt(15), 100.0);
+  EXPECT_DOUBLE_EQ(ts.ValueAt(25), 200.0);
+}
+
+TEST(TimeSeriesTest, TimeToReach) {
+  TimeSeries ts;
+  ts.Record(10, 100);
+  ts.Record(20, 200);
+  EXPECT_DOUBLE_EQ(ts.TimeToReach(50), 10.0);
+  EXPECT_DOUBLE_EQ(ts.TimeToReach(150), 20.0);
+  EXPECT_LT(ts.TimeToReach(500), 0.0);
+}
+
+TEST(TimeSeriesTest, PointwiseMedian) {
+  TimeSeries a;
+  a.Record(0, 0);
+  a.Record(10, 10);
+  TimeSeries b;
+  b.Record(0, 0);
+  b.Record(10, 30);
+  TimeSeries c;
+  c.Record(0, 0);
+  c.Record(10, 20);
+  TimeSeries med = TimeSeries::PointwiseMedian({a, b, c}, 10.0, 10.0);
+  EXPECT_DOUBLE_EQ(med.ValueAt(10), 20.0);
+}
+
+TEST(TimeSeriesTest, CsvExport) {
+  TimeSeries ts;
+  ts.Record(1, 2);
+  EXPECT_EQ(ts.ToCsv("x"), "x,1,2\n");
+}
+
+}  // namespace
+}  // namespace nyx

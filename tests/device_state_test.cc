@@ -1,0 +1,89 @@
+// Tests for DeviceState: fast copy reset, QEMU-style serialization round
+// trip, and rejection of malformed blobs (failure injection).
+
+#include <gtest/gtest.h>
+
+#include "src/vm/device_state.h"
+
+namespace nyx {
+namespace {
+
+DeviceState MakeState() {
+  DeviceState s;
+  s.AddDevice("serial", 16);
+  s.AddDevice("nic", 64);
+  for (size_t i = 0; i < 16; i++) {
+    s.regs(0)[i] = static_cast<uint8_t>(i);
+  }
+  for (size_t i = 0; i < 64; i++) {
+    s.regs(1)[i] = static_cast<uint8_t>(255 - i);
+  }
+  return s;
+}
+
+TEST(DeviceStateTest, TotalBytes) {
+  DeviceState s = MakeState();
+  EXPECT_EQ(s.total_bytes(), 80u);
+  EXPECT_EQ(s.device_count(), 2u);
+  EXPECT_EQ(s.name(0), "serial");
+}
+
+TEST(DeviceStateTest, FastCopyRestoresRegisters) {
+  DeviceState s = MakeState();
+  DeviceState saved = MakeState();
+  s.regs(0)[3] = 0xff;
+  s.regs(1)[10] = 0xff;
+  EXPECT_FALSE(s == saved);
+  s.CopyFrom(saved);
+  EXPECT_TRUE(s == saved);
+}
+
+TEST(DeviceStateTest, SerializeRoundTrip) {
+  DeviceState s = MakeState();
+  Bytes blob = s.Serialize();
+  DeviceState t = MakeState();
+  t.regs(0)[0] = 0x99;
+  EXPECT_TRUE(t.Deserialize(blob));
+  EXPECT_TRUE(t == s);
+}
+
+TEST(DeviceStateTest, DeserializeRejectsBadMagic) {
+  DeviceState s = MakeState();
+  Bytes blob = s.Serialize();
+  blob[0] ^= 0xff;
+  EXPECT_FALSE(s.Deserialize(blob));
+}
+
+TEST(DeviceStateTest, DeserializeRejectsTruncated) {
+  DeviceState s = MakeState();
+  Bytes blob = s.Serialize();
+  blob.resize(blob.size() / 2);
+  EXPECT_FALSE(s.Deserialize(blob));
+}
+
+TEST(DeviceStateTest, DeserializeRejectsWrongLayout) {
+  DeviceState s = MakeState();
+  Bytes blob = s.Serialize();
+  DeviceState other;
+  other.AddDevice("serial", 16);  // missing the second device
+  EXPECT_FALSE(other.Deserialize(blob));
+}
+
+TEST(DeviceStateTest, DeserializeRejectsTrailingGarbage) {
+  DeviceState s = MakeState();
+  Bytes blob = s.Serialize();
+  blob.push_back(0);
+  EXPECT_FALSE(s.Deserialize(blob));
+}
+
+TEST(DeviceStateTest, DeserializeRejectsCorruptFieldTag) {
+  DeviceState s = MakeState();
+  Bytes blob = s.Serialize();
+  // Field tags start after magic+count+name_len+name+reg_len.
+  size_t tag_off = 4 + 4 + 4 + 6 + 4;
+  blob[tag_off] ^= 0x40;
+  EXPECT_FALSE(s.Deserialize(blob));
+}
+
+}  // namespace
+}  // namespace nyx

@@ -1,0 +1,153 @@
+// Tests for the guest-heap allocator and its ASan-style semantics — the
+// machinery behind the dcmtk footnote of Table 1.
+
+#include <gtest/gtest.h>
+
+#include "src/fuzz/guest.h"
+
+namespace nyx {
+namespace {
+
+class GuestHeapTest : public ::testing::Test {
+ protected:
+  GuestHeapTest() : vm_(MakeConfig()), ctx_(vm_, net_, cov_, clock_, cost_) {}
+
+  static VmConfig MakeConfig() {
+    VmConfig cfg;
+    cfg.mem_pages = 256;
+    cfg.disk_sectors = 16;
+    return cfg;
+  }
+
+  Vm vm_;
+  NetEmu net_;
+  CoverageMap cov_;
+  VirtualClock clock_;
+  CostModel cost_;
+  GuestContext ctx_;
+};
+
+TEST_F(GuestHeapTest, MallocWriteReadRoundTrip) {
+  const uint64_t a = ctx_.Malloc(64);
+  ASSERT_NE(a, 0u);
+  const char msg[] = "hello heap";
+  ctx_.HeapWrite(a, 0, msg, sizeof(msg));
+  char out[16] = {};
+  ctx_.HeapRead(a, 0, out, sizeof(msg));
+  EXPECT_STREQ(out, "hello heap");
+  EXPECT_EQ(ctx_.HeapSizeOf(a), 64u);
+  EXPECT_FALSE(ctx_.crash().crashed);
+}
+
+TEST_F(GuestHeapTest, AllocationsAreDisjoint) {
+  const uint64_t a = ctx_.Malloc(32);
+  const uint64_t b = ctx_.Malloc(32);
+  ASSERT_NE(a, b);
+  ctx_.HeapWrite(a, 0, "AAAA", 4);
+  ctx_.HeapWrite(b, 0, "BBBB", 4);
+  char out[5] = {};
+  ctx_.HeapRead(a, 0, out, 4);
+  EXPECT_EQ(0, memcmp(out, "AAAA", 4));
+}
+
+TEST_F(GuestHeapTest, AsanCatchesOverflowImmediately) {
+  ctx_.set_asan(true);
+  const uint64_t a = ctx_.Malloc(16);
+  uint8_t big[32] = {};
+  ctx_.HeapWrite(a, 0, big, sizeof(big));
+  ASSERT_TRUE(ctx_.crash().crashed);
+  EXPECT_EQ(ctx_.crash().kind, "asan-heap-buffer-overflow-write");
+}
+
+TEST_F(GuestHeapTest, AsanCatchesOobRead) {
+  ctx_.set_asan(true);
+  const uint64_t a = ctx_.Malloc(16);
+  uint8_t out[32];
+  ctx_.HeapRead(a, 8, out, 16);  // 8 + 16 > 16
+  ASSERT_TRUE(ctx_.crash().crashed);
+  EXPECT_EQ(ctx_.crash().kind, "asan-heap-buffer-overflow-read");
+}
+
+TEST_F(GuestHeapTest, WithoutAsanOverflowIsLatentUntilFree) {
+  ctx_.set_asan(false);
+  const uint64_t a = ctx_.Malloc(16);
+  const uint64_t b = ctx_.Malloc(16);
+  // Overflow a far enough to smash b's header (16 data + 8 redzone + header).
+  uint8_t big[64];
+  memset(big, 0xee, sizeof(big));
+  ctx_.HeapWrite(a, 0, big, sizeof(big));
+  EXPECT_FALSE(ctx_.crash().crashed);  // silent corruption
+  ctx_.Free(b);                        // glibc-style abort on smashed header
+  ASSERT_TRUE(ctx_.crash().crashed);
+  EXPECT_EQ(ctx_.crash().kind, "heap-corruption-on-free");
+}
+
+TEST_F(GuestHeapTest, SmallOverflowStaysInRedzone) {
+  ctx_.set_asan(false);
+  const uint64_t a = ctx_.Malloc(16);
+  const uint64_t b = ctx_.Malloc(16);
+  uint8_t bit[20] = {};
+  ctx_.HeapWrite(a, 0, bit, sizeof(bit));  // 4 bytes into the redzone
+  ctx_.Free(b);
+  ctx_.Free(a);
+  EXPECT_FALSE(ctx_.crash().crashed);  // never detected (like real life)
+}
+
+TEST_F(GuestHeapTest, InvalidFreeCrashes) {
+  ctx_.Free(12345);
+  ASSERT_TRUE(ctx_.crash().crashed);
+}
+
+TEST_F(GuestHeapTest, DoubleFreeDetected) {
+  const uint64_t a = ctx_.Malloc(8);
+  ctx_.Free(a);
+  ctx_.Free(a);
+  ASSERT_TRUE(ctx_.crash().crashed);
+  EXPECT_EQ(ctx_.crash().kind, "heap-corruption-on-free");
+}
+
+TEST_F(GuestHeapTest, ExhaustionReturnsZero)  {
+  uint64_t last = 1;
+  int allocations = 0;
+  while (last != 0 && allocations < 100000) {
+    last = ctx_.Malloc(4096);
+    allocations++;
+  }
+  EXPECT_EQ(last, 0u);
+  EXPECT_FALSE(ctx_.crash().crashed);  // graceful exhaustion
+}
+
+TEST_F(GuestHeapTest, HeapStateSurvivesSnapshotRoundTrip) {
+  const uint64_t a = ctx_.Malloc(32);
+  ctx_.HeapWrite(a, 0, "persist", 7);
+  vm_.TakeRootSnapshot();
+  ctx_.HeapWrite(a, 0, "clobber", 7);
+  vm_.RestoreRoot();
+  char out[8] = {};
+  ctx_.HeapRead(a, 0, out, 7);
+  EXPECT_EQ(0, memcmp(out, "persist", 7));
+}
+
+TEST_F(GuestHeapTest, CrashFirstWins) {
+  ctx_.Crash(1, "first");
+  ctx_.Crash(2, "second");
+  EXPECT_EQ(ctx_.crash().crash_id, 1u);
+  EXPECT_EQ(ctx_.crash().kind, "first");
+  ctx_.ClearCrash();
+  EXPECT_FALSE(ctx_.crash().crashed);
+}
+
+TEST_F(GuestHeapTest, IjonSlots) {
+  ctx_.IjonMax(0, 10);
+  ctx_.IjonMax(0, 5);
+  EXPECT_EQ(ctx_.IjonValue(0), 10u);
+  ctx_.IjonMax(7, 3);
+  EXPECT_EQ(ctx_.IjonValue(7), 3u);
+  ctx_.IjonMax(99, 1);  // out of range: ignored
+  EXPECT_EQ(ctx_.IjonValue(99), 0u);
+  ctx_.ResetIjon();
+  EXPECT_EQ(ctx_.IjonValue(0), 0u);
+}
+
+}  // namespace
+}  // namespace nyx

@@ -1,0 +1,337 @@
+// Tests for the selective network emulation layer: socket lifecycle, packet
+// boundary semantics, readiness emulation, fd aliasing across dup/fork, and
+// snapshot serialization.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/netemu/netemu.h"
+
+namespace nyx {
+namespace {
+
+// Builds a server-side listener and one queued connection; returns
+// {listener_fd, conn_handle, accepted_fd}.
+struct ServerSetup {
+  NetEmu net;
+  int listener_fd;
+  int conn;
+  int conn_fd;
+
+  ServerSetup() : net() {
+    listener_fd = net.Socket(SockKind::kStream);
+    EXPECT_EQ(net.Bind(listener_fd, 8080), 0);
+    EXPECT_EQ(net.Listen(listener_fd, 16), 0);
+    conn = net.QueueConnection(8080);
+    EXPECT_GE(conn, 0);
+    conn_fd = net.Accept(listener_fd);
+    EXPECT_GE(conn_fd, 0);
+  }
+};
+
+TEST(NetEmuTest, AcceptBlocksWithoutPendingConnection) {
+  NetEmu net;
+  int fd = net.Socket(SockKind::kStream);
+  net.Bind(fd, 21);
+  net.Listen(fd, 1);
+  EXPECT_EQ(net.Accept(fd), kErrAgain);
+  EXPECT_TRUE(net.blocked_on_input());
+}
+
+TEST(NetEmuTest, QueueConnectionNeedsListener) {
+  NetEmu net;
+  EXPECT_EQ(net.QueueConnection(80), -1);
+  int fd = net.Socket(SockKind::kStream);
+  net.Bind(fd, 80);
+  EXPECT_EQ(net.QueueConnection(80), -1);  // bound but not listening
+  net.Listen(fd, 1);
+  EXPECT_GE(net.QueueConnection(80), 0);
+  EXPECT_EQ(net.QueueConnection(9999), -1);  // wrong port
+}
+
+TEST(NetEmuTest, RecvPreservesPacketBoundaries) {
+  ServerSetup s;
+  s.net.DeliverPacket(s.conn, ToBytes("AAAA"));
+  s.net.DeliverPacket(s.conn, ToBytes("BB"));
+  char buf[16];
+  // A large read returns only the first packet: "a single call to recv()
+  // will never return data from more than one packet".
+  int n = s.net.Recv(s.conn_fd, buf, sizeof(buf));
+  ASSERT_EQ(n, 4);
+  EXPECT_EQ(0, memcmp(buf, "AAAA", 4));
+  n = s.net.Recv(s.conn_fd, buf, sizeof(buf));
+  ASSERT_EQ(n, 2);
+  EXPECT_EQ(0, memcmp(buf, "BB", 2));
+  EXPECT_EQ(s.net.Recv(s.conn_fd, buf, sizeof(buf)), kErrAgain);
+  EXPECT_TRUE(s.net.consumed_input());
+}
+
+TEST(NetEmuTest, ShortReadsResumeWithinPacket) {
+  ServerSetup s;
+  s.net.DeliverPacket(s.conn, ToBytes("HELLO"));
+  char buf[3];
+  EXPECT_EQ(s.net.Recv(s.conn_fd, buf, 2), 2);
+  EXPECT_EQ(0, memcmp(buf, "HE", 2));
+  EXPECT_EQ(s.net.Recv(s.conn_fd, buf, 2), 2);
+  EXPECT_EQ(0, memcmp(buf, "LL", 2));
+  EXPECT_EQ(s.net.Recv(s.conn_fd, buf, 2), 1);
+  EXPECT_EQ(buf[0], 'O');
+}
+
+TEST(NetEmuTest, CoalescingModeDrainsAcrossPackets) {
+  NetEmu::Config cfg;
+  cfg.preserve_packet_boundaries = false;
+  NetEmu net(cfg);
+  int lfd = net.Socket(SockKind::kStream);
+  net.Bind(lfd, 80);
+  net.Listen(lfd, 1);
+  int conn = net.QueueConnection(80);
+  int cfd = net.Accept(lfd);
+  net.DeliverPacket(conn, ToBytes("AB"));
+  net.DeliverPacket(conn, ToBytes("CD"));
+  char buf[8];
+  EXPECT_EQ(net.Recv(cfd, buf, 3), 3);
+  EXPECT_EQ(0, memcmp(buf, "ABC", 3));
+}
+
+TEST(NetEmuTest, DatagramTruncationAndBoundaries) {
+  NetEmu net;
+  int fd = net.Socket(SockKind::kDgram);
+  net.Bind(fd, 53);
+  // For UDP the bound socket is itself the attack surface.
+  net.DeliverPacket(0, ToBytes("LONGDATAGRAM"));
+  net.DeliverPacket(0, ToBytes("x"));
+  char buf[4];
+  EXPECT_EQ(net.Recv(fd, buf, 4), 4);  // truncated, rest discarded
+  EXPECT_EQ(net.Recv(fd, buf, 4), 1);
+  EXPECT_EQ(buf[0], 'x');
+}
+
+TEST(NetEmuTest, PeerCloseYieldsEof) {
+  ServerSetup s;
+  s.net.DeliverPacket(s.conn, ToBytes("A"));
+  s.net.PeerClose(s.conn);
+  char buf[4];
+  EXPECT_EQ(s.net.Recv(s.conn_fd, buf, 4), 1);  // data before EOF
+  EXPECT_EQ(s.net.Recv(s.conn_fd, buf, 4), 0);  // then orderly EOF
+}
+
+TEST(NetEmuTest, SendRecordsResponses) {
+  ServerSetup s;
+  s.net.Send(s.conn_fd, "220 ready\r\n", 11);
+  s.net.Send(s.conn_fd, "500 no\r\n", 8);
+  const auto& sent = s.net.Sent(s.conn);
+  ASSERT_EQ(sent.size(), 2u);
+  EXPECT_EQ(ToString(sent[0]), "220 ready\r\n");
+  EXPECT_EQ(ToString(sent[1]), "500 no\r\n");
+}
+
+TEST(NetEmuTest, BadFdErrors) {
+  NetEmu net;
+  char buf[1];
+  EXPECT_EQ(net.Recv(99, buf, 1), kErrBadf);
+  EXPECT_EQ(net.Send(99, "x", 1), kErrBadf);
+  EXPECT_EQ(net.Close(99), kErrBadf);
+  EXPECT_EQ(net.Dup(99), kErrBadf);
+  EXPECT_EQ(net.Accept(99), kErrBadf);
+  EXPECT_EQ(net.Listen(99, 1), kErrBadf);
+}
+
+TEST(NetEmuTest, RecvOnListenerIsInvalid) {
+  ServerSetup s;
+  char buf[1];
+  EXPECT_EQ(s.net.Recv(s.listener_fd, buf, 1), kErrInval);
+}
+
+TEST(NetEmuTest, DupAliasesShareConsumption) {
+  ServerSetup s;
+  int alias = s.net.Dup(s.conn_fd);
+  ASSERT_GE(alias, 0);
+  s.net.DeliverPacket(s.conn, ToBytes("XY"));
+  char buf[4];
+  EXPECT_EQ(s.net.Recv(alias, buf, 4), 2);
+  EXPECT_EQ(s.net.Recv(s.conn_fd, buf, 4), kErrAgain);
+  // Socket stays alive until the last alias closes.
+  EXPECT_EQ(s.net.Close(s.conn_fd), 0);
+  s.net.DeliverPacket(s.conn, ToBytes("Z"));
+  EXPECT_EQ(s.net.Recv(alias, buf, 4), 1);
+  EXPECT_EQ(s.net.Close(alias), 0);
+  EXPECT_FALSE(s.net.ValidConn(s.conn));
+}
+
+TEST(NetEmuTest, Dup2ReplacesTarget) {
+  ServerSetup s;
+  int other = s.net.Socket(SockKind::kStream);
+  int r = s.net.Dup2(s.conn_fd, other);
+  EXPECT_EQ(r, other);
+  s.net.DeliverPacket(s.conn, ToBytes("Q"));
+  char buf[2];
+  EXPECT_EQ(s.net.Recv(other, buf, 2), 1);
+  EXPECT_EQ(buf[0], 'Q');
+  EXPECT_EQ(s.net.Dup2(s.conn_fd, s.conn_fd), s.conn_fd);
+}
+
+TEST(NetEmuTest, ForkSharesStreamPosition) {
+  ServerSetup s;
+  s.net.DeliverPacket(s.conn, ToBytes("ONE"));
+  s.net.DeliverPacket(s.conn, ToBytes("TWO"));
+  const int child = s.net.ForkFdTable();
+  char buf[8];
+  // Parent reads the first packet.
+  EXPECT_EQ(s.net.Recv(s.conn_fd, buf, 8), 3);
+  EXPECT_EQ(0, memcmp(buf, "ONE", 3));
+  // Child's view of the shared socket continues where the parent left off:
+  // "This library also ensures that packets are consumed correctly across
+  // multiple processes."
+  s.net.SetCurrentProcess(child);
+  EXPECT_EQ(s.net.Recv(s.conn_fd, buf, 8), 3);
+  EXPECT_EQ(0, memcmp(buf, "TWO", 3));
+  // Parent exit must not kill the socket while the child holds a reference.
+  s.net.ExitProcess(0);
+  EXPECT_TRUE(s.net.ValidConn(s.conn));
+  s.net.ExitProcess(child);
+  EXPECT_FALSE(s.net.ValidConn(s.conn));
+}
+
+TEST(NetEmuTest, PollReportsReadiness) {
+  ServerSetup s;
+  std::vector<PollRequest> reqs(1);
+  reqs[0].fd = s.conn_fd;
+  reqs[0].want_read = true;
+  reqs[0].want_write = true;
+  EXPECT_EQ(s.net.Poll(reqs), 1);  // writable only
+  EXPECT_FALSE(reqs[0].readable);
+  EXPECT_TRUE(reqs[0].writable);
+
+  s.net.DeliverPacket(s.conn, ToBytes("A"));
+  EXPECT_EQ(s.net.Poll(reqs), 1);
+  EXPECT_TRUE(reqs[0].readable);
+
+  // Read-only poll with nothing queued signals the blocked-on-input point.
+  char buf[2];
+  s.net.Recv(s.conn_fd, buf, 2);
+  reqs[0].want_write = false;
+  EXPECT_EQ(s.net.Poll(reqs), 0);
+  EXPECT_TRUE(s.net.blocked_on_input());
+}
+
+TEST(NetEmuTest, PollListenerReadableWithPendingConn) {
+  NetEmu net;
+  int lfd = net.Socket(SockKind::kStream);
+  net.Bind(lfd, 80);
+  net.Listen(lfd, 4);
+  std::vector<PollRequest> reqs(1);
+  reqs[0].fd = lfd;
+  reqs[0].want_read = true;
+  EXPECT_EQ(net.Poll(reqs), 0);
+  net.QueueConnection(80);
+  EXPECT_EQ(net.Poll(reqs), 1);
+  EXPECT_TRUE(reqs[0].readable);
+}
+
+TEST(NetEmuTest, EpollLifecycle) {
+  ServerSetup s;
+  int ep = s.net.EpollCreate();
+  ASSERT_GE(ep, 0);
+  EXPECT_EQ(s.net.EpollCtlAdd(ep, s.conn_fd, true), 0);
+  EXPECT_EQ(s.net.EpollCtlAdd(ep, s.conn_fd, true), kErrInval);  // duplicate
+  std::vector<int> ready;
+  EXPECT_EQ(s.net.EpollWait(ep, ready), 0);
+  EXPECT_TRUE(s.net.blocked_on_input());
+  s.net.DeliverPacket(s.conn, ToBytes("A"));
+  EXPECT_EQ(s.net.EpollWait(ep, ready), 1);
+  ASSERT_EQ(ready.size(), 1u);
+  EXPECT_EQ(ready[0], s.conn_fd);
+  EXPECT_EQ(s.net.EpollCtlDel(ep, s.conn_fd), 0);
+  EXPECT_EQ(s.net.EpollWait(ep, ready), 0);
+  EXPECT_EQ(s.net.EpollCtlDel(ep, s.conn_fd), kErrBadf);
+}
+
+TEST(NetEmuTest, ClientConnectBecomesAttackSurface) {
+  NetEmu net;
+  int fd = net.Socket(SockKind::kStream);
+  EXPECT_EQ(net.Connect(fd, 3306), 0);
+  ASSERT_EQ(net.ClientConnections().size(), 1u);
+  const int conn = net.ClientConnections()[0];
+  net.DeliverPacket(conn, ToBytes("server-greeting"));
+  char buf[32];
+  EXPECT_EQ(net.Recv(fd, buf, 32), 15);
+  EXPECT_TRUE(net.consumed_input());
+}
+
+TEST(NetEmuTest, ShutdownStopsSendGivesEof) {
+  ServerSetup s;
+  EXPECT_EQ(s.net.Shutdown(s.conn_fd), 0);
+  EXPECT_EQ(s.net.Send(s.conn_fd, "x", 1), kErrNotConn);
+  char buf[1];
+  EXPECT_EQ(s.net.Recv(s.conn_fd, buf, 1), 0);
+}
+
+TEST(NetEmuTest, FdExhaustion) {
+  NetEmu::Config cfg;
+  cfg.max_fds = 4;
+  cfg.max_sockets = 8;
+  NetEmu net(cfg);
+  int a = net.Socket(SockKind::kStream);
+  int b = net.Socket(SockKind::kStream);
+  int c = net.Socket(SockKind::kStream);
+  int d = net.Socket(SockKind::kStream);
+  EXPECT_GE(d, 0);
+  EXPECT_EQ(net.Socket(SockKind::kStream), kErrMfile);
+  net.Close(b);
+  EXPECT_GE(net.Socket(SockKind::kStream), 0);  // slot reused
+  (void)a;
+  (void)c;
+}
+
+TEST(NetEmuTest, UndeliveredBytesCountsQueuedInput) {
+  ServerSetup s;
+  s.net.DeliverPacket(s.conn, ToBytes("AAAA"));
+  s.net.DeliverPacket(s.conn, ToBytes("BB"));
+  EXPECT_EQ(s.net.UndeliveredBytes(), 6u);
+  char buf[8];
+  s.net.Recv(s.conn_fd, buf, 8);
+  EXPECT_EQ(s.net.UndeliveredBytes(), 2u);
+}
+
+TEST(NetEmuTest, SerializeDeserializeRoundTrip) {
+  ServerSetup s;
+  s.net.DeliverPacket(s.conn, ToBytes("PENDING"));
+  s.net.Send(s.conn_fd, "SENT", 4);
+  int ep = s.net.EpollCreate();
+  s.net.EpollCtlAdd(ep, s.conn_fd, true);
+  char tmp[3];
+  s.net.Recv(s.conn_fd, tmp, 3);  // partial consume: offset must survive
+
+  Bytes blob = s.net.Serialize();
+  NetEmu restored;
+  ASSERT_TRUE(restored.Deserialize(blob));
+
+  // The restored instance continues mid-packet.
+  char buf[8];
+  EXPECT_EQ(restored.Recv(s.conn_fd, buf, 8), 4);
+  EXPECT_EQ(0, memcmp(buf, "DING", 4));
+  EXPECT_EQ(ToString(restored.Sent(s.conn)[0]), "SENT");
+  EXPECT_TRUE(restored.consumed_input());
+}
+
+TEST(NetEmuTest, DeserializeRejectsGarbage) {
+  NetEmu net;
+  EXPECT_FALSE(net.Deserialize(ToBytes("not a snapshot")));
+  EXPECT_FALSE(net.Deserialize({}));
+}
+
+TEST(NetEmuTest, ClockCharges) {
+  NetEmu net;
+  VirtualClock clock;
+  CostModel cost;
+  net.AttachClock(&clock, &cost);
+  int fd = net.Socket(SockKind::kStream);
+  net.Bind(fd, 1);
+  EXPECT_EQ(clock.now_ns(), 2 * cost.emulated_call_ns);
+  EXPECT_EQ(net.calls(), 2u);
+}
+
+}  // namespace
+}  // namespace nyx

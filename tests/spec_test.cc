@@ -1,0 +1,324 @@
+// Tests for the specification engine: spec construction, bytecode
+// serialization round trips, affine validation, repair, snapshot markers and
+// the seed builder.
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/spec/builder.h"
+#include "src/spec/program.h"
+#include "src/spec/spec.h"
+
+namespace nyx {
+namespace {
+
+TEST(SpecTest, GenericNetworkShape) {
+  Spec s = Spec::GenericNetwork();
+  EXPECT_EQ(s.edge_type_count(), 1u);
+  EXPECT_EQ(s.node_type_count(), 2u);
+  ASSERT_TRUE(s.FindNodeType("connection").has_value());
+  ASSERT_TRUE(s.FindNodeType("pkt").has_value());
+  EXPECT_FALSE(s.FindNodeType("close").has_value());
+  EXPECT_EQ(s.NodesWithSemantic(NodeSemantic::kPacket).size(), 1u);
+}
+
+TEST(SpecTest, MultiConnectionHasClose) {
+  Spec s = Spec::MultiConnection();
+  ASSERT_TRUE(s.FindNodeType("close").has_value());
+  const NodeTypeDef& close = s.node_type(*s.FindNodeType("close"));
+  EXPECT_EQ(close.consumes.size(), 1u);
+  EXPECT_EQ(close.semantic, NodeSemantic::kClose);
+}
+
+Program MakeSeed(const Spec& spec, int packets) {
+  Builder b(spec);
+  ValueRef con = b.Connection();
+  for (int i = 0; i < packets; i++) {
+    b.Packet(con, "packet-" + std::to_string(i));
+  }
+  auto prog = b.Build();
+  EXPECT_TRUE(prog.has_value());
+  return *prog;
+}
+
+TEST(BuilderTest, RecordsCallsInOrder) {
+  Spec spec = Spec::GenericNetwork();
+  Program p = MakeSeed(spec, 3);
+  ASSERT_EQ(p.ops.size(), 4u);
+  EXPECT_EQ(spec.node_type(p.ops[0].node_type).semantic, NodeSemantic::kConnection);
+  EXPECT_EQ(ToString(p.ops[2].data), "packet-1");
+  EXPECT_TRUE(p.Validate(spec));
+}
+
+TEST(BuilderTest, UnknownNodeFailsBuild) {
+  Spec spec = Spec::GenericNetwork();
+  Builder b(spec);
+  EXPECT_FALSE(b.Node("no-such-node").has_value());
+  EXPECT_FALSE(b.Build().has_value());
+  EXPECT_FALSE(b.error().empty());
+}
+
+TEST(BuilderTest, ArityMismatchFailsBuild) {
+  Spec spec = Spec::GenericNetwork();
+  Builder b(spec);
+  EXPECT_FALSE(b.Node("pkt", {}, ToBytes("x")).has_value());  // missing conn
+  EXPECT_FALSE(b.Build().has_value());
+}
+
+TEST(BuilderTest, MultiConnectionSeed) {
+  Spec spec = Spec::MultiConnection();
+  Builder b(spec);
+  ValueRef c1 = b.Connection();
+  ValueRef c2 = b.Connection();
+  b.Packet(c1, "to-first");
+  b.Packet(c2, "to-second");
+  b.Close(c1);
+  auto prog = b.Build();
+  ASSERT_TRUE(prog.has_value());
+  EXPECT_TRUE(prog->Validate(spec));
+  EXPECT_EQ(prog->ops.size(), 5u);
+}
+
+TEST(ProgramTest, SerializeParseRoundTrip) {
+  Spec spec = Spec::GenericNetwork();
+  Program p = MakeSeed(spec, 5);
+  Bytes wire = p.Serialize();
+  auto parsed = Program::Parse(wire, spec);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->ops.size(), p.ops.size());
+  for (size_t i = 0; i < p.ops.size(); i++) {
+    EXPECT_EQ(parsed->ops[i].node_type, p.ops[i].node_type);
+    EXPECT_EQ(parsed->ops[i].args, p.ops[i].args);
+    EXPECT_EQ(parsed->ops[i].data, p.ops[i].data);
+  }
+}
+
+TEST(ProgramTest, SnapshotMarkerSurvivesRoundTrip) {
+  Spec spec = Spec::GenericNetwork();
+  Program p = MakeSeed(spec, 4);
+  p.InsertSnapshotAfterPacket(spec, 1);
+  ASSERT_TRUE(p.SnapshotMarkerPos().has_value());
+  Bytes wire = p.Serialize();
+  auto parsed = Program::Parse(wire, spec);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->SnapshotMarkerPos(), p.SnapshotMarkerPos());
+}
+
+TEST(ProgramTest, ParseRejectsMalformed) {
+  Spec spec = Spec::GenericNetwork();
+  EXPECT_FALSE(Program::Parse({}, spec).has_value());
+  EXPECT_FALSE(Program::Parse(ToBytes("garbage input here"), spec).has_value());
+  Program p = MakeSeed(spec, 2);
+  Bytes wire = p.Serialize();
+  // Truncation at every boundary must fail cleanly, never crash.
+  for (size_t cut = 0; cut < wire.size(); cut++) {
+    Bytes truncated(wire.begin(), wire.begin() + static_cast<long>(cut));
+    EXPECT_FALSE(Program::Parse(truncated, spec).has_value()) << "cut=" << cut;
+  }
+  // Trailing garbage is also rejected.
+  Bytes extended = wire;
+  extended.push_back(0);
+  EXPECT_FALSE(Program::Parse(extended, spec).has_value());
+}
+
+TEST(ProgramTest, ParseRejectsUnknownNodeType) {
+  Spec spec = Spec::GenericNetwork();
+  Program p = MakeSeed(spec, 1);
+  Bytes wire = p.Serialize();
+  wire[7] = 0x77;  // first op's node id
+  EXPECT_FALSE(Program::Parse(wire, spec).has_value());
+}
+
+TEST(ProgramTest, ValidateCatchesAffineViolations) {
+  Spec spec = Spec::MultiConnection();
+  const uint8_t pkt = static_cast<uint8_t>(*spec.FindNodeType("pkt"));
+  const uint8_t con = static_cast<uint8_t>(*spec.FindNodeType("connection"));
+  const uint8_t close = static_cast<uint8_t>(*spec.FindNodeType("close"));
+
+  // Borrow before production.
+  Program bad1;
+  bad1.ops.push_back(Op{pkt, {0}, ToBytes("x")});
+  EXPECT_FALSE(bad1.Validate(spec));
+
+  // Use after consume.
+  Program bad2;
+  bad2.ops.push_back(Op{con, {}, {}});
+  bad2.ops.push_back(Op{close, {0}, {}});
+  bad2.ops.push_back(Op{pkt, {0}, ToBytes("x")});
+  std::string err;
+  EXPECT_FALSE(bad2.Validate(spec, &err));
+  EXPECT_NE(err.find("borrows"), std::string::npos);
+
+  // Double close.
+  Program bad3;
+  bad3.ops.push_back(Op{con, {}, {}});
+  bad3.ops.push_back(Op{close, {0}, {}});
+  bad3.ops.push_back(Op{close, {0}, {}});
+  EXPECT_FALSE(bad3.Validate(spec));
+
+  // Valid sequence passes.
+  Program good;
+  good.ops.push_back(Op{con, {}, {}});
+  good.ops.push_back(Op{pkt, {0}, ToBytes("x")});
+  good.ops.push_back(Op{close, {0}, {}});
+  EXPECT_TRUE(good.Validate(spec));
+}
+
+TEST(ProgramTest, RepairFixesDanglingRefs) {
+  Spec spec = Spec::MultiConnection();
+  const uint8_t pkt = static_cast<uint8_t>(*spec.FindNodeType("pkt"));
+  const uint8_t con = static_cast<uint8_t>(*spec.FindNodeType("connection"));
+
+  Program p;
+  p.ops.push_back(Op{con, {}, {}});
+  p.ops.push_back(Op{pkt, {42}, ToBytes("x")});  // dangling ref
+  EXPECT_FALSE(p.Validate(spec));
+  p.Repair(spec);
+  EXPECT_TRUE(p.Validate(spec));
+  ASSERT_EQ(p.ops.size(), 2u);
+  EXPECT_EQ(p.ops[1].args[0], 0);  // rewired to the live connection
+}
+
+TEST(ProgramTest, RepairDropsOpsWithNoCandidate) {
+  Spec spec = Spec::MultiConnection();
+  const uint8_t pkt = static_cast<uint8_t>(*spec.FindNodeType("pkt"));
+  Program p;
+  p.ops.push_back(Op{pkt, {0}, ToBytes("x")});  // no connection exists at all
+  p.Repair(spec);
+  EXPECT_TRUE(p.ops.empty());
+}
+
+TEST(ProgramTest, RepairKeepsOnlyFirstSnapshotMarker) {
+  Spec spec = Spec::GenericNetwork();
+  Program p = MakeSeed(spec, 2);
+  Op marker;
+  marker.node_type = kSnapshotOpcode;
+  p.ops.insert(p.ops.begin() + 1, marker);
+  p.ops.push_back(marker);
+  p.Repair(spec);
+  EXPECT_TRUE(p.Validate(spec));
+  size_t markers = 0;
+  for (const Op& op : p.ops) {
+    markers += op.is_snapshot() ? 1 : 0;
+  }
+  EXPECT_EQ(markers, 1u);
+}
+
+TEST(ProgramTest, PacketIndicesAndSnapshotInsertion) {
+  Spec spec = Spec::GenericNetwork();
+  Program p = MakeSeed(spec, 3);
+  auto packets = p.PacketOpIndices(spec);
+  ASSERT_EQ(packets.size(), 3u);
+  EXPECT_EQ(packets[0], 1u);
+
+  p.InsertSnapshotAfterPacket(spec, 0);
+  EXPECT_EQ(*p.SnapshotMarkerPos(), 2u);
+  // Re-insertion moves the marker (never duplicates it).
+  p.InsertSnapshotAfterPacket(spec, 2);
+  size_t markers = 0;
+  for (const Op& op : p.ops) {
+    markers += op.is_snapshot() ? 1 : 0;
+  }
+  EXPECT_EQ(markers, 1u);
+  EXPECT_EQ(*p.SnapshotMarkerPos(), p.ops.size() - 1);
+
+  // Out-of-range packet index clamps to the last packet.
+  p.InsertSnapshotAfterPacket(spec, 99);
+  EXPECT_EQ(*p.SnapshotMarkerPos(), p.ops.size() - 1);
+
+  p.StripSnapshotMarkers();
+  EXPECT_FALSE(p.SnapshotMarkerPos().has_value());
+  EXPECT_EQ(p.ops.size(), 4u);
+}
+
+TEST(ProgramTest, TotalDataBytes) {
+  Spec spec = Spec::GenericNetwork();
+  Builder b(spec);
+  ValueRef c = b.Connection();
+  b.Packet(c, "1234");
+  b.Packet(c, "56");
+  Program p = *b.Build();
+  EXPECT_EQ(p.TotalDataBytes(), 6u);
+}
+
+// Property: random valid programs always round trip; random byte blobs never
+// crash the parser.
+class ProgramPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ProgramPropertyTest, RandomProgramRoundTrip) {
+  Rng rng(GetParam());
+  Spec spec = Spec::MultiConnection();
+  Builder b(spec);
+  std::vector<ValueRef> conns;
+  conns.push_back(b.Connection());
+  for (int i = 0; i < 30; i++) {
+    const uint64_t action = rng.Below(10);
+    if (action < 2) {
+      conns.push_back(b.Connection());
+    } else {
+      Bytes data;
+      const uint64_t len = rng.Below(64);
+      for (uint64_t j = 0; j < len; j++) {
+        data.push_back(rng.NextByte());
+      }
+      b.Packet(rng.Choice(conns), std::move(data));
+    }
+  }
+  auto prog = b.Build();
+  ASSERT_TRUE(prog.has_value());
+  Bytes wire = prog->Serialize();
+  auto parsed = Program::Parse(wire, spec);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->Serialize(), wire);
+  EXPECT_TRUE(parsed->Validate(spec));
+}
+
+TEST_P(ProgramPropertyTest, FuzzedWireNeverCrashes) {
+  Rng rng(GetParam() ^ 0xabcdef);
+  Spec spec = Spec::GenericNetwork();
+  for (int i = 0; i < 200; i++) {
+    Bytes junk;
+    const uint64_t len = rng.Below(256);
+    for (uint64_t j = 0; j < len; j++) {
+      junk.push_back(rng.NextByte());
+    }
+    auto parsed = Program::Parse(junk, spec);  // must not crash or UB
+    if (parsed.has_value()) {
+      parsed->Repair(spec);
+      EXPECT_TRUE(parsed->Validate(spec));
+    }
+  }
+}
+
+TEST_P(ProgramPropertyTest, RepairAlwaysYieldsValid) {
+  Rng rng(GetParam() ^ 0x1234);
+  Spec spec = Spec::MultiConnection();
+  for (int trial = 0; trial < 50; trial++) {
+    Program p;
+    const uint64_t nops = rng.Range(1, 20);
+    for (uint64_t i = 0; i < nops; i++) {
+      Op op;
+      op.node_type = rng.Chance(1, 10)
+                         ? kSnapshotOpcode
+                         : static_cast<uint8_t>(rng.Below(spec.node_type_count()));
+      if (!op.is_snapshot()) {
+        const NodeTypeDef& node = spec.node_type(op.node_type);
+        for (size_t a = 0; a < node.borrows.size() + node.consumes.size(); a++) {
+          op.args.push_back(static_cast<uint16_t>(rng.Below(30)));
+        }
+        if (node.data == DataKind::kBytes) {
+          op.data.push_back(rng.NextByte());
+        }
+      }
+      p.ops.push_back(std::move(op));
+    }
+    p.Repair(spec);
+    std::string err;
+    EXPECT_TRUE(p.Validate(spec, &err)) << err;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProgramPropertyTest, ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace nyx

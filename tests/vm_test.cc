@@ -1,0 +1,218 @@
+// Integration tests for the Vm façade: whole-VM snapshot semantics across
+// memory, devices, disk and the auxiliary blob, plus cost accounting.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/common/rng.h"
+#include "src/vm/vm.h"
+
+namespace nyx {
+namespace {
+
+VmConfig SmallConfig() {
+  VmConfig c;
+  c.mem_pages = 64;
+  c.disk_sectors = 64;
+  return c;
+}
+
+TEST(VmTest, RootRestoreIsIdentity) {
+  Vm vm(SmallConfig());
+  vm.mem().base()[100] = 7;
+  vm.TakeRootSnapshot();
+  vm.mem().base()[100] = 99;
+  vm.mem().base()[5 * kPageSize] = 1;
+  vm.devices().regs(0)[0] = 0xab;
+  vm.disk().WriteBytes(0, "dirty", 5);
+  vm.RestoreRoot();
+  EXPECT_EQ(vm.mem().base()[100], 7);
+  EXPECT_EQ(vm.mem().base()[5 * kPageSize], 0);
+  EXPECT_EQ(vm.devices().regs(0)[0], 0);
+  char buf[6] = {};
+  vm.disk().ReadBytes(0, buf, 5);
+  EXPECT_EQ(0, memcmp(buf, "\0\0\0\0\0", 5));
+  EXPECT_EQ(vm.stats().root_restores, 1u);
+}
+
+TEST(VmTest, RepeatedRestoresStayClean) {
+  Vm vm(SmallConfig());
+  vm.TakeRootSnapshot();
+  for (int i = 0; i < 20; i++) {
+    vm.mem().base()[static_cast<size_t>(i) * kPageSize] = static_cast<uint8_t>(i + 1);
+    vm.RestoreRoot();
+  }
+  for (int i = 0; i < 20; i++) {
+    EXPECT_EQ(vm.mem().base()[static_cast<size_t>(i) * kPageSize], 0);
+  }
+}
+
+TEST(VmTest, IncrementalRestoreKeepsPrefixState) {
+  Vm vm(SmallConfig());
+  vm.TakeRootSnapshot();
+  // Prefix execution.
+  vm.mem().base()[0] = 11;
+  vm.disk().WriteBytes(0, "pfx", 3);
+  vm.devices().regs(0)[1] = 0x55;
+  vm.CreateIncremental();
+  // Fuzzing iterations on top of the prefix.
+  for (int i = 0; i < 5; i++) {
+    vm.mem().base()[0] = 200;
+    vm.mem().base()[kPageSize] = 201;
+    vm.disk().WriteBytes(100, "junk", 4);
+    vm.devices().regs(0)[1] = 0x99;
+    vm.RestoreIncremental();
+    EXPECT_EQ(vm.mem().base()[0], 11);
+    EXPECT_EQ(vm.mem().base()[kPageSize], 0);
+    EXPECT_EQ(vm.devices().regs(0)[1], 0x55);
+    char buf[4] = {};
+    vm.disk().ReadBytes(0, buf, 3);
+    EXPECT_EQ(0, memcmp(buf, "pfx", 3));
+    char junk[5] = {};
+    vm.disk().ReadBytes(100, junk, 4);
+    EXPECT_EQ(0, memcmp(junk, "\0\0\0\0", 4));
+  }
+  EXPECT_EQ(vm.stats().incremental_restores, 5u);
+}
+
+TEST(VmTest, RootRestoreAfterIncrementalRevertsPrefix) {
+  Vm vm(SmallConfig());
+  vm.TakeRootSnapshot();
+  vm.mem().base()[3 * kPageSize] = 42;
+  vm.disk().WriteBytes(0, "pfx", 3);
+  vm.CreateIncremental();
+  vm.mem().base()[4 * kPageSize] = 43;
+  vm.RestoreIncremental();
+  // Schedule a different input: back to root. Prefix effects must vanish,
+  // including pages/sectors only dirtied before the incremental snapshot.
+  vm.RestoreRoot();
+  EXPECT_EQ(vm.mem().base()[3 * kPageSize], 0);
+  EXPECT_EQ(vm.mem().base()[4 * kPageSize], 0);
+  char buf[4] = {};
+  vm.disk().ReadBytes(0, buf, 3);
+  EXPECT_EQ(0, memcmp(buf, "\0\0\0", 3));
+  EXPECT_FALSE(vm.has_incremental());
+}
+
+TEST(VmTest, RootRestoreDirectlyAfterIncrementalCreate) {
+  Vm vm(SmallConfig());
+  vm.TakeRootSnapshot();
+  vm.mem().base()[7 * kPageSize] = 1;
+  vm.CreateIncremental();
+  // No incremental restore in between.
+  vm.RestoreRoot();
+  EXPECT_EQ(vm.mem().base()[7 * kPageSize], 0);
+}
+
+TEST(VmTest, AuxBlobFollowsSnapshots) {
+  Vm vm(SmallConfig());
+  vm.TakeRootSnapshot(ToBytes("root-aux"));
+  EXPECT_EQ(ToString(vm.current_aux()), "root-aux");
+  vm.mem().base()[0] = 1;
+  vm.CreateIncremental(ToBytes("inc-aux"));
+  EXPECT_EQ(ToString(vm.current_aux()), "inc-aux");
+  vm.mem().base()[0] = 2;
+  vm.RestoreIncremental();
+  EXPECT_EQ(ToString(vm.current_aux()), "inc-aux");
+  vm.RestoreRoot();
+  EXPECT_EQ(ToString(vm.current_aux()), "root-aux");
+}
+
+TEST(VmTest, RecreateIncrementalForNewPrefix) {
+  Vm vm(SmallConfig());
+  vm.TakeRootSnapshot();
+  vm.mem().base()[1 * kPageSize] = 10;
+  vm.CreateIncremental();
+  vm.RestoreRoot();
+
+  vm.mem().base()[2 * kPageSize] = 20;
+  vm.CreateIncremental();
+  vm.mem().base()[3 * kPageSize] = 30;
+  vm.RestoreIncremental();
+  EXPECT_EQ(vm.mem().base()[1 * kPageSize], 0);   // old prefix gone
+  EXPECT_EQ(vm.mem().base()[2 * kPageSize], 20);  // new prefix present
+  EXPECT_EQ(vm.mem().base()[3 * kPageSize], 0);   // suffix reverted
+}
+
+TEST(VmTest, ClockChargedForRestores) {
+  Vm vm(SmallConfig());
+  VirtualClock clock;
+  CostModel cost;
+  vm.AttachClock(&clock, &cost);
+  vm.TakeRootSnapshot();
+  vm.mem().base()[0] = 1;
+  const uint64_t before = clock.now_ns();
+  vm.RestoreRoot();
+  const uint64_t charged = clock.now_ns() - before;
+  EXPECT_GE(charged, cost.snapshot_restore_fixed_ns + cost.snapshot_page_copy_ns);
+}
+
+TEST(VmTest, SlowDeviceResetChargesMore) {
+  VmConfig cfg = SmallConfig();
+  cfg.fast_device_reset = false;
+  Vm slow(cfg);
+  Vm fast(SmallConfig());
+  VirtualClock clock_slow;
+  VirtualClock clock_fast;
+  CostModel cost;
+  slow.AttachClock(&clock_slow, &cost);
+  fast.AttachClock(&clock_fast, &cost);
+  slow.TakeRootSnapshot();
+  fast.TakeRootSnapshot();
+  slow.RestoreRoot();
+  fast.RestoreRoot();
+  EXPECT_GT(clock_slow.now_ns(), clock_fast.now_ns());
+}
+
+TEST(VmTest, StatsCountPagesRestored) {
+  Vm vm(SmallConfig());
+  vm.TakeRootSnapshot();
+  vm.mem().base()[0] = 1;
+  vm.mem().base()[kPageSize] = 1;
+  vm.RestoreRoot();
+  EXPECT_EQ(vm.stats().pages_restored, 2u);
+}
+
+// Property test: arbitrary interleavings of writes, incremental captures and
+// restores never corrupt state.
+class VmPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(VmPropertyTest, SnapshotProtocolNeverCorrupts) {
+  Rng rng(GetParam());
+  Vm vm(SmallConfig());
+  vm.TakeRootSnapshot();
+  Bytes root_image(vm.mem().size_bytes());
+  memcpy(root_image.data(), vm.mem().base(), root_image.size());
+
+  for (int round = 0; round < 30; round++) {
+    // Prefix writes.
+    for (int i = 0; i < 10; i++) {
+      vm.mem().base()[rng.Below(vm.mem().size_bytes())] = rng.NextByte();
+    }
+    const bool use_incremental = rng.Chance(1, 2);
+    Bytes prefix_image(vm.mem().size_bytes());
+    if (use_incremental) {
+      vm.CreateIncremental();
+      memcpy(prefix_image.data(), vm.mem().base(), prefix_image.size());
+      const uint64_t iterations = rng.Range(1, 4);
+      for (uint64_t it = 0; it < iterations; it++) {
+        for (int i = 0; i < 10; i++) {
+          vm.mem().base()[rng.Below(vm.mem().size_bytes())] = rng.NextByte();
+        }
+        vm.RestoreIncremental();
+        ASSERT_EQ(0, memcmp(vm.mem().base(), prefix_image.data(), prefix_image.size()))
+            << "round " << round << " iter " << it;
+      }
+    }
+    vm.RestoreRoot();
+    ASSERT_EQ(0, memcmp(vm.mem().base(), root_image.data(), root_image.size()))
+        << "round " << round;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VmPropertyTest,
+                         ::testing::Values(100, 200, 300, 400, 500, 600));
+
+}  // namespace
+}  // namespace nyx
