@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_snapshots.dir/ablation_snapshots.cc.o"
+  "CMakeFiles/ablation_snapshots.dir/ablation_snapshots.cc.o.d"
+  "ablation_snapshots"
+  "ablation_snapshots.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_snapshots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_crashes.dir/table1_crashes.cc.o"
+  "CMakeFiles/table1_crashes.dir/table1_crashes.cc.o.d"
+  "table1_crashes"
+  "table1_crashes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_crashes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

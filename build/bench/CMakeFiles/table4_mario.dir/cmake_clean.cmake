@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_mario.dir/table4_mario.cc.o"
+  "CMakeFiles/table4_mario.dir/table4_mario.cc.o.d"
+  "table4_mario"
+  "table4_mario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_mario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

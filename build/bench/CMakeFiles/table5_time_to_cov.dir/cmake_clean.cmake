@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_time_to_cov.dir/table5_time_to_cov.cc.o"
+  "CMakeFiles/table5_time_to_cov.dir/table5_time_to_cov.cc.o.d"
+  "table5_time_to_cov"
+  "table5_time_to_cov.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_time_to_cov.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

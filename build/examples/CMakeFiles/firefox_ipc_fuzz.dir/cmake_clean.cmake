@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/firefox_ipc_fuzz.dir/firefox_ipc_fuzz.cpp.o"
+  "CMakeFiles/firefox_ipc_fuzz.dir/firefox_ipc_fuzz.cpp.o.d"
+  "firefox_ipc_fuzz"
+  "firefox_ipc_fuzz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/firefox_ipc_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for firefox_ipc_fuzz.
+# This may be replaced when dependencies are built.

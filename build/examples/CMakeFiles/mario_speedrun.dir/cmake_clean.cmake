@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mario_speedrun.dir/mario_speedrun.cpp.o"
+  "CMakeFiles/mario_speedrun.dir/mario_speedrun.cpp.o.d"
+  "mario_speedrun"
+  "mario_speedrun.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mario_speedrun.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

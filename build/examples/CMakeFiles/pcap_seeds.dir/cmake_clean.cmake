@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcap_seeds.dir/pcap_seeds.cpp.o"
+  "CMakeFiles/pcap_seeds.dir/pcap_seeds.cpp.o.d"
+  "pcap_seeds"
+  "pcap_seeds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcap_seeds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

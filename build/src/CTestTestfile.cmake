@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("vm")
+subdirs("agamotto")
+subdirs("netemu")
+subdirs("spec")
+subdirs("fuzz")
+subdirs("targets")
+subdirs("mario")
+subdirs("baselines")
+subdirs("harness")
+subdirs("tools")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nyx_agamotto.dir/agamotto.cc.o"
+  "CMakeFiles/nyx_agamotto.dir/agamotto.cc.o.d"
+  "libnyx_agamotto.a"
+  "libnyx_agamotto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nyx_agamotto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

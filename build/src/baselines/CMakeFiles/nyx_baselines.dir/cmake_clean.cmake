@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nyx_baselines.dir/baseline.cc.o"
+  "CMakeFiles/nyx_baselines.dir/baseline.cc.o.d"
+  "libnyx_baselines.a"
+  "libnyx_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nyx_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

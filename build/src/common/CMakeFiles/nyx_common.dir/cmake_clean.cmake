@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nyx_common.dir/log.cc.o"
+  "CMakeFiles/nyx_common.dir/log.cc.o.d"
+  "CMakeFiles/nyx_common.dir/stats.cc.o"
+  "CMakeFiles/nyx_common.dir/stats.cc.o.d"
+  "libnyx_common.a"
+  "libnyx_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nyx_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

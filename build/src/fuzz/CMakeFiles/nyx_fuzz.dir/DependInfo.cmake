@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fuzz/corpus.cc" "src/fuzz/CMakeFiles/nyx_fuzz.dir/corpus.cc.o" "gcc" "src/fuzz/CMakeFiles/nyx_fuzz.dir/corpus.cc.o.d"
+  "/root/repo/src/fuzz/coverage.cc" "src/fuzz/CMakeFiles/nyx_fuzz.dir/coverage.cc.o" "gcc" "src/fuzz/CMakeFiles/nyx_fuzz.dir/coverage.cc.o.d"
+  "/root/repo/src/fuzz/engine.cc" "src/fuzz/CMakeFiles/nyx_fuzz.dir/engine.cc.o" "gcc" "src/fuzz/CMakeFiles/nyx_fuzz.dir/engine.cc.o.d"
+  "/root/repo/src/fuzz/fuzzer.cc" "src/fuzz/CMakeFiles/nyx_fuzz.dir/fuzzer.cc.o" "gcc" "src/fuzz/CMakeFiles/nyx_fuzz.dir/fuzzer.cc.o.d"
+  "/root/repo/src/fuzz/guest.cc" "src/fuzz/CMakeFiles/nyx_fuzz.dir/guest.cc.o" "gcc" "src/fuzz/CMakeFiles/nyx_fuzz.dir/guest.cc.o.d"
+  "/root/repo/src/fuzz/mutator.cc" "src/fuzz/CMakeFiles/nyx_fuzz.dir/mutator.cc.o" "gcc" "src/fuzz/CMakeFiles/nyx_fuzz.dir/mutator.cc.o.d"
+  "/root/repo/src/fuzz/policy.cc" "src/fuzz/CMakeFiles/nyx_fuzz.dir/policy.cc.o" "gcc" "src/fuzz/CMakeFiles/nyx_fuzz.dir/policy.cc.o.d"
+  "/root/repo/src/fuzz/workdir.cc" "src/fuzz/CMakeFiles/nyx_fuzz.dir/workdir.cc.o" "gcc" "src/fuzz/CMakeFiles/nyx_fuzz.dir/workdir.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vm/CMakeFiles/nyx_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/netemu/CMakeFiles/nyx_netemu.dir/DependInfo.cmake"
+  "/root/repo/build/src/spec/CMakeFiles/nyx_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/nyx_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

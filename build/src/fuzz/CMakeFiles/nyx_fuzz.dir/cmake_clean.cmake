@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nyx_fuzz.dir/corpus.cc.o"
+  "CMakeFiles/nyx_fuzz.dir/corpus.cc.o.d"
+  "CMakeFiles/nyx_fuzz.dir/coverage.cc.o"
+  "CMakeFiles/nyx_fuzz.dir/coverage.cc.o.d"
+  "CMakeFiles/nyx_fuzz.dir/engine.cc.o"
+  "CMakeFiles/nyx_fuzz.dir/engine.cc.o.d"
+  "CMakeFiles/nyx_fuzz.dir/fuzzer.cc.o"
+  "CMakeFiles/nyx_fuzz.dir/fuzzer.cc.o.d"
+  "CMakeFiles/nyx_fuzz.dir/guest.cc.o"
+  "CMakeFiles/nyx_fuzz.dir/guest.cc.o.d"
+  "CMakeFiles/nyx_fuzz.dir/mutator.cc.o"
+  "CMakeFiles/nyx_fuzz.dir/mutator.cc.o.d"
+  "CMakeFiles/nyx_fuzz.dir/policy.cc.o"
+  "CMakeFiles/nyx_fuzz.dir/policy.cc.o.d"
+  "CMakeFiles/nyx_fuzz.dir/workdir.cc.o"
+  "CMakeFiles/nyx_fuzz.dir/workdir.cc.o.d"
+  "libnyx_fuzz.a"
+  "libnyx_fuzz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nyx_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

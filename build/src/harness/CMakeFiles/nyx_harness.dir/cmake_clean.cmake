@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nyx_harness.dir/campaign.cc.o"
+  "CMakeFiles/nyx_harness.dir/campaign.cc.o.d"
+  "CMakeFiles/nyx_harness.dir/table.cc.o"
+  "CMakeFiles/nyx_harness.dir/table.cc.o.d"
+  "libnyx_harness.a"
+  "libnyx_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nyx_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

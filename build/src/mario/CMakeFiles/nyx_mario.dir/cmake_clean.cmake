@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nyx_mario.dir/engine.cc.o"
+  "CMakeFiles/nyx_mario.dir/engine.cc.o.d"
+  "CMakeFiles/nyx_mario.dir/level.cc.o"
+  "CMakeFiles/nyx_mario.dir/level.cc.o.d"
+  "CMakeFiles/nyx_mario.dir/mario_target.cc.o"
+  "CMakeFiles/nyx_mario.dir/mario_target.cc.o.d"
+  "libnyx_mario.a"
+  "libnyx_mario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nyx_mario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnyx_mario.a"
+)

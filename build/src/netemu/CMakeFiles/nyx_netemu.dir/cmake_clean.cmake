@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nyx_netemu.dir/netemu.cc.o"
+  "CMakeFiles/nyx_netemu.dir/netemu.cc.o.d"
+  "libnyx_netemu.a"
+  "libnyx_netemu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nyx_netemu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nyx_spec.dir/builder.cc.o"
+  "CMakeFiles/nyx_spec.dir/builder.cc.o.d"
+  "CMakeFiles/nyx_spec.dir/pcap.cc.o"
+  "CMakeFiles/nyx_spec.dir/pcap.cc.o.d"
+  "CMakeFiles/nyx_spec.dir/program.cc.o"
+  "CMakeFiles/nyx_spec.dir/program.cc.o.d"
+  "CMakeFiles/nyx_spec.dir/spec.cc.o"
+  "CMakeFiles/nyx_spec.dir/spec.cc.o.d"
+  "libnyx_spec.a"
+  "libnyx_spec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nyx_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

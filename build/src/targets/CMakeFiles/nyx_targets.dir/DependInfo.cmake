@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/targets/bftpd.cc" "src/targets/CMakeFiles/nyx_targets.dir/bftpd.cc.o" "gcc" "src/targets/CMakeFiles/nyx_targets.dir/bftpd.cc.o.d"
+  "/root/repo/src/targets/dcmtk.cc" "src/targets/CMakeFiles/nyx_targets.dir/dcmtk.cc.o" "gcc" "src/targets/CMakeFiles/nyx_targets.dir/dcmtk.cc.o.d"
+  "/root/repo/src/targets/dnsmasq.cc" "src/targets/CMakeFiles/nyx_targets.dir/dnsmasq.cc.o" "gcc" "src/targets/CMakeFiles/nyx_targets.dir/dnsmasq.cc.o.d"
+  "/root/repo/src/targets/exim.cc" "src/targets/CMakeFiles/nyx_targets.dir/exim.cc.o" "gcc" "src/targets/CMakeFiles/nyx_targets.dir/exim.cc.o.d"
+  "/root/repo/src/targets/firefox_ipc.cc" "src/targets/CMakeFiles/nyx_targets.dir/firefox_ipc.cc.o" "gcc" "src/targets/CMakeFiles/nyx_targets.dir/firefox_ipc.cc.o.d"
+  "/root/repo/src/targets/forked_daapd.cc" "src/targets/CMakeFiles/nyx_targets.dir/forked_daapd.cc.o" "gcc" "src/targets/CMakeFiles/nyx_targets.dir/forked_daapd.cc.o.d"
+  "/root/repo/src/targets/kamailio.cc" "src/targets/CMakeFiles/nyx_targets.dir/kamailio.cc.o" "gcc" "src/targets/CMakeFiles/nyx_targets.dir/kamailio.cc.o.d"
+  "/root/repo/src/targets/lightftp.cc" "src/targets/CMakeFiles/nyx_targets.dir/lightftp.cc.o" "gcc" "src/targets/CMakeFiles/nyx_targets.dir/lightftp.cc.o.d"
+  "/root/repo/src/targets/lighttpd.cc" "src/targets/CMakeFiles/nyx_targets.dir/lighttpd.cc.o" "gcc" "src/targets/CMakeFiles/nyx_targets.dir/lighttpd.cc.o.d"
+  "/root/repo/src/targets/live555.cc" "src/targets/CMakeFiles/nyx_targets.dir/live555.cc.o" "gcc" "src/targets/CMakeFiles/nyx_targets.dir/live555.cc.o.d"
+  "/root/repo/src/targets/mysql_client.cc" "src/targets/CMakeFiles/nyx_targets.dir/mysql_client.cc.o" "gcc" "src/targets/CMakeFiles/nyx_targets.dir/mysql_client.cc.o.d"
+  "/root/repo/src/targets/openssh.cc" "src/targets/CMakeFiles/nyx_targets.dir/openssh.cc.o" "gcc" "src/targets/CMakeFiles/nyx_targets.dir/openssh.cc.o.d"
+  "/root/repo/src/targets/openssl.cc" "src/targets/CMakeFiles/nyx_targets.dir/openssl.cc.o" "gcc" "src/targets/CMakeFiles/nyx_targets.dir/openssl.cc.o.d"
+  "/root/repo/src/targets/proftpd.cc" "src/targets/CMakeFiles/nyx_targets.dir/proftpd.cc.o" "gcc" "src/targets/CMakeFiles/nyx_targets.dir/proftpd.cc.o.d"
+  "/root/repo/src/targets/pureftpd.cc" "src/targets/CMakeFiles/nyx_targets.dir/pureftpd.cc.o" "gcc" "src/targets/CMakeFiles/nyx_targets.dir/pureftpd.cc.o.d"
+  "/root/repo/src/targets/registry.cc" "src/targets/CMakeFiles/nyx_targets.dir/registry.cc.o" "gcc" "src/targets/CMakeFiles/nyx_targets.dir/registry.cc.o.d"
+  "/root/repo/src/targets/tinydtls.cc" "src/targets/CMakeFiles/nyx_targets.dir/tinydtls.cc.o" "gcc" "src/targets/CMakeFiles/nyx_targets.dir/tinydtls.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fuzz/CMakeFiles/nyx_fuzz.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/nyx_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/netemu/CMakeFiles/nyx_netemu.dir/DependInfo.cmake"
+  "/root/repo/build/src/spec/CMakeFiles/nyx_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/nyx_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nyx-net.dir/nyx_net_cli.cc.o"
+  "CMakeFiles/nyx-net.dir/nyx_net_cli.cc.o.d"
+  "nyx-net"
+  "nyx-net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nyx-net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vm/block_device.cc" "src/vm/CMakeFiles/nyx_vm.dir/block_device.cc.o" "gcc" "src/vm/CMakeFiles/nyx_vm.dir/block_device.cc.o.d"
+  "/root/repo/src/vm/device_state.cc" "src/vm/CMakeFiles/nyx_vm.dir/device_state.cc.o" "gcc" "src/vm/CMakeFiles/nyx_vm.dir/device_state.cc.o.d"
+  "/root/repo/src/vm/dirty_tracker.cc" "src/vm/CMakeFiles/nyx_vm.dir/dirty_tracker.cc.o" "gcc" "src/vm/CMakeFiles/nyx_vm.dir/dirty_tracker.cc.o.d"
+  "/root/repo/src/vm/guest_memory.cc" "src/vm/CMakeFiles/nyx_vm.dir/guest_memory.cc.o" "gcc" "src/vm/CMakeFiles/nyx_vm.dir/guest_memory.cc.o.d"
+  "/root/repo/src/vm/snapshot.cc" "src/vm/CMakeFiles/nyx_vm.dir/snapshot.cc.o" "gcc" "src/vm/CMakeFiles/nyx_vm.dir/snapshot.cc.o.d"
+  "/root/repo/src/vm/vm.cc" "src/vm/CMakeFiles/nyx_vm.dir/vm.cc.o" "gcc" "src/vm/CMakeFiles/nyx_vm.dir/vm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/nyx_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nyx_vm.dir/block_device.cc.o"
+  "CMakeFiles/nyx_vm.dir/block_device.cc.o.d"
+  "CMakeFiles/nyx_vm.dir/device_state.cc.o"
+  "CMakeFiles/nyx_vm.dir/device_state.cc.o.d"
+  "CMakeFiles/nyx_vm.dir/dirty_tracker.cc.o"
+  "CMakeFiles/nyx_vm.dir/dirty_tracker.cc.o.d"
+  "CMakeFiles/nyx_vm.dir/guest_memory.cc.o"
+  "CMakeFiles/nyx_vm.dir/guest_memory.cc.o.d"
+  "CMakeFiles/nyx_vm.dir/snapshot.cc.o"
+  "CMakeFiles/nyx_vm.dir/snapshot.cc.o.d"
+  "CMakeFiles/nyx_vm.dir/vm.cc.o"
+  "CMakeFiles/nyx_vm.dir/vm.cc.o.d"
+  "libnyx_vm.a"
+  "libnyx_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nyx_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

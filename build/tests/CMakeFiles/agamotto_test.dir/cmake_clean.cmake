@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agamotto_test.dir/agamotto_test.cc.o"
+  "CMakeFiles/agamotto_test.dir/agamotto_test.cc.o.d"
+  "agamotto_test"
+  "agamotto_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agamotto_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

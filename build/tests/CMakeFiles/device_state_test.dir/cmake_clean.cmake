@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/device_state_test.dir/device_state_test.cc.o"
+  "CMakeFiles/device_state_test.dir/device_state_test.cc.o.d"
+  "device_state_test"
+  "device_state_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/device_state_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

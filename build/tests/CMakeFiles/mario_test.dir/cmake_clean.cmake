@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mario_test.dir/mario_test.cc.o"
+  "CMakeFiles/mario_test.dir/mario_test.cc.o.d"
+  "mario_test"
+  "mario_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mario_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netemu_property_test.dir/netemu_property_test.cc.o"
+  "CMakeFiles/netemu_property_test.dir/netemu_property_test.cc.o.d"
+  "netemu_property_test"
+  "netemu_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netemu_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netemu_test.dir/netemu_test.cc.o"
+  "CMakeFiles/netemu_test.dir/netemu_test.cc.o.d"
+  "netemu_test"
+  "netemu_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netemu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workdir_test.dir/workdir_test.cc.o"
+  "CMakeFiles/workdir_test.dir/workdir_test.cc.o.d"
+  "workdir_test"
+  "workdir_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workdir_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
