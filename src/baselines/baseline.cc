@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "src/common/check.h"
 #include "src/common/hash.h"
 
 namespace nyx {
@@ -27,6 +28,7 @@ BaselineFuzzer::BaselineFuzzer(const EngineConfig& engine_config, TargetFactory 
     : engine_config_(engine_config),
       spec_(spec),
       config_(config),
+      corpus_(&spec_),
       mutator_(spec, config.seed ^ 0xbabe, /*dictionary=*/false),
       rng_(config.seed) {
   vm_ = std::make_unique<Vm>(engine_config_.vm);
@@ -339,6 +341,7 @@ CampaignResult BaselineFuzzer::Run(const CampaignLimits& limits) {
   result.branch_coverage = global_cov_.SiteCount();
   result.edge_coverage = global_cov_.EdgeCount();
   result.corpus_size = corpus_.size();
+  result.contract_soft_failures = GetContractCounters().soft_failures;
   return result;
 }
 

@@ -1,0 +1,46 @@
+#include "src/common/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/common/log.h"
+
+namespace nyx {
+
+namespace {
+// Fuzzing is single-threaded (see guest_memory.cc); plain counters suffice.
+ContractCounters g_counters;
+}  // namespace
+
+ContractCounters GetContractCounters() { return g_counters; }
+
+void ResetContractCounters() { g_counters = ContractCounters{}; }
+
+namespace internal {
+
+void NoteSoftFailure(const char* file, int line, const char* expr) {
+  g_counters.soft_failures++;
+  NYX_LOG_DEBUG << "soft contract failed at " << file << ":" << line << ": " << expr;
+}
+
+ContractFailure::ContractFailure(const char* file, int line, const char* kind,
+                                 const char* expr) {
+  stream_ << kind << " failed at " << file << ":" << line << ": " << expr << " ";
+}
+
+ContractFailure::ContractFailure(const char* file, int line, const char* kind,
+                                 std::string* detail) {
+  stream_ << kind << " failed at " << file << ":" << line << ": " << *detail << " ";
+  delete detail;
+}
+
+ContractFailure::~ContractFailure() {
+  g_counters.hard_failures++;
+  // stderr directly (not the leveled logger): the process is dying and the
+  // log level must not be able to swallow the reason.
+  fprintf(stderr, "nyx: %s\n", stream_.str().c_str());
+  abort();
+}
+
+}  // namespace internal
+}  // namespace nyx

@@ -1,15 +1,27 @@
 #include "src/fuzz/corpus.h"
 
+#include "src/common/check.h"
+#include "src/common/log.h"
+#include "src/spec/verify.h"
+
 namespace nyx {
 
-void Corpus::Add(Program program, uint64_t vtime_ns, size_t packet_count, double found_at_vsec) {
+bool Corpus::Add(Program program, uint64_t vtime_ns, size_t packet_count, double found_at_vsec) {
   program.StripSnapshotMarkers();
+  if (spec_ != nullptr) {
+    const spec::Result verdict = spec::Verify(program, *spec_);
+    if (!NYX_EXPECT(verdict.ok())) {
+      NYX_LOG_WARN << "corpus rejected ill-formed program: " << verdict.Summary();
+      return false;
+    }
+  }
   CorpusEntry entry;
   entry.program = std::move(program);
   entry.vtime_ns = vtime_ns;
   entry.packet_count = packet_count;
   entry.found_at_vsec = found_at_vsec;
   entries_.push_back(std::move(entry));
+  return true;
 }
 
 CorpusEntry& Corpus::Pick(Rng& rng) {

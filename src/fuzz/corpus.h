@@ -28,7 +28,16 @@ struct CorpusEntry {
 
 class Corpus {
  public:
-  void Add(Program program, uint64_t vtime_ns, size_t packet_count, double found_at_vsec);
+  // When a spec is attached, Add() statically verifies every incoming
+  // program (spec/verify.h) and rejects ill-formed ones, so a buggy mutator
+  // or corrupt seed cannot poison the queue. The spec must outlive the
+  // corpus. The default-constructed corpus skips verification (tests that
+  // hand-craft programs).
+  Corpus() = default;
+  explicit Corpus(const Spec* spec) : spec_(spec) {}
+
+  // Returns false (and drops the program) if verification rejects it.
+  bool Add(Program program, uint64_t vtime_ns, size_t packet_count, double found_at_vsec);
 
   bool empty() const { return entries_.empty(); }
   size_t size() const { return entries_.size(); }
@@ -44,6 +53,7 @@ class Corpus {
   std::vector<const Program*> Donors() const;
 
  private:
+  const Spec* spec_ = nullptr;
   std::deque<CorpusEntry> entries_;
 };
 

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "src/common/check.h"
 #include "src/common/hash.h"
 
 namespace nyx {
@@ -34,12 +35,9 @@ void NyxEngine::RestoreInterpState(const Bytes& aux) {
   size_t off = 0;
   const uint32_t net_len = ReadLe32(aux, off);
   off += 4;
-  if (off + net_len > aux.size()) {
-    // Aux blobs are engine-produced; a mismatch means corruption. Fail hard
-    // rather than reading out of bounds.
-    fprintf(stderr, "nyx: corrupt snapshot aux blob\n");
-    abort();
-  }
+  // Aux blobs are engine-produced; a mismatch means corruption. Fail hard
+  // rather than reading out of bounds.
+  NYX_CHECK_LE(off + net_len, aux.size()) << "corrupt snapshot aux blob";
   Bytes net_blob(aux.begin() + static_cast<long>(off),
                  aux.begin() + static_cast<long>(off + net_len));
   net_.Deserialize(net_blob);

@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "src/common/check.h"
+
 namespace nyx {
 
 NyxFuzzer::NyxFuzzer(const EngineConfig& engine_config, TargetFactory factory, const Spec& spec,
@@ -9,6 +11,7 @@ NyxFuzzer::NyxFuzzer(const EngineConfig& engine_config, TargetFactory factory, c
     : spec_(spec),
       config_(config),
       engine_(engine_config, factory, spec),
+      corpus_(&spec_),
       mutator_(spec, config.seed ^ 0x6d757461746f72ull),
       policy_(config.policy, config.seed ^ 0x706f6c696379ull),
       rng_(config.seed) {}
@@ -163,6 +166,7 @@ CampaignResult NyxFuzzer::Run(const CampaignLimits& limits) {
   result.incremental_creates = engine_.vm_stats().incremental_creates;
   result.incremental_restores = engine_.vm_stats().incremental_restores;
   result.root_restores = engine_.vm_stats().root_restores;
+  result.contract_soft_failures = GetContractCounters().soft_failures;
   if (result.ijon_goal_vsec < 0 && limits.ijon_goal != 0 &&
       result.ijon_best >= limits.ijon_goal) {
     result.ijon_goal_vsec = result.vtime_seconds;

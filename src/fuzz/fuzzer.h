@@ -49,6 +49,7 @@ struct CampaignResult {
   uint64_t incremental_creates = 0;
   uint64_t incremental_restores = 0;
   uint64_t root_restores = 0;
+  uint64_t contract_soft_failures = 0;  // NYX_EXPECT misses (common/check.h)
   TimeSeries coverage_over_time;  // (vtime seconds, branch coverage)
   std::map<uint32_t, CrashRecord> crashes;
   double first_crash_vsec = -1.0;

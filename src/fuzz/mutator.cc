@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "src/common/check.h"
+#include "src/spec/verify.h"
+
 namespace nyx {
 
 namespace {
@@ -225,6 +228,13 @@ void Mutator::Mutate(Program& program, const std::vector<const Program*>& corpus
     StructureMutation(program, corpus_donors, first_mutable_op);
   }
   program.Repair(spec_);
+#ifndef NDEBUG
+  // Debug-build post-condition: whatever the mutation stack did, Repair must
+  // have restored affinity and well-formedness. A failure here is a mutator
+  // or repair bug, not a property of the input.
+  const spec::Result verdict = spec::Verify(program, spec_);
+  NYX_CHECK(verdict.ok()) << "mutator emitted ill-formed program: " << verdict.Summary();
+#endif
 }
 
 }  // namespace nyx

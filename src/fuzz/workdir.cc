@@ -6,7 +6,9 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "src/common/check.h"
 #include "src/common/log.h"
+#include "src/spec/verify.h"
 
 namespace nyx {
 
@@ -69,6 +71,14 @@ std::optional<Program> Workdir::ReadProgram(const std::string& file, const Spec&
     wire.insert(wire.end(), buf, buf + n);
   }
   fclose(f);
+  // Corpus files are a trust boundary (hand-edited, synced from other
+  // fuzzers): statically verify before parsing so rejects carry a rule id
+  // and byte offset instead of a bare parse failure.
+  const spec::Result verdict = spec::VerifyWire(wire, spec);
+  if (!verdict.ok()) {
+    NYX_LOG_WARN << "corpus file " << file << " rejected: " << verdict.Summary();
+    return std::nullopt;
+  }
   return Program::Parse(wire, spec);
 }
 
@@ -133,6 +143,11 @@ bool Workdir::SaveCampaign(const CampaignResult& result, const Corpus& corpus) c
           static_cast<unsigned long long>(result.incremental_creates));
   fprintf(f, "inc_restores     %llu\n",
           static_cast<unsigned long long>(result.incremental_restores));
+  const ContractCounters contracts = GetContractCounters();
+  fprintf(f, "contract_soft    %llu\n",
+          static_cast<unsigned long long>(contracts.soft_failures));
+  fprintf(f, "contract_hard    %llu\n",
+          static_cast<unsigned long long>(contracts.hard_failures));
   fclose(f);
   return ok;
 }

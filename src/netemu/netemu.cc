@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "src/common/check.h"
+
 namespace nyx {
 
 NetEmu::NetEmu() : NetEmu(Config()) {}
@@ -28,6 +30,8 @@ int NetEmu::AllocSocket() {
 }
 
 int NetEmu::AllocFd(int sock) {
+  NYX_DCHECK_GE(sock, 0);
+  NYX_DCHECK_LT(static_cast<size_t>(sock), sockets_.size());
   for (size_t i = 0; i < fds_.size(); i++) {
     if (!fds_[i].open) {
       fds_[i] = FdEntry{sock, current_process_, true};
@@ -51,7 +55,10 @@ NetEmu::Sock* NetEmu::SockForFd(int fd) {
 }
 
 void NetEmu::DropSocketRef(int sock) {
+  NYX_DCHECK_GE(sock, 0);
+  NYX_DCHECK_LT(static_cast<size_t>(sock), sockets_.size());
   Sock& s = sockets_[sock];
+  NYX_DCHECK_GT(s.refcount, 0);
   if (--s.refcount <= 0) {
     s.live = false;
     s.rx.clear();
@@ -170,7 +177,9 @@ int NetEmu::Recv(int fd, void* buf, size_t len) {
     // recvfrom on a SOCK_DGRAM socket.
     const Bytes& pkt = s->rx.front();
     out = pkt.size() < len ? pkt.size() : len;
-    memcpy(buf, pkt.data(), out);
+    if (out > 0) {  // empty datagram: data() may be null
+      memcpy(buf, pkt.data(), out);
+    }
     s->rx.pop_front();
     s->rx_front_consumed = 0;
     return static_cast<int>(out);
@@ -181,7 +190,9 @@ int NetEmu::Recv(int fd, void* buf, size_t len) {
     const Bytes& pkt = s->rx.front();
     const size_t avail = pkt.size() - s->rx_front_consumed;
     out = avail < len ? avail : len;
-    memcpy(buf, pkt.data() + s->rx_front_consumed, out);
+    if (out > 0) {  // empty packet: data() may be null
+      memcpy(buf, pkt.data() + s->rx_front_consumed, out);
+    }
     s->rx_front_consumed += out;
     if (s->rx_front_consumed >= pkt.size()) {
       s->rx.pop_front();
@@ -196,7 +207,9 @@ int NetEmu::Recv(int fd, void* buf, size_t len) {
     const Bytes& pkt = s->rx.front();
     const size_t avail = pkt.size() - s->rx_front_consumed;
     const size_t take = avail < len - out ? avail : len - out;
-    memcpy(dst + out, pkt.data() + s->rx_front_consumed, take);
+    if (take > 0) {  // empty packet: data() may be null
+      memcpy(dst + out, pkt.data() + s->rx_front_consumed, take);
+    }
     out += take;
     s->rx_front_consumed += take;
     if (s->rx_front_consumed >= pkt.size()) {
@@ -441,7 +454,9 @@ int NetEmu::FindDgramSocket(uint16_t port) const {
 }
 
 bool NetEmu::DeliverPacket(int conn, Bytes data) {
-  if (!ValidConn(conn)) {
+  // A dead connection id here means the interpreter's view of the socket
+  // table diverged from ours — count it instead of dropping silently.
+  if (!NYX_EXPECT(ValidConn(conn))) {
     return false;
   }
   sockets_[conn].rx.push_back(std::move(data));
@@ -449,7 +464,7 @@ bool NetEmu::DeliverPacket(int conn, Bytes data) {
 }
 
 void NetEmu::PeerClose(int conn) {
-  if (ValidConn(conn)) {
+  if (NYX_EXPECT(ValidConn(conn))) {
     sockets_[conn].peer_closed = true;
   }
 }

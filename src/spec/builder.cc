@@ -1,5 +1,7 @@
 #include "src/spec/builder.h"
 
+#include "src/spec/verify.h"
+
 namespace nyx {
 
 std::optional<ValueRef> Builder::Node(const std::string& name, const std::vector<ValueRef>& args,
@@ -53,6 +55,15 @@ std::optional<Program> Builder::Build() const {
   }
   std::string validation_error;
   if (!program_.Validate(spec_, &validation_error)) {
+    error_ = validation_error;
+    return std::nullopt;
+  }
+  // Static verification catches what the builder API cannot prevent, e.g.
+  // oversize payloads fed through Packet() that would not survive a wire
+  // round trip.
+  const spec::Result verdict = spec::Verify(program_, spec_);
+  if (!verdict.ok()) {
+    error_ = verdict.Summary();
     return std::nullopt;
   }
   return program_;

@@ -46,7 +46,9 @@ class Builder {
   void Close(ValueRef conn);
 
   // Serializes the recorded call graph into a flat bytecode program. Returns
-  // nullopt if any recorded call was invalid (unknown node, type error).
+  // nullopt if any recorded call was invalid (unknown node, type error) or
+  // the result fails static verification (spec/verify.h); error() then
+  // carries the diagnostics.
   std::optional<Program> Build() const;
 
   const std::string& error() const { return error_; }
@@ -55,7 +57,8 @@ class Builder {
   const Spec& spec_;
   Program program_;
   uint16_t next_value_ = 0;
-  std::string error_;
+  // Also set by Build() (a const summary step), hence mutable.
+  mutable std::string error_;
 };
 
 }  // namespace nyx

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "src/common/check.h"
 #include "src/spec/builder.h"
+#include "src/spec/verify.h"
 
 namespace nyx {
 
@@ -317,9 +319,20 @@ std::optional<Program> ProgramFromPcap(const Spec& spec, const Bytes& pcap_bytes
   Builder builder(spec);
   ValueRef conn = builder.Connection();
   for (Bytes& p : packets) {
-    builder.Packet(conn, std::move(p));
+    // A reassembled stream chunk can exceed the per-op wire limit even
+    // though every captured frame was within it; split rather than emit a
+    // program the verifier (and a serialize round trip) would reject.
+    for (size_t off = 0; off < p.size(); off += kMaxOpDataBytes) {
+      const size_t n = std::min(kMaxOpDataBytes, p.size() - off);
+      builder.Packet(conn, Bytes(p.begin() + static_cast<long>(off),
+                                 p.begin() + static_cast<long>(off + n)));
+    }
   }
-  return builder.Build();
+  auto program = builder.Build();
+  // Build() verified already; a failure here means the importer itself is
+  // emitting ill-formed bytecode.
+  NYX_DCHECK(!program.has_value() || spec::Verify(*program, spec).ok());
+  return program;
 }
 
 }  // namespace nyx

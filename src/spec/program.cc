@@ -2,14 +2,11 @@
 
 #include <algorithm>
 
+#include "src/common/check.h"
+
 namespace nyx {
 
 namespace {
-constexpr uint32_t kMagic = 0x4e595842;  // "NYXB"
-constexpr uint8_t kVersion = 1;
-constexpr size_t kMaxOps = 4096;
-constexpr size_t kMaxData = 1 << 20;
-
 // Tracks live values and their edge types during validation/repair.
 struct ValueTracker {
   struct Value {
@@ -39,6 +36,8 @@ struct ValueTracker {
   }
 
   void Kill(uint16_t id) {
+    // Call sites check IsLive() first, so an out-of-range id is a logic bug.
+    NYX_DCHECK_LT(static_cast<size_t>(id), values.size());
     if (id < values.size()) {
       values[id].live = false;
     }
@@ -49,8 +48,8 @@ struct ValueTracker {
 
 Bytes Program::Serialize() const {
   Bytes out;
-  PutLe32(out, kMagic);
-  out.push_back(kVersion);
+  PutLe32(out, kWireMagic);
+  out.push_back(kWireVersion);
   PutLe16(out, static_cast<uint16_t>(ops.size()));
   for (const Op& op : ops) {
     out.push_back(op.node_type);
@@ -69,17 +68,17 @@ Bytes Program::Serialize() const {
 
 std::optional<Program> Program::Parse(const Bytes& wire, const Spec& spec) {
   size_t off = 0;
-  if (ReadLe32(wire, off) != kMagic) {
+  if (ReadLe32(wire, off) != kWireMagic) {
     return std::nullopt;
   }
   off += 4;
-  if (off >= wire.size() || wire[off] != kVersion) {
+  if (off >= wire.size() || wire[off] != kWireVersion) {
     return std::nullopt;
   }
   off++;
   const uint16_t count = ReadLe16(wire, off);
   off += 2;
-  if (count > kMaxOps) {
+  if (count > kMaxProgramOps) {
     return std::nullopt;
   }
   Program prog;
@@ -114,7 +113,7 @@ std::optional<Program> Program::Parse(const Bytes& wire, const Spec& spec) {
     }
     const uint32_t len = ReadLe32(wire, off);
     off += 4;
-    if (len > kMaxData || off + len > wire.size()) {
+    if (len > kMaxOpDataBytes || off + len > wire.size()) {
       return std::nullopt;
     }
     if (node.data == DataKind::kNone && len != 0) {

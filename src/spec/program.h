@@ -18,6 +18,13 @@
 
 namespace nyx {
 
+// Wire-format constants shared by the codec (program.cc) and the static
+// verifier (spec/verify.cc).
+inline constexpr uint32_t kWireMagic = 0x4e595842;  // "NYXB"
+inline constexpr uint8_t kWireVersion = 1;
+inline constexpr size_t kMaxProgramOps = 4096;
+inline constexpr size_t kMaxOpDataBytes = 1 << 20;
+
 struct Op {
   uint8_t node_type = 0;  // index into the spec, or kSnapshotOpcode
   std::vector<uint16_t> args;  // value ids: borrows first, then consumes

@@ -1,0 +1,87 @@
+// Static verifier for bytecode programs (the affine type system of paper
+// section 3.5, made machine-checked).
+//
+// Program::Repair() makes mutation output executable; this layer is the
+// opposite contract: it PROVES a program is well-formed and reports exactly
+// why it is not. It runs at every trust boundary where bytecode enters the
+// system — corpus files read from disk, PCAP seed conversion, builder output
+// — and as a debug-build post-condition after every mutation, so a buggy
+// mutator or hand-edited seed is rejected loudly instead of corrupting the
+// campaign.
+//
+// Checked rules (each with a stable id, see Rule):
+//   - opcode/operand well-formedness: known opcodes, exact arity, operand
+//     ids bound to previously produced values of the right edge type;
+//   - affine use: a consumed value is dead; borrowing or re-consuming it is
+//     an error (kUseAfterConsume) — "every data node consumed at most once";
+//   - data payload legality: no payload on DataKind::kNone nodes, exact
+//     widths for scalar kinds, wire-format size limits;
+//   - snapshot placement: at most one marker, positioned directly after a
+//     packet-semantic op (the only position the placement policies emit);
+//   - wire-format monotonicity (VerifyWire): op encodings must advance
+//     monotonically through the buffer — truncated, overlapping or
+//     trailing-garbage encodings are rejected with their byte offset.
+
+#ifndef SRC_SPEC_VERIFY_H_
+#define SRC_SPEC_VERIFY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/spec/program.h"
+#include "src/spec/spec.h"
+
+namespace nyx {
+namespace spec {
+
+enum class Rule : uint8_t {
+  kUnknownOpcode,           // node_type not in the spec (and not the marker)
+  kArityMismatch,           // operand count != borrows + consumes
+  kUnboundOperand,          // operand id never produced by an earlier op
+  kTypeMismatch,            // operand bound to a value of the wrong edge type
+  kUseAfterConsume,         // affine violation: value already consumed
+  kDataOnDatalessNode,      // payload bytes on a DataKind::kNone node
+  kScalarDataWidth,         // kU8/kU16/kU32 payload with the wrong byte count
+  kOversizeData,            // payload exceeds the wire-format limit
+  kTooManyOps,              // program exceeds kMaxProgramOps
+  kDuplicateSnapshotMarker, // more than one snapshot marker
+  kSnapshotPlacement,       // marker not directly after a packet-semantic op
+  kBadHeader,               // wire: magic/version mismatch
+  kTruncated,               // wire: op encoding runs past the end of buffer
+  kTrailingBytes,           // wire: bytes left over after the last op
+};
+
+const char* RuleName(Rule rule);
+
+struct Diag {
+  Rule rule;
+  size_t op_index = 0;     // op the diagnostic anchors to (0 for header issues)
+  size_t byte_offset = 0;  // offset of that op in the serialized wire form
+  std::string message;
+};
+
+struct Result {
+  std::vector<Diag> diags;
+
+  bool ok() const { return diags.empty(); }
+  bool Has(Rule rule) const;
+  // "rule-name @ op N (byte M): message; ..." for logs and check failures.
+  std::string Summary() const;
+};
+
+// Verifies a structured program. Byte offsets in the diagnostics are the
+// offsets the ops would have in Program::Serialize() output.
+Result Verify(const Program& program, const Spec& spec);
+
+// Verifies the wire form: header, per-op boundary monotonicity (truncation,
+// trailing bytes), then all structural rules above on the decoded ops. This
+// decodes more leniently than Program::Parse so that it can name the precise
+// rule Parse would reject wholesale.
+Result VerifyWire(const Bytes& wire, const Spec& spec);
+
+}  // namespace spec
+}  // namespace nyx
+
+#endif  // SRC_SPEC_VERIFY_H_

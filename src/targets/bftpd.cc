@@ -114,11 +114,11 @@ class Bftpd final : public Target {
     char verb[8];
     const char* arg = nullptr;
     SplitVerb(line, verb, sizeof(verb), &arg);
-    strncpy(st->last_cmd, verb, sizeof(st->last_cmd) - 1);
+    CopyCString(st->last_cmd, verb);
     const int fd = st->conn;
 
     if (ctx.CovBranch(strcmp(verb, "USER") == 0, kSite + 10)) {
-      strncpy(st->username, arg, sizeof(st->username) - 1);
+      CopyCString(st->username, arg);
       st->got_user = 1;
       Reply(ctx, fd, "331 Password please\r\n");
       return;
@@ -159,7 +159,7 @@ class Bftpd final : public Target {
       if (ctx.CovBranch(strlen(arg) >= sizeof(st->cwd) - 1, kSite + 28)) {
         Reply(ctx, fd, "550 Path too long\r\n");
       } else {
-        strncpy(st->cwd, arg, sizeof(st->cwd) - 1);
+        CopyCString(st->cwd, arg);
         Reply(ctx, fd, "250 OK\r\n");
       }
       return;

@@ -229,7 +229,7 @@ class Dnsmasq final : public Target {
         return;
       }
     }
-    strncpy(st->cache_names[st->cache_entries % 8], name, 63);
+    CopyCString(st->cache_names[st->cache_entries % 8], name);
     st->cache_entries++;
   }
 

@@ -94,7 +94,7 @@ class ForkedDaapd final : public Target {
       char line[300];
       while (st->rx.PopLine(line, sizeof(line))) {
         if (!st->in_headers) {
-          strncpy(st->request_line, line, sizeof(st->request_line) - 1);
+          CopyCString(st->request_line, line);
           st->in_headers = 1;
         } else if (line[0] == '\0') {
           HandleRequest(ctx, st);

@@ -313,8 +313,8 @@ class Kamailio final : public Target {
       for (auto& b : st->bindings) {
         if (!b.used) {
           b.used = 1;
-          strncpy(b.aor, to, sizeof(b.aor) - 1);
-          strncpy(b.contact, contact, sizeof(b.contact) - 1);
+          CopyCString(b.aor, to);
+          CopyCString(b.contact, contact);
           b.expires = exp;
           Respond(ctx, st, 200, "OK (bound)");
           return;

@@ -137,7 +137,7 @@ class LightFtp final : public Target {
         Reply(ctx, fd, "501 Syntax error\r\n");
         return;
       }
-      strncpy(st->username, arg, sizeof(st->username) - 1);
+      CopyCString(st->username, arg);
       st->got_user = 1;
       if (ctx.CovBranch(strcmp(arg, "anonymous") == 0, kSite + 14)) {
         Reply(ctx, fd, "331 Anonymous ok, send email as password\r\n");
@@ -187,7 +187,7 @@ class LightFtp final : public Target {
     }
     if (ctx.CovBranch(strcmp(verb, "CWD") == 0, kSite + 34)) {
       if (ctx.CovBranch(arg[0] == '/', kSite + 36)) {
-        strncpy(st->cwd, arg, sizeof(st->cwd) - 1);
+        CopyCString(st->cwd, arg);
         st->cwd[sizeof(st->cwd) - 1] = '\0';
         Reply(ctx, fd, "250 OK\r\n");
       } else if (ctx.CovBranch(strcmp(arg, "..") == 0, kSite + 38)) {
@@ -260,7 +260,7 @@ class LightFtp final : public Target {
         return;
       }
       slot->used = 1;
-      strncpy(slot->name, arg, sizeof(slot->name) - 1);
+      CopyCString(slot->name, arg);
       slot->disk_off = st->disk_brk;
       const char content[] = "uploaded";
       slot->size = sizeof(content) - 1;
@@ -314,7 +314,7 @@ class LightFtp final : public Target {
       return;
     }
     if (ctx.CovBranch(strcmp(verb, "RNFR") == 0, kSite + 76)) {
-      strncpy(st->rename_from, arg, sizeof(st->rename_from) - 1);
+      CopyCString(st->rename_from, arg);
       Reply(ctx, fd, "350 Ready for RNTO\r\n");
       return;
     }
@@ -325,7 +325,7 @@ class LightFtp final : public Target {
       }
       VfsFile* f = FindFile(st, st->rename_from);
       if (ctx.CovBranch(f != nullptr, kSite + 82)) {
-        strncpy(f->name, arg, sizeof(f->name) - 1);
+        CopyCString(f->name, arg);
         Reply(ctx, fd, "250 Renamed\r\n");
       } else {
         Reply(ctx, fd, "550 No such file\r\n");

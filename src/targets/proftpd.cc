@@ -139,7 +139,7 @@ class ProFtpd final : public Target {
     const int fd = st->conn;
 
     if (ctx.CovBranch(strcmp(verb, "USER") == 0, kSite + 10)) {
-      strncpy(st->username, arg, sizeof(st->username) - 1);
+      CopyCString(st->username, arg);
       st->got_user = 1;
       Reply(ctx, fd, "331 Password required\r\n");
       return;
@@ -198,7 +198,7 @@ class ProFtpd final : public Target {
       }
       slot->used = 1;
       slot->depth = depth;
-      strncpy(slot->path, arg, sizeof(slot->path) - 1);
+      CopyCString(slot->path, arg);
       Reply(ctx, fd, "257 Directory created\r\n");
       return;
     }
@@ -223,7 +223,7 @@ class ProFtpd final : public Target {
         }
         d->used = 1;
         d->depth = PathDepth(arg);
-        strncpy(d->path, arg, sizeof(d->path) - 1);
+        CopyCString(d->path, arg);
       }
       // Depth gradient on the session cwd: the fuzzer can climb one '/' at
       // a time.

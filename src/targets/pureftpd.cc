@@ -121,7 +121,7 @@ class PureFtpd final : public Target {
     const int fd = st->conn;
 
     if (ctx.CovBranch(strcmp(verb, "USER") == 0, kSite + 10)) {
-      strncpy(st->username, arg, sizeof(st->username) - 1);
+      CopyCString(st->username, arg);
       st->got_user = 1;
       Reply(ctx, fd, "331 Any password will work\r\n");
       return;

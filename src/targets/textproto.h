@@ -62,6 +62,20 @@ struct LineBuffer {
   }
 };
 
+// Copies `src` into a fixed-size field, truncating to fit. Unlike strncpy
+// the destination is always NUL-terminated, and no trailing zero-fill pass
+// runs over the rest of the array.
+template <size_t N>
+inline void CopyCString(char (&dst)[N], const char* src) {
+  static_assert(N > 0, "destination must hold at least the terminator");
+  size_t i = 0;
+  while (i + 1 < N && src[i] != '\0') {
+    dst[i] = src[i];
+    i++;
+  }
+  dst[i] = '\0';
+}
+
 // Sends a NUL-terminated reply on `fd`.
 inline void Reply(GuestContext& ctx, int fd, const char* msg) {
   ctx.net().Send(fd, msg, strlen(msg));

@@ -1,0 +1,158 @@
+// Repo-specific lint checks that clang-tidy cannot express. Run as a ctest
+// (`nyx_lint <repo root>`); exits nonzero and prints file:line for every
+// violation.
+//
+// Rules:
+//   raw-rand        libc rand()/srand() outside src/common/rng.h. All
+//                   randomness must flow through the seeded xoshiro Rng so
+//                   campaigns replay deterministically.
+//   include-path    quoted project includes must use the full path from the
+//                   repository root ("src/...").
+//   local-warnings  -Wall/-Wextra/-Wno-* belong in the top-level
+//                   CMakeLists.txt only; per-target re-additions drift.
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Violation {
+  std::string file;
+  size_t line;
+  std::string rule;
+  std::string message;
+};
+
+std::vector<Violation> g_violations;
+
+void Report(const fs::path& file, size_t line, const char* rule, std::string message) {
+  g_violations.push_back({file.string(), line, rule, std::move(message)});
+}
+
+bool IsIdentChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c == '_';
+}
+
+// True if `token` occurs in `line` as a standalone identifier (not a suffix
+// of a longer name like my_rand( or a member like rng.rand().
+bool HasBareCall(const std::string& line, const std::string& token) {
+  size_t pos = 0;
+  while ((pos = line.find(token, pos)) != std::string::npos) {
+    const bool start_ok = pos == 0 || (!IsIdentChar(line[pos - 1]) && line[pos - 1] != '.' &&
+                                       line[pos - 1] != ':' && line[pos - 1] != '>' &&
+                                       line[pos - 1] != '"');  // string literal, not a call
+    if (start_ok) {
+      return true;
+    }
+    pos += token.size();
+  }
+  return false;
+}
+
+// Strips a trailing // comment (good enough for this codebase; string
+// literals containing "//" would be false negatives, not false positives).
+std::string StripLineComment(const std::string& line) {
+  const size_t pos = line.find("//");
+  return pos == std::string::npos ? line : line.substr(0, pos);
+}
+
+void LintSourceFile(const fs::path& root, const fs::path& file) {
+  const fs::path rel = fs::relative(file, root);
+  const bool rng_impl = rel == fs::path("src/common/rng.h");
+
+  std::ifstream in(file);
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    lineno++;
+    const std::string code = StripLineComment(line);
+
+    if (!rng_impl &&
+        (HasBareCall(code, "rand(") || HasBareCall(code, "srand(") ||
+         HasBareCall(code, "random(") || HasBareCall(code, "rand_r("))) {
+      Report(rel, lineno, "raw-rand",
+             "use nyx::Rng (src/common/rng.h); libc rand breaks replay determinism");
+    }
+
+    const size_t inc = code.find("#include \"");
+    if (inc != std::string::npos) {
+      const size_t start = inc + 10;
+      const size_t end = code.find('"', start);
+      if (end != std::string::npos) {
+        const std::string path = code.substr(start, end - start);
+        if (path.rfind("src/", 0) != 0) {
+          Report(rel, lineno, "include-path",
+                 "project includes use the full path from the repo root, got \"" + path + "\"");
+        }
+      }
+    }
+  }
+}
+
+void LintCMakeFile(const fs::path& root, const fs::path& file) {
+  const fs::path rel = fs::relative(file, root);
+  std::ifstream in(file);
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    lineno++;
+    const size_t hash = line.find('#');
+    const std::string code = hash == std::string::npos ? line : line.substr(0, hash);
+    for (const char* flag : {"-Wall", "-Wextra", "-Wno-"}) {
+      if (code.find(flag) != std::string::npos) {
+        Report(rel, lineno, "local-warnings",
+               std::string(flag) + " is configured centrally in the top-level CMakeLists.txt");
+        break;
+      }
+    }
+  }
+}
+
+void LintTree(const fs::path& root, const char* subdir) {
+  const fs::path dir = root / subdir;
+  if (!fs::is_directory(dir)) {
+    return;
+  }
+  for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+    if (!entry.is_regular_file()) {
+      continue;
+    }
+    const fs::path& p = entry.path();
+    const std::string ext = p.extension().string();
+    if (ext == ".cc" || ext == ".h" || ext == ".cpp") {
+      LintSourceFile(root, p);
+    } else if (p.filename() == "CMakeLists.txt") {
+      LintCMakeFile(root, p);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const fs::path root = argc > 1 ? fs::path(argv[1]) : fs::current_path();
+  if (!fs::is_directory(root / "src")) {
+    fprintf(stderr, "nyx_lint: %s does not look like the repo root (no src/)\n",
+            root.string().c_str());
+    return 2;
+  }
+
+  for (const char* subdir : {"src", "tests", "bench", "examples"}) {
+    LintTree(root, subdir);
+  }
+
+  for (const Violation& v : g_violations) {
+    fprintf(stderr, "%s:%zu: [%s] %s\n", v.file.c_str(), v.line, v.rule.c_str(),
+            v.message.c_str());
+  }
+  if (!g_violations.empty()) {
+    fprintf(stderr, "nyx_lint: %zu violation(s)\n", g_violations.size());
+    return 1;
+  }
+  return 0;
+}

@@ -184,6 +184,10 @@ int CmdFuzz(const Args& args) {
   printf("snapshots:  %llu incremental created, %llu reused\n",
          static_cast<unsigned long long>(result.incremental_creates),
          static_cast<unsigned long long>(result.incremental_restores));
+  if (result.contract_soft_failures != 0) {
+    printf("contracts:  %llu soft failure(s) — see workdir stats.txt\n",
+           static_cast<unsigned long long>(result.contract_soft_failures));
+  }
   printf("crashes:    %zu\n", result.crashes.size());
   for (const auto& [id, rec] : result.crashes) {
     printf("  %08x %-40s x%llu first at %.1f vsec\n", id, rec.kind.c_str(),

@@ -1,14 +1,22 @@
 #include "src/vm/dirty_tracker.h"
 
+#include "src/common/check.h"
+
 namespace nyx {
 
 DirtyTracker::DirtyTracker(size_t num_pages) : bitmap_(num_pages, 0), stack_(num_pages, 0) {}
 
 void DirtyTracker::MarkDirty(uint32_t page) {
-  if (page >= bitmap_.size() || bitmap_[page] != 0) {
+  // An out-of-range page means the fault handler or a guest write computed a
+  // bogus page number — distinct from the common already-dirty fast path.
+  if (!NYX_EXPECT(page < bitmap_.size())) {
+    return;
+  }
+  if (bitmap_[page] != 0) {
     return;
   }
   bitmap_[page] = 1;
+  NYX_DCHECK_LT(stack_size_, stack_.size());
   stack_[stack_size_++] = page;
   total_marks_++;
   if (++ring_fill_ >= kDirtyRingCapacity) {

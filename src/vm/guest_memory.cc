@@ -7,6 +7,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "src/common/check.h"
+
 namespace nyx {
 namespace {
 
@@ -59,8 +61,8 @@ void RegisterRegion(GuestMemory* gm) {
       return;
     }
   }
-  fprintf(stderr, "nyx: too many live GuestMemory regions\n");
-  abort();
+  ::nyx::internal::ContractFailure(__FILE__, __LINE__, "NYX_CHECK", "free region slot")
+      << "too many live GuestMemory regions (max " << kMaxRegions << ")";
 }
 
 void UnregisterRegion(GuestMemory* gm) {
@@ -153,6 +155,7 @@ void GuestMemory::ReArmDirtyPages() {
 }
 
 void GuestMemory::Write(uint64_t guest_offset, const void* src, size_t len) {
+  NYX_DCHECK_LE(guest_offset + len, size_bytes());
   if (armed_ && mode_ == TrackingMode::kSoftware) {
     for (uint32_t p = PageOf(guest_offset); p <= PageOf(guest_offset + len - 1); p++) {
       tracker_.MarkDirty(p);
@@ -162,10 +165,12 @@ void GuestMemory::Write(uint64_t guest_offset, const void* src, size_t len) {
 }
 
 void GuestMemory::Read(uint64_t guest_offset, void* dst, size_t len) const {
+  NYX_DCHECK_LE(guest_offset + len, size_bytes());
   memcpy(dst, base_ + guest_offset, len);
 }
 
 void GuestMemory::Memset(uint64_t guest_offset, uint8_t value, size_t len) {
+  NYX_DCHECK_LE(guest_offset + len, size_bytes());
   if (armed_ && mode_ == TrackingMode::kSoftware && len > 0) {
     for (uint32_t p = PageOf(guest_offset); p <= PageOf(guest_offset + len - 1); p++) {
       tracker_.MarkDirty(p);
@@ -179,6 +184,8 @@ bool GuestMemory::HandleFault(uintptr_t addr) {
     return false;
   }
   const uint32_t page = PageOf(addr - reinterpret_cast<uintptr_t>(base_));
+  // Contains() excludes the guard page, so a resolvable fault is in range.
+  NYX_DCHECK_LT(page, num_pages_);
   if (tracker_.IsDirty(page)) {
     // The page is already writable; this fault is a genuine bug (e.g. a wild
     // write the handler cannot resolve).

@@ -11,6 +11,8 @@
 #include <sys/syscall.h>
 #endif
 
+#include "src/common/check.h"
+
 namespace nyx {
 
 RootSnapshot::RootSnapshot(const GuestMemory& mem, const DeviceState& devices,
@@ -119,6 +121,7 @@ void IncrementalSnapshot::Capture(const GuestMemory& mem, const DeviceState& dev
   base_pages_.assign(stack, stack + n);
   for (size_t i = 0; i < n; i++) {
     const uint32_t p = stack[i];
+    NYX_DCHECK_LT(static_cast<size_t>(p), in_mirror_.size());
     if ((in_mirror_[p] & 1) == 0) {
       in_mirror_[p] |= 1;
       private_page_count_++;

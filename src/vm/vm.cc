@@ -3,8 +3,7 @@
 #include <string.h>
 #include <sys/mman.h>
 
-#include <cstdio>
-#include <cstdlib>
+#include "src/common/check.h"
 
 namespace nyx {
 
@@ -34,15 +33,13 @@ void Vm::RestoreDevices(const DeviceState& saved) {
   } else {
     // QEMU-style: serialize the saved state and parse it back field by field.
     Bytes blob = saved.Serialize();
-    if (!devices_.Deserialize(blob)) {
-      fprintf(stderr, "nyx: device state deserialization failed\n");
-      abort();
-    }
+    NYX_CHECK(devices_.Deserialize(blob)) << "device state failed to round-trip";
     Charge(cost_ != nullptr ? cost_->device_reset_slow_ns : 0);
   }
 }
 
 void Vm::RestoreRoot() {
+  NYX_CHECK(root_ != nullptr) << "RestoreRoot before TakeRootSnapshot";
   const uint32_t* stack = mem_.tracker().stack_data();
   const size_t n = mem_.tracker().stack_size();
   uint64_t restored = 0;
@@ -110,6 +107,7 @@ void Vm::CreateIncremental(Bytes aux) {
 }
 
 void Vm::RestoreIncremental() {
+  NYX_CHECK(has_incremental()) << "RestoreIncremental without a valid incremental snapshot";
   const uint32_t* stack = mem_.tracker().stack_data();
   const size_t n = mem_.tracker().stack_size();
   // The mirror is a complete image of the VM at capture time (CoW of the

@@ -19,10 +19,23 @@ EngineConfig SmallEngineConfig() {
   return cfg;
 }
 
+// Campaigns are deterministic in virtual time; wall budgets are only a
+// safety valve. Sanitizer builds run ~15x slower, so widen the valve there
+// to keep the exec count (and thus the outcome) identical across configs.
+#ifndef __has_feature
+#define __has_feature(x) 0
+#endif
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__) || \
+    __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+constexpr double kWallScale = 10.0;
+#else
+constexpr double kWallScale = 1.0;
+#endif
+
 CampaignLimits ShortLimits(double vtime = 30.0) {
   CampaignLimits limits;
   limits.vtime_seconds = vtime;
-  limits.wall_seconds = 60.0;
+  limits.wall_seconds = 60.0 * kWallScale;
   return limits;
 }
 
@@ -129,7 +142,7 @@ TEST(BaselineTest, NoStateVariantTriggersPureFtpdOom) {
   }
   CampaignLimits limits = ShortLimits(1e9);
   limits.max_execs = 8000;
-  limits.wall_seconds = 90.0;
+  limits.wall_seconds = 90.0 * kWallScale;
   limits.stop_on_crash = true;
   limits.stop_on_crash_id = kCrashPureFtpdOom;
   CampaignResult r = fuzzer.Run(limits);
@@ -158,7 +171,7 @@ TEST(BaselineTest, AflnetFindsEasyCrashes) {
   // (Table 1); observed discovery is at 20k-50k virtual seconds.
   CampaignLimits limits;
   limits.vtime_seconds = 86400.0;
-  limits.wall_seconds = 120.0;
+  limits.wall_seconds = 120.0 * kWallScale;
   limits.stop_on_crash = true;
   limits.stop_on_crash_id = kCrashLive555RangeNull;
   CampaignResult r = fuzzer.Run(limits);
@@ -175,7 +188,7 @@ TEST(BaselineTest, IjonBaselineSolvesFlatMarioLevel) {
   fuzzer.AddSeed(MarioSeed(spec, *lv, 64));
   CampaignLimits limits;
   limits.vtime_seconds = 36000.0;
-  limits.wall_seconds = 120.0;
+  limits.wall_seconds = 120.0 * kWallScale;
   limits.ijon_goal = static_cast<uint64_t>(lv->length) * kSub;
   CampaignResult r = fuzzer.Run(limits);
   EXPECT_GE(r.ijon_best, limits.ijon_goal / 2)
