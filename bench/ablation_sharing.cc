@@ -9,6 +9,9 @@
 // private copy of the root image (naive) and (b) creating N VMs that map one
 // shared root memfd copy-on-write. Guest RAM itself is lazily allocated
 // anonymous memory, so the dominant cost is the snapshot storage.
+//
+// Deliberately serial (no NYX_JOBS fan-out): it measures whole-process RSS,
+// which concurrent VM construction would pollute.
 
 #include <string.h>
 #include <sys/mman.h>

@@ -8,6 +8,9 @@
 //   4. snapshot reuse count: execs/s on lightftp as a function of how many
 //      iterations each incremental snapshot is reused ("reusing the snapshot
 //      as little as 50 times yields significant performance increases").
+//
+// Deliberately serial (no NYX_JOBS fan-out): google-benchmark wall-clock
+// timings need an otherwise-idle machine to be comparable.
 
 #include <benchmark/benchmark.h>
 

@@ -19,6 +19,7 @@
 
 #include "src/common/stats.h"
 #include "src/harness/campaign.h"
+#include "src/harness/parallel.h"
 #include "src/targets/registry.h"
 
 namespace nyx {
@@ -54,6 +55,8 @@ int main() {
       FuzzerKind::kAflppDesock, FuzzerKind::kNyxNone,       FuzzerKind::kNyxBalanced,
       FuzzerKind::kNyxAggressive,
   };
+  std::vector<std::string> labels;
+  std::vector<CampaignSpec> configs;
   for (const std::string& target : TargetSelection()) {
     for (FuzzerKind f : fuzzers) {
       CampaignSpec cs;
@@ -61,19 +64,23 @@ int main() {
       cs.fuzzer = f;
       cs.limits.vtime_seconds = vtime;
       cs.limits.wall_seconds = 3.0;
-      const std::vector<CampaignResult> results = RepeatCampaign(cs, runs);
-      if (results.empty()) {
-        continue;  // n/a configuration
-      }
-      std::vector<TimeSeries> series;
-      for (const auto& r : results) {
-        series.push_back(r.coverage_over_time);
-      }
-      const TimeSeries median = TimeSeries::PointwiseMedian(series, vtime, vtime / 60.0);
-      const std::string label = std::string(FuzzerKindName(f)) + "," + target;
-      fputs(median.ToCsv(label).c_str(), stdout);
-      fflush(stdout);
+      configs.push_back(cs);
+      labels.push_back(std::string(FuzzerKindName(f)) + "," + target);
     }
+  }
+  fprintf(stderr, "[fig5] %zu campaigns on %zu jobs...\n", configs.size() * runs, EvalJobs());
+  const std::vector<std::vector<CampaignResult>> grid = RunCampaignGrid(configs, runs);
+
+  for (size_t c = 0; c < configs.size(); c++) {
+    if (grid[c].empty()) {
+      continue;  // n/a configuration
+    }
+    std::vector<TimeSeries> series;
+    for (const auto& r : grid[c]) {
+      series.push_back(r.coverage_over_time);
+    }
+    const TimeSeries median = TimeSeries::PointwiseMedian(series, vtime, vtime / 60.0);
+    fputs(median.ToCsv(labels[c]).c_str(), stdout);
   }
   return 0;
 }

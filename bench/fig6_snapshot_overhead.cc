@@ -13,6 +13,9 @@
 // resets from a dirty-page stack; for very large dirty counts the gap closes
 // (the 4-byte-per-entry stack eventually outweighs the 1-byte-per-page
 // bitmap).
+//
+// Deliberately serial (no NYX_JOBS fan-out): this measures wall-clock
+// latency of mmap/memcpy paths, which concurrent workers would distort.
 
 #include <chrono>
 #include <cstdio>

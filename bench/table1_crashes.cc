@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "src/harness/campaign.h"
+#include "src/harness/parallel.h"
 #include "src/harness/table.h"
 #include "src/targets/registry.h"
 
@@ -34,8 +35,7 @@ double WallCap() {
   return env != nullptr && atof(env) > 0 ? atof(env) : 15.0;
 }
 
-// Runs one cell; returns the marker string.
-std::string Cell(const std::string& target, FuzzerKind fuzzer, bool asan) {
+CampaignSpec CellSpec(const std::string& target, FuzzerKind fuzzer, bool asan) {
   CampaignSpec cs;
   cs.target = target;
   cs.fuzzer = fuzzer;
@@ -44,7 +44,10 @@ std::string Cell(const std::string& target, FuzzerKind fuzzer, bool asan) {
   cs.limits.wall_seconds = WallCap();
   cs.limits.stop_on_crash = true;
   cs.seed = 1;
-  CampaignOutcome out = RunCampaign(cs);
+  return cs;
+}
+
+std::string CellText(const CampaignOutcome& out) {
   if (!out.supported) {
     return "n/a";
   }
@@ -76,21 +79,41 @@ int main() {
 
   const std::vector<std::string> profuzz_rows = {"dcmtk",   "dnsmasq",   "exim",    "live555",
                                                  "proftpd", "pure-ftpd", "tinydtls"};
+
+  // Every cell is an independent campaign — flatten the whole table (plus
+  // the ASan footnote row and the case studies) into one NYX_JOBS fan-out.
+  std::vector<CampaignSpec> specs;
+  for (const std::string& target : profuzz_rows) {
+    for (FuzzerKind f : fuzzers) {
+      specs.push_back(CellSpec(target, f, /*asan=*/false));
+    }
+  }
+  // The dcmtk footnote: with ASan, Nyx-Net reports the overflow immediately.
+  for (FuzzerKind f : fuzzers) {
+    if (IsNyxKind(f)) {
+      specs.push_back(CellSpec("dcmtk", f, /*asan=*/true));
+    }
+  }
+  const std::vector<std::string> case_targets = {"lighttpd", "mysql-client", "firefox-ipc"};
+  for (const std::string& target : case_targets) {
+    specs.push_back(CellSpec(target, FuzzerKind::kNyxBalanced, /*asan=*/false));
+  }
+  fprintf(stderr, "[table1] %zu cells on %zu jobs...\n", specs.size(), EvalJobs());
+  const std::vector<CampaignOutcome> outcomes = RunCampaigns(specs);
+
+  size_t cell = 0;
   TextTable table(header);
   for (const std::string& target : profuzz_rows) {
-    fprintf(stderr, "[table1] %s...\n", target.c_str());
     std::vector<std::string> row = {target};
-    for (FuzzerKind f : fuzzers) {
-      row.push_back(Cell(target, f, /*asan=*/false));
-      fflush(stdout);
+    for (size_t i = 0; i < fuzzers.size(); i++) {
+      row.push_back(CellText(outcomes[cell++]));
     }
     table.AddRow(std::move(row));
   }
-  // The dcmtk footnote: with ASan, Nyx-Net reports the overflow immediately.
   {
     std::vector<std::string> row = {"dcmtk (ASan)"};
     for (FuzzerKind f : fuzzers) {
-      row.push_back(IsNyxKind(f) ? Cell("dcmtk", f, /*asan=*/true) : "");
+      row.push_back(IsNyxKind(f) ? CellText(outcomes[cell++]) : "");
     }
     table.AddRow(std::move(row));
   }
@@ -98,8 +121,8 @@ int main() {
 
   printf("\nCase studies (sections 5.4-5.6), Nyx-Net-balanced:\n");
   TextTable cases({"Target", "Result"});
-  for (const std::string& target : {"lighttpd", "mysql-client", "firefox-ipc"}) {
-    cases.AddRow({target, Cell(target, FuzzerKind::kNyxBalanced, false)});
+  for (const std::string& target : case_targets) {
+    cases.AddRow({target, CellText(outcomes[cell++])});
   }
   cases.Print();
   printf("\nNote: pure-ftpd's `-` row reproduces the paper: its internal OOM is only\n");

@@ -14,6 +14,7 @@
 
 #include "src/common/stats.h"
 #include "src/harness/campaign.h"
+#include "src/harness/parallel.h"
 #include "src/harness/table.h"
 #include "src/targets/registry.h"
 
@@ -49,25 +50,37 @@ int main() {
   }
   TextTable table(header);
 
+  // One pool over every (target, fuzzer, seed) campaign: per-row columns are
+  // adjacent configs in a flat grid (AFLNet baseline first).
+  std::vector<std::string> row_targets;
+  std::vector<CampaignSpec> configs;
   for (const auto& reg : AllTargets()) {
     if (!reg.in_profuzzbench) {
       continue;
     }
+    row_targets.push_back(reg.name);
     CampaignSpec cs;
     cs.target = reg.name;
     cs.limits.vtime_seconds = vtime;
     cs.limits.wall_seconds = 3.0;
-
-    fprintf(stderr, "[table2] %s...\n", reg.name.c_str());
     cs.fuzzer = FuzzerKind::kAflnet;
-    const std::vector<CampaignResult> aflnet = RepeatCampaign(cs, runs);
-    const std::vector<double> aflnet_cov = Coverages(aflnet);
-    const double aflnet_median = Median(aflnet_cov);
-
-    std::vector<std::string> row = {reg.name, Fmt(aflnet_median, 1)};
+    configs.push_back(cs);
     for (FuzzerKind f : fuzzers) {
       cs.fuzzer = f;
-      const std::vector<CampaignResult> results = RepeatCampaign(cs, runs);
+      configs.push_back(cs);
+    }
+  }
+  fprintf(stderr, "[table2] %zu campaigns on %zu jobs...\n", configs.size() * runs, EvalJobs());
+  const std::vector<std::vector<CampaignResult>> grid = RunCampaignGrid(configs, runs);
+
+  const size_t stride = fuzzers.size() + 1;
+  for (size_t t = 0; t < row_targets.size(); t++) {
+    const std::vector<double> aflnet_cov = Coverages(grid[t * stride]);
+    const double aflnet_median = Median(aflnet_cov);
+
+    std::vector<std::string> row = {row_targets[t], Fmt(aflnet_median, 1)};
+    for (size_t i = 0; i < fuzzers.size(); i++) {
+      const std::vector<CampaignResult>& results = grid[t * stride + 1 + i];
       if (results.empty()) {
         row.push_back("n/a");
         continue;
@@ -80,7 +93,6 @@ int main() {
         cell += "*";
       }
       row.push_back(std::move(cell));
-      fflush(stdout);
     }
     table.AddRow(std::move(row));
   }

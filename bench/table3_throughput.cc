@@ -6,14 +6,20 @@
 // come from the root snapshot avoiding initialization all together."
 //
 // Throughput stabilizes quickly, so the default budget is shorter than
-// Table 2's (NYX_VTIME=20 virtual seconds, NYX_RUNS=2).
+// Table 2's (NYX_VTIME=20 virtual seconds, NYX_RUNS=2). All campaigns fan
+// out across NYX_JOBS workers. Besides the text table, a machine-readable
+// summary is written to BENCH_throughput.json (override: NYX_BENCH_OUT) so
+// CI can track throughput over time.
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "src/common/stats.h"
 #include "src/harness/campaign.h"
+#include "src/harness/parallel.h"
 #include "src/harness/table.h"
 #include "src/targets/registry.h"
 
@@ -35,19 +41,35 @@ int main() {
   }
   TextTable table(header);
 
+  std::vector<std::string> row_targets;
+  std::vector<CampaignSpec> configs;
   for (const auto& reg : AllTargets()) {
     if (!reg.in_profuzzbench) {
       continue;
     }
-    fprintf(stderr, "[table3] %s...\n", reg.name.c_str());
-    std::vector<std::string> row = {reg.name};
+    row_targets.push_back(reg.name);
     for (FuzzerKind f : fuzzers) {
       CampaignSpec cs;
       cs.target = reg.name;
       cs.fuzzer = f;
       cs.limits.vtime_seconds = vtime;
       cs.limits.wall_seconds = 3.0;
-      const std::vector<CampaignResult> results = RepeatCampaign(cs, runs);
+      configs.push_back(cs);
+    }
+  }
+  const size_t jobs = EvalJobs();
+  fprintf(stderr, "[table3] %zu campaigns on %zu jobs...\n", configs.size() * runs, jobs);
+  const auto wall_start = std::chrono::steady_clock::now();
+  const std::vector<std::vector<CampaignResult>> grid = RunCampaignGrid(configs, runs);
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+
+  // Per-fuzzer aggregation across every supported (target, run) cell.
+  std::vector<std::vector<double>> per_fuzzer_eps(fuzzers.size());
+  for (size_t t = 0; t < row_targets.size(); t++) {
+    std::vector<std::string> row = {row_targets[t]};
+    for (size_t i = 0; i < fuzzers.size(); i++) {
+      const std::vector<CampaignResult>& results = grid[t * fuzzers.size() + i];
       if (results.empty()) {
         row.push_back("-");
         continue;
@@ -55,13 +77,41 @@ int main() {
       std::vector<double> eps;
       for (const auto& r : results) {
         eps.push_back(r.execs_per_vsecond);
+        per_fuzzer_eps[i].push_back(r.execs_per_vsecond);
       }
       row.push_back(Fmt(Mean(eps), 1) + " +/- " + Fmt(StdDev(eps), 1));
-      fflush(stdout);
     }
     table.AddRow(std::move(row));
   }
   table.Print();
+
+  // Machine-readable summary for CI trend tracking.
+  const char* out_path = getenv("NYX_BENCH_OUT");
+  if (out_path == nullptr) {
+    out_path = "BENCH_throughput.json";
+  }
+  FILE* out = fopen(out_path, "w");
+  if (out != nullptr) {
+    fprintf(out, "{\n");
+    fprintf(out, "  \"bench\": \"table3_throughput\",\n");
+    fprintf(out, "  \"runs\": %zu,\n", runs);
+    fprintf(out, "  \"vtime_seconds\": %.1f,\n", vtime);
+    fprintf(out, "  \"jobs\": %zu,\n", jobs);
+    fprintf(out, "  \"wall_seconds\": %.3f,\n", wall_seconds);
+    fprintf(out, "  \"execs_per_vsecond\": {\n");
+    for (size_t i = 0; i < fuzzers.size(); i++) {
+      fprintf(out, "    \"%s\": {\"mean\": %.1f, \"stddev\": %.1f, \"cells\": %zu}%s\n",
+              FuzzerKindName(fuzzers[i]), Mean(per_fuzzer_eps[i]), StdDev(per_fuzzer_eps[i]),
+              per_fuzzer_eps[i].size(), i + 1 < fuzzers.size() ? "," : "");
+    }
+    fprintf(out, "  }\n");
+    fprintf(out, "}\n");
+    fclose(out);
+    fprintf(stderr, "[table3] wrote %s (%.1fs wall)\n", out_path, wall_seconds);
+  } else {
+    fprintf(stderr, "[table3] could not write %s\n", out_path);
+  }
+
   printf("\nPaper shape check: Nyx-Net-none is 10x-1000x above the AFL family;\n");
   printf("aggressive >= balanced >= none on most targets.\n");
   return 0;

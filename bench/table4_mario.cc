@@ -17,6 +17,7 @@
 
 #include "src/common/stats.h"
 #include "src/harness/campaign.h"
+#include "src/harness/parallel.h"
 #include "src/harness/table.h"
 #include "src/mario/mario_target.h"
 
@@ -58,17 +59,17 @@ std::vector<std::string> LevelSelection() {
   return {"1-1", "1-4", "2-1", "5-4"};
 }
 
-// Median time-to-solve across runs; negative if any run failed to solve.
-double MedianSolve(const std::string& level, FuzzerKind fuzzer, size_t runs) {
+// Median time-to-solve across per-run solve times; negative if any run
+// failed to solve.
+double MedianSolve(const std::vector<double>& solve_times) {
   std::vector<double> times;
-  for (size_t r = 0; r < runs; r++) {
-    CampaignOutcome out = RunMarioCampaign(level, fuzzer, WallCap(), r + 1);
-    if (out.result.ijon_goal_vsec < 0) {
+  for (double t : solve_times) {
+    if (t < 0) {
       return -1.0;
     }
-    times.push_back(out.result.ijon_goal_vsec);
+    times.push_back(t);
   }
-  return Median(times);
+  return times.empty() ? -1.0 : Median(times);
 }
 
 }  // namespace
@@ -83,12 +84,34 @@ int main() {
 
   TextTable table({"Level", "Ijon", "Nyx-Net-none", "Nyx-Net-balanced", "Nyx-Net-aggressive",
                    "best speedup vs Ijon"});
-  for (const std::string& level : LevelSelection()) {
-    fprintf(stderr, "[table4] %s...\n", level.c_str());
-    const double ijon = MedianSolve(level, FuzzerKind::kIjon, runs);
-    const double none = MedianSolve(level, FuzzerKind::kNyxNone, runs);
-    const double balanced = MedianSolve(level, FuzzerKind::kNyxBalanced, runs);
-    const double aggressive = MedianSolve(level, FuzzerKind::kNyxAggressive, runs);
+  const std::vector<std::string> levels = LevelSelection();
+  const std::vector<FuzzerKind> kinds = {FuzzerKind::kIjon, FuzzerKind::kNyxNone,
+                                         FuzzerKind::kNyxBalanced, FuzzerKind::kNyxAggressive};
+
+  // Every (level, fuzzer, run) cell is an independent campaign: fan the
+  // whole table out across the NYX_JOBS pool.
+  const size_t cells = levels.size() * kinds.size() * runs;
+  std::vector<double> solve(cells, -1.0);
+  fprintf(stderr, "[table4] %zu cells on %zu jobs...\n", cells, EvalJobs());
+  ParallelFor(cells, EvalJobs(), [&](size_t i) {
+    const size_t level_i = i / (kinds.size() * runs);
+    const size_t kind_i = i / runs % kinds.size();
+    const size_t run_i = i % runs;
+    CampaignOutcome out =
+        RunMarioCampaign(levels[level_i], kinds[kind_i], WallCap(), run_i + 1);
+    solve[i] = out.result.ijon_goal_vsec;
+  });
+  auto cell_times = [&](size_t level_i, size_t kind_i) {
+    const size_t base = (level_i * kinds.size() + kind_i) * runs;
+    return std::vector<double>(solve.begin() + base, solve.begin() + base + runs);
+  };
+
+  for (size_t li = 0; li < levels.size(); li++) {
+    const std::string& level = levels[li];
+    const double ijon = MedianSolve(cell_times(li, 0));
+    const double none = MedianSolve(cell_times(li, 1));
+    const double balanced = MedianSolve(cell_times(li, 2));
+    const double aggressive = MedianSolve(cell_times(li, 3));
     double best = -1;
     for (double t : {none, balanced, aggressive}) {
       if (t >= 0 && (best < 0 || t < best)) {

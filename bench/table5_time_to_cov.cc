@@ -11,6 +11,7 @@
 
 #include "src/common/stats.h"
 #include "src/harness/campaign.h"
+#include "src/harness/parallel.h"
 #include "src/harness/table.h"
 #include "src/targets/registry.h"
 
@@ -38,35 +39,43 @@ int main() {
 
   TextTable table({"Target", "AFLNet time to final cov", "Nyx-Net", "Nyx-Net-balanced",
                    "Nyx-Net-aggressive"});
+  const std::vector<FuzzerKind> kinds = {FuzzerKind::kAflnet, FuzzerKind::kNyxNone,
+                                         FuzzerKind::kNyxBalanced, FuzzerKind::kNyxAggressive};
+  std::vector<std::string> row_targets;
+  std::vector<CampaignSpec> configs;
   for (const auto& reg : AllTargets()) {
     if (!reg.in_profuzzbench) {
       continue;
     }
-    CampaignSpec cs;
-    cs.target = reg.name;
-    cs.limits.vtime_seconds = vtime;
-    cs.limits.wall_seconds = 3.0;
+    row_targets.push_back(reg.name);
+    for (FuzzerKind f : kinds) {
+      CampaignSpec cs;
+      cs.target = reg.name;
+      cs.fuzzer = f;
+      cs.limits.vtime_seconds = vtime;
+      cs.limits.wall_seconds = 3.0;
+      configs.push_back(cs);
+    }
+  }
+  fprintf(stderr, "[table5] %zu campaigns on %zu jobs...\n", configs.size() * runs, EvalJobs());
+  const std::vector<std::vector<CampaignResult>> grid = RunCampaignGrid(configs, runs);
 
-    fprintf(stderr, "[table5] %s...\n", reg.name.c_str());
-    cs.fuzzer = FuzzerKind::kAflnet;
-    const TimeSeries aflnet = MedianSeries(RepeatCampaign(cs, runs), vtime);
+  for (size_t t = 0; t < row_targets.size(); t++) {
+    const TimeSeries aflnet = MedianSeries(grid[t * kinds.size()], vtime);
     const double final_cov = aflnet.ValueAt(vtime);
     const double aflnet_time = aflnet.TimeToReach(final_cov);
 
-    std::vector<std::string> row = {reg.name, FmtDuration(aflnet_time)};
-    for (FuzzerKind f : {FuzzerKind::kNyxNone, FuzzerKind::kNyxBalanced,
-                         FuzzerKind::kNyxAggressive}) {
-      cs.fuzzer = f;
-      const TimeSeries nyx = MedianSeries(RepeatCampaign(cs, runs), vtime);
-      const double t = nyx.TimeToReach(final_cov);
-      if (t < 0) {
+    std::vector<std::string> row = {row_targets[t], FmtDuration(aflnet_time)};
+    for (size_t i = 1; i < kinds.size(); i++) {
+      const TimeSeries nyx = MedianSeries(grid[t * kinds.size() + i], vtime);
+      const double tt = nyx.TimeToReach(final_cov);
+      if (tt < 0) {
         row.push_back("-");  // never matched AFLNet (paper: exim, openssh)
-      } else if (t <= 0.0) {
+      } else if (tt <= 0.0) {
         row.push_back(">" + Fmt(aflnet_time, 0) + "x");
       } else {
-        row.push_back(Fmt(aflnet_time / t, 0) + "x");
+        row.push_back(Fmt(aflnet_time / tt, 0) + "x");
       }
-      fflush(stdout);
     }
     table.AddRow(std::move(row));
   }

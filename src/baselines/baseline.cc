@@ -128,7 +128,7 @@ ExecResult BaselineFuzzer::RunOneExec(const Program& input, CoverageMap& cov) {
 
   GuestContext ctx(*vm_, net_, cov, clock_, cost);
   ctx.set_asan(engine_config_.asan);
-  ctx.ReseedRng(Mix64(engine_config_.seed ^ Fnv1a64(input.Serialize())));
+  ctx.ReseedRng(Mix64(engine_config_.seed ^ input.OpsHash(input.ops.size())));
 
   exec_conns_.clear();
   const bool desock = config_.kind == BaselineKind::kAflppDesock;
@@ -246,6 +246,8 @@ CampaignResult BaselineFuzzer::Run(const CampaignLimits& limits) {
   if (!supported_) {
     return result;
   }
+  // Per-thread delta so concurrent campaigns report only their own misses.
+  const uint64_t soft_at_start = GetThreadContractCounters().soft_failures;
   // Boot once to capture the pristine post-startup state used as the
   // "freshly restarted process" image.
   {
@@ -315,7 +317,7 @@ CampaignResult BaselineFuzzer::Run(const CampaignLimits& limits) {
 
   for (size_t i = 0; i < corpus_.size() && !out_of_budget(); i++) {
     run_one(corpus_.entry(i).program);
-    corpus_.entry(i).vtime_ns = last_exec_vtime_;
+    corpus_.SetVtime(i, last_exec_vtime_);
   }
   record_coverage();
 
@@ -341,7 +343,7 @@ CampaignResult BaselineFuzzer::Run(const CampaignLimits& limits) {
   result.branch_coverage = global_cov_.SiteCount();
   result.edge_coverage = global_cov_.EdgeCount();
   result.corpus_size = corpus_.size();
-  result.contract_soft_failures = GetContractCounters().soft_failures;
+  result.contract_soft_failures = GetThreadContractCounters().soft_failures - soft_at_start;
   return result;
 }
 

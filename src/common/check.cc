@@ -1,5 +1,6 @@
 #include "src/common/check.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 
@@ -8,18 +9,35 @@
 namespace nyx {
 
 namespace {
-// Fuzzing is single-threaded (see guest_memory.cc); plain counters suffice.
-ContractCounters g_counters;
+// Campaigns fan out across worker threads (harness/parallel.h), so the
+// process-wide tallies are atomics. Each thread additionally keeps its own
+// tally: a campaign runs whole on one thread, so per-campaign deltas of the
+// thread counter are exact and independent of sibling workers.
+std::atomic<uint64_t> g_soft_failures{0};
+std::atomic<uint64_t> g_hard_failures{0};
+thread_local ContractCounters t_counters;
 }  // namespace
 
-ContractCounters GetContractCounters() { return g_counters; }
+ContractCounters GetContractCounters() {
+  ContractCounters out;
+  out.soft_failures = g_soft_failures.load(std::memory_order_relaxed);
+  out.hard_failures = g_hard_failures.load(std::memory_order_relaxed);
+  return out;
+}
 
-void ResetContractCounters() { g_counters = ContractCounters{}; }
+ContractCounters GetThreadContractCounters() { return t_counters; }
+
+void ResetContractCounters() {
+  g_soft_failures.store(0, std::memory_order_relaxed);
+  g_hard_failures.store(0, std::memory_order_relaxed);
+  t_counters = ContractCounters{};
+}
 
 namespace internal {
 
 void NoteSoftFailure(const char* file, int line, const char* expr) {
-  g_counters.soft_failures++;
+  g_soft_failures.fetch_add(1, std::memory_order_relaxed);
+  t_counters.soft_failures++;
   NYX_LOG_DEBUG << "soft contract failed at " << file << ":" << line << ": " << expr;
 }
 
@@ -35,7 +53,8 @@ ContractFailure::ContractFailure(const char* file, int line, const char* kind,
 }
 
 ContractFailure::~ContractFailure() {
-  g_counters.hard_failures++;
+  g_hard_failures.fetch_add(1, std::memory_order_relaxed);
+  t_counters.hard_failures++;
   // stderr directly (not the leveled logger): the process is dying and the
   // log level must not be able to swallow the reason.
   fprintf(stderr, "nyx: %s\n", stream_.str().c_str());

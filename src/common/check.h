@@ -27,14 +27,19 @@
 
 namespace nyx {
 
-// Process-wide tallies of contract failures. Hard failures abort, so the
-// counter is only ever observable from the failure log line; soft failures
-// accumulate across a campaign.
+// Tallies of contract failures. Hard failures abort, so the counter is only
+// ever observable from the failure log line; soft failures accumulate across
+// a campaign.
 struct ContractCounters {
   uint64_t soft_failures = 0;
   uint64_t hard_failures = 0;
 };
+// Process-wide aggregate across all threads (workdir stats, CLI summaries).
 ContractCounters GetContractCounters();
+// Tally for the calling thread only. Campaigns run whole on one worker
+// thread (harness/parallel.h), so the delta of this counter across a
+// campaign is exact and deterministic no matter what other workers do.
+ContractCounters GetThreadContractCounters();
 void ResetContractCounters();
 
 namespace internal {

@@ -1,11 +1,13 @@
 #include "src/common/log.h"
 
+#include <atomic>
 #include <cstdio>
 
 namespace nyx {
 namespace {
 
-LogLevel g_level = LogLevel::kWarn;
+// Read from campaign worker threads; writes are rare (test/CLI setup).
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -25,12 +27,12 @@ const char* LevelName(LogLevel level) {
 
 }  // namespace
 
-LogLevel GetLogLevel() { return g_level; }
+LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
 
-void SetLogLevel(LogLevel level) { g_level = level; }
+void SetLogLevel(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
 
 void LogMessage(LogLevel level, const std::string& msg) {
-  if (level < g_level || level == LogLevel::kOff) {
+  if (level < GetLogLevel() || level == LogLevel::kOff) {
     return;
   }
   std::fprintf(stderr, "[nyx:%s] %s\n", LevelName(level), msg.c_str());

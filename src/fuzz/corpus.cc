@@ -20,27 +20,41 @@ bool Corpus::Add(Program program, uint64_t vtime_ns, size_t packet_count, double
   entry.vtime_ns = vtime_ns;
   entry.packet_count = packet_count;
   entry.found_at_vsec = found_at_vsec;
+  entry.weight = EntryWeight(entry);
+  weight_sum_ += entry.weight;
   entries_.push_back(std::move(entry));
   return true;
 }
 
+double Corpus::EntryWeight(const CorpusEntry& e) {
+  // Lower is better: heavily picked or slow entries lose. The time term is
+  // scaled so a ~10 ms execution weighs like one extra pick — favoring
+  // fast, small entries keeps throughput high (AFL's favored-entry logic).
+  return static_cast<double>(e.picks) + static_cast<double>(e.vtime_ns) * 1e-7;
+}
+
 CorpusEntry& Corpus::Pick(Rng& rng) {
-  // Tournament selection: sample a few candidates, keep the best-scoring.
+  // Tournament selection over the cached weights: sample a few candidates,
+  // keep the best-scoring.
   size_t best = rng.Below(entries_.size());
-  auto score = [](const CorpusEntry& e) {
-    // Lower is better: heavily picked or slow entries lose. The time term is
-    // scaled so a ~10 ms execution weighs like one extra pick — favoring
-    // fast, small entries keeps throughput high (AFL's favored-entry logic).
-    return static_cast<double>(e.picks) + static_cast<double>(e.vtime_ns) * 1e-7;
-  };
   for (int i = 0; i < 2; i++) {
     const size_t cand = rng.Below(entries_.size());
-    if (score(entries_[cand]) < score(entries_[best])) {
+    if (entries_[cand].weight < entries_[best].weight) {
       best = cand;
     }
   }
   entries_[best].picks++;
+  entries_[best].weight += 1.0;  // one pick costs exactly one weight unit
+  weight_sum_ += 1.0;
   return entries_[best];
+}
+
+void Corpus::SetVtime(size_t i, uint64_t vtime_ns) {
+  CorpusEntry& e = entries_[i];
+  e.vtime_ns = vtime_ns;
+  const double fresh = EntryWeight(e);
+  weight_sum_ += fresh - e.weight;
+  e.weight = fresh;
 }
 
 std::vector<const Program*> Corpus::Donors() const {

@@ -24,6 +24,11 @@ struct CorpusEntry {
   uint64_t picks = 0;
   double found_at_vsec = 0.0;
   AggressiveCursor cursor;
+  // Cached schedule weight (lower is better): picks + vtime_ns * 1e-7.
+  // Maintained incrementally by Corpus (Add/Pick/SetVtime) so scheduling
+  // never recomputes weights over entries. Mutate vtime_ns/picks only
+  // through Corpus so the cache and the corpus-wide sum stay consistent.
+  double weight = 0.0;
 };
 
 class Corpus {
@@ -45,6 +50,13 @@ class Corpus {
   // Weighted pick: newer, faster and less-picked entries are preferred.
   CorpusEntry& Pick(Rng& rng);
 
+  // Records the measured execution time of entry `i`, updating its cached
+  // schedule weight (call this instead of writing entry(i).vtime_ns).
+  void SetVtime(size_t i, uint64_t vtime_ns);
+
+  // Sum of all cached entry weights, maintained incrementally.
+  double WeightSum() const { return weight_sum_; }
+
   CorpusEntry& entry(size_t i) { return entries_[i]; }
   const CorpusEntry& entry(size_t i) const { return entries_[i]; }
 
@@ -53,8 +65,11 @@ class Corpus {
   std::vector<const Program*> Donors() const;
 
  private:
+  static double EntryWeight(const CorpusEntry& e);
+
   const Spec* spec_ = nullptr;
   std::deque<CorpusEntry> entries_;
+  double weight_sum_ = 0.0;
 };
 
 }  // namespace nyx

@@ -2,6 +2,18 @@
 
 namespace nyx {
 
+namespace {
+
+inline uint64_t LoadWord(const uint8_t* p) {
+  uint64_t w;
+  memcpy(&w, p, sizeof(w));
+  return w;
+}
+
+inline void StoreWord(uint8_t* p, uint64_t w) { memcpy(p, &w, sizeof(w)); }
+
+}  // namespace
+
 uint8_t GlobalCoverage::Classify(uint8_t hits) {
   if (hits == 0) {
     return 0;
@@ -33,25 +45,79 @@ uint8_t GlobalCoverage::Classify(uint8_t hits) {
 bool GlobalCoverage::MergeAndCheckNew(const CoverageMap& trace) {
   bool new_bits = false;
   const auto& map = trace.map();
-  for (size_t i = 0; i < kCovMapSize; i++) {
-    if (map[i] == 0) {
-      continue;
+  const auto& map_dirty = trace.map_dirty();
+  for (size_t g = 0; g < CoverageMap::kMapGroups; g++) {
+    if (map_dirty[g] == 0) {
+      continue;  // group untouched since Reset: guaranteed all-zero
     }
-    const uint8_t cls = Classify(map[i]);
-    if ((virgin_[i] & cls) != 0) {
-      if (virgin_[i] == 0xff) {
-        edge_count_++;
+    const size_t base = g * CoverageMap::kMapGroupBytes;
+    for (size_t off = 0; off < CoverageMap::kMapGroupBytes; off += 8) {
+      if (LoadWord(map.data() + base + off) == 0) {
+        continue;  // zero-word skim: most of even a dirty group is untouched
       }
-      virgin_[i] &= static_cast<uint8_t>(~cls);
-      new_bits = true;
+      const size_t end = base + off + 8;
+      for (size_t i = base + off; i < end; i++) {
+        if (map[i] == 0) {
+          continue;
+        }
+        const uint8_t cls = Classify(map[i]);
+        if ((virgin_[i] & cls) != 0) {
+          if (virgin_[i] == 0xff) {
+            edge_count_++;
+          }
+          virgin_[i] &= static_cast<uint8_t>(~cls);
+          new_bits = true;
+        }
+      }
     }
   }
   const auto& sites = trace.sites_hit();
-  for (size_t i = 0; i < sites.size(); i++) {
-    const uint8_t fresh = static_cast<uint8_t>(sites[i] & ~sites_[i]);
+  const auto& sites_dirty = trace.sites_dirty();
+  for (size_t g = 0; g < CoverageMap::kSiteGroups; g++) {
+    if (sites_dirty[g] == 0) {
+      continue;
+    }
+    const size_t base = g * CoverageMap::kSiteGroupBytes;
+    for (size_t off = 0; off < CoverageMap::kSiteGroupBytes; off += 8) {
+      const uint64_t trace_w = LoadWord(sites.data() + base + off);
+      const uint64_t mine_w = LoadWord(sites_.data() + base + off);
+      const uint64_t fresh = trace_w & ~mine_w;
+      if (fresh != 0) {
+        StoreWord(sites_.data() + base + off, mine_w | fresh);
+        site_count_ += static_cast<size_t>(__builtin_popcountll(fresh));
+      }
+    }
+  }
+  return new_bits;
+}
+
+bool GlobalCoverage::MergeFrom(const GlobalCoverage& other) {
+  bool new_bits = false;
+  for (size_t off = 0; off < kCovMapSize; off += 8) {
+    // Bits *cleared* in the other virgin map that are still set here.
+    const uint64_t fresh_w = ~LoadWord(other.virgin_.data() + off) & LoadWord(virgin_.data() + off);
+    if (fresh_w == 0) {
+      continue;
+    }
+    for (size_t i = off; i < off + 8; i++) {
+      const uint8_t fresh = static_cast<uint8_t>(~other.virgin_[i] & virgin_[i]);
+      if (fresh != 0) {
+        if (virgin_[i] == 0xff) {
+          edge_count_++;
+        }
+        virgin_[i] &= static_cast<uint8_t>(~fresh);
+        new_bits = true;
+      }
+    }
+  }
+  for (size_t off = 0; off < kSiteBytes; off += 8) {
+    const uint64_t theirs = LoadWord(other.sites_.data() + off);
+    const uint64_t mine = LoadWord(sites_.data() + off);
+    const uint64_t fresh = theirs & ~mine;
     if (fresh != 0) {
-      sites_[i] |= fresh;
-      site_count_ += static_cast<size_t>(__builtin_popcount(fresh));
+      StoreWord(sites_.data() + off, mine | fresh);
+      site_count_ += static_cast<size_t>(__builtin_popcountll(fresh));
+      new_bits = true;
     }
   }
   return new_bits;

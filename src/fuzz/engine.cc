@@ -83,26 +83,13 @@ int NyxEngine::ResolveConn(const Op& op) const {
   return value_conns_.empty() ? -1 : value_conns_.back();
 }
 
-uint64_t NyxEngine::PrefixHash(const Program& input, size_t marker_pos) const {
-  uint64_t h = 0xcbf29ce484222325ull;
-  for (size_t i = 0; i < marker_pos; i++) {
-    const Op& op = input.ops[i];
-    h = Fnv1a64(&op.node_type, 1, h);
-    for (uint16_t a : op.args) {
-      h = Fnv1a64(&a, 2, h);
-    }
-    h = Fnv1a64(op.data.data(), op.data.size(), h);
-  }
-  return h;
-}
-
 ExecResult NyxEngine::Run(const Program& input, CoverageMap& cov) {
   ExecResult result;
   const uint64_t t0 = clock_.now_ns();
   execs_++;
 
   const auto marker = input.SnapshotMarkerPos();
-  const uint64_t prefix_hash = marker.has_value() ? PrefixHash(input, *marker) : 0;
+  const uint64_t prefix_hash = marker.has_value() ? input.OpsHash(*marker) : 0;
 
   size_t start_op = 0;
   if (marker.has_value() && vm_->has_incremental() && inc_hash_valid_ &&
@@ -121,8 +108,9 @@ ExecResult NyxEngine::Run(const Program& input, CoverageMap& cov) {
   GuestContext ctx(*vm_, net_, cov, clock_, config_.cost);
   ctx.set_asan(config_.asan);
   // Deterministic per-input noise: the same input always sees the same
-  // layout, different inputs differ.
-  ctx.ReseedRng(Mix64(config_.seed ^ prefix_hash ^ Fnv1a64(input.Serialize())));
+  // layout, different inputs differ. OpsHash is allocation-free — a full
+  // Serialize() here cost a heap round trip on every exec.
+  ctx.ReseedRng(Mix64(config_.seed ^ prefix_hash ^ input.OpsHash(input.ops.size())));
 
   for (size_t i = start_op; i < input.ops.size() && !ctx.crash().crashed; i++) {
     const Op& op = input.ops[i];

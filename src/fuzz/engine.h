@@ -80,7 +80,6 @@ class NyxEngine {
   Bytes SerializeInterpState(uint32_t resume_op) const;
   void RestoreInterpState(const Bytes& aux);
   int ResolveConn(const Op& op) const;
-  uint64_t PrefixHash(const Program& input, size_t marker_pos) const;
 
   EngineConfig config_;
   const Spec& spec_;

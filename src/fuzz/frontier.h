@@ -1,0 +1,83 @@
+// Cross-worker corpus exchange for in-process sharded fuzzing (AFL's -M/-S
+// mode, paper section 6.2: Nyx-Net campaigns ran "10 processes in parallel
+// on the same corpus").
+//
+// N NyxFuzzer workers attack the same target, one Vm each. Every few
+// schedule batches each worker rendezvouses at the frontier, publishes the
+// corpus entries it found since the last sync, and imports everyone else's.
+// The exchange is a lock-step generation barrier: the last worker to arrive
+// appends all staged batches to a shared log *in shard order*, so the import
+// order — and therefore every worker's downstream RNG/corpus trajectory —
+// is independent of thread scheduling. Repeated sharded runs with the same
+// seeds are bit-identical as long as the campaign is bounded by virtual
+// time or exec count (wall-clock limits are inherently nondeterministic).
+//
+// A worker whose budget runs out calls Leave(): it publishes its final
+// batch, folds its coverage into the merged map, and drops out of the
+// barrier so the remaining workers stop waiting for it.
+
+#ifndef SRC_FUZZ_FRONTIER_H_
+#define SRC_FUZZ_FRONTIER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <unordered_set>
+#include <vector>
+
+#include "src/fuzz/coverage.h"
+#include "src/spec/program.h"
+
+namespace nyx {
+
+class CorpusFrontier {
+ public:
+  struct Entry {
+    Program program;  // snapshot markers stripped
+    uint64_t vtime_ns = 0;
+    size_t packet_count = 0;
+    size_t origin = 0;  // shard that found it (importers skip their own)
+  };
+
+  explicit CorpusFrontier(size_t shards);
+
+  // Rendezvous: stages `fresh`, blocks until every active shard has arrived
+  // (the last arriver flips the generation), then returns all log entries
+  // this shard has not imported yet, excluding its own. Must not be called
+  // after Leave().
+  std::vector<Entry> ExchangeSync(size_t shard, std::vector<Entry> fresh);
+
+  // Final exit: publishes the remaining batch, folds `cov` into the merged
+  // coverage, and removes the shard from the barrier. Never blocks.
+  void Leave(size_t shard, std::vector<Entry> fresh, const GlobalCoverage& cov);
+
+  // Union of all workers' coverage. Valid once every shard has left
+  // (i.e. after joining the worker threads).
+  const GlobalCoverage& merged_coverage() const { return merged_cov_; }
+
+  size_t shards() const { return shards_; }
+  uint64_t generations() const;
+  size_t published() const;
+
+ private:
+  // Appends staged batches to the log in shard order, dropping programs
+  // already published (hash dedup — deterministic winner: lowest shard).
+  // Caller holds mu_.
+  void FlipLocked();
+
+  const size_t shards_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  size_t active_;        // shards that have not Left yet
+  size_t arrived_ = 0;   // shards waiting at the current generation
+  uint64_t generation_ = 0;
+  std::vector<std::vector<Entry>> staged_;  // per shard, pending flip
+  std::vector<Entry> log_;                  // published entries, stable order
+  std::vector<size_t> next_;                // per shard: first unseen log index
+  std::unordered_set<uint64_t> seen_;       // published program hashes
+  GlobalCoverage merged_cov_;
+};
+
+}  // namespace nyx
+
+#endif  // SRC_FUZZ_FRONTIER_H_

@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "src/common/check.h"
+#include "src/fuzz/frontier.h"
 
 namespace nyx {
 
@@ -57,6 +58,9 @@ bool NyxFuzzer::RunOne(const Program& input, CampaignResult& result) {
 
 CampaignResult NyxFuzzer::Run(const CampaignLimits& limits) {
   CampaignResult result;
+  // Per-thread delta, not the process-global counter: concurrent campaigns
+  // (harness/parallel.h) must each report only their own NYX_EXPECT misses.
+  const uint64_t soft_at_start = GetThreadContractCounters().soft_failures;
   engine_.Boot();
   const uint64_t vtime_start = engine_.clock().now_ns();
   const auto wall_start = std::chrono::steady_clock::now();
@@ -82,13 +86,29 @@ CampaignResult NyxFuzzer::Run(const CampaignLimits& limits) {
   auto record_coverage = [&] {
     result.coverage_over_time.Record(vnow(), static_cast<double>(global_cov_.SiteCount()));
   };
+  // Sharded mode: package the entries found since the last sync for the
+  // frontier (corpus indices stay valid — entries live in a deque).
+  auto drain_pending = [&] {
+    std::vector<CorpusFrontier::Entry> batch;
+    batch.reserve(pending_publish_.size());
+    for (size_t idx : pending_publish_) {
+      const CorpusEntry& e = corpus_.entry(idx);
+      CorpusFrontier::Entry fe;
+      fe.program = e.program;
+      fe.vtime_ns = e.vtime_ns;
+      fe.packet_count = e.packet_count;
+      batch.push_back(std::move(fe));
+    }
+    pending_publish_.clear();
+    return batch;
+  };
 
   // Dry-run the seeds.
   for (size_t i = 0; i < corpus_.size() && !out_of_budget(); i++) {
     if (RunOne(corpus_.entry(i).program, result)) {
       record_coverage();
     }
-    corpus_.entry(i).vtime_ns = last_exec_vtime_;
+    corpus_.SetVtime(i, last_exec_vtime_);
   }
   record_coverage();
 
@@ -142,7 +162,10 @@ CampaignResult NyxFuzzer::Run(const CampaignLimits& limits) {
         found_since_last_schedule = true;
         mutated.StripSnapshotMarkers();
         const size_t packets = mutated.PacketOpIndices(spec_).size();
-        corpus_.Add(std::move(mutated), last_exec_vtime_, packets, vnow());
+        if (corpus_.Add(std::move(mutated), last_exec_vtime_, packets, vnow()) &&
+            config_.frontier != nullptr) {
+          pending_publish_.push_back(corpus_.size() - 1);
+        }
         record_coverage();
       }
       if (result.ijon_best > prev_ijon_best) {
@@ -154,6 +177,31 @@ CampaignResult NyxFuzzer::Run(const CampaignLimits& limits) {
         found_since_last_schedule = true;
       }
     }
+
+    if (config_.frontier != nullptr &&
+        ++schedules_since_sync_ >= config_.sync_every_schedules) {
+      schedules_since_sync_ = 0;
+      std::vector<CorpusFrontier::Entry> imports =
+          config_.frontier->ExchangeSync(config_.shard, drain_pending());
+      // Adopt imports that are novel against *this* worker's coverage
+      // (AFL -S semantics); they are not re-published — the frontier's
+      // hash dedup would drop them anyway.
+      for (CorpusFrontier::Entry& imp : imports) {
+        if (out_of_budget()) {
+          break;
+        }
+        if (RunOne(imp.program, result)) {
+          found_since_last_schedule = true;
+          const size_t packets = imp.program.PacketOpIndices(spec_).size();
+          corpus_.Add(std::move(imp.program), last_exec_vtime_, packets, vnow());
+          record_coverage();
+        }
+      }
+    }
+  }
+
+  if (config_.frontier != nullptr) {
+    config_.frontier->Leave(config_.shard, drain_pending(), global_cov_);
   }
 
   record_coverage();
@@ -166,7 +214,7 @@ CampaignResult NyxFuzzer::Run(const CampaignLimits& limits) {
   result.incremental_creates = engine_.vm_stats().incremental_creates;
   result.incremental_restores = engine_.vm_stats().incremental_restores;
   result.root_restores = engine_.vm_stats().root_restores;
-  result.contract_soft_failures = GetContractCounters().soft_failures;
+  result.contract_soft_failures = GetThreadContractCounters().soft_failures - soft_at_start;
   if (result.ijon_goal_vsec < 0 && limits.ijon_goal != 0 &&
       result.ijon_best >= limits.ijon_goal) {
     result.ijon_goal_vsec = result.vtime_seconds;

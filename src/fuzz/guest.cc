@@ -119,17 +119,19 @@ uint64_t GuestContext::IjonValue(uint32_t slot) const {
 
 namespace {
 
-// Fault-guard state. Fuzzing is single-threaded; the flag is sig_atomic_t
-// because it is read from the SIGSEGV handler.
-sigjmp_buf g_step_jmp;
-volatile std::sig_atomic_t g_step_armed = 0;
+// Fault-guard state, per worker thread: each parallel campaign guards its
+// own Step() calls, and SIGSEGV is delivered on the faulting thread, so
+// thread_local state routes every fault back to the guard that armed it.
+// The flag is sig_atomic_t because it is read from the SIGSEGV handler.
+thread_local sigjmp_buf t_step_jmp;
+thread_local volatile std::sig_atomic_t t_step_armed = 0;
 
 bool OnUnresolvedFault() {
-  if (g_step_armed == 0) {
+  if (t_step_armed == 0) {
     return false;  // fault outside a guarded Step: genuinely fatal
   }
-  g_step_armed = 0;
-  siglongjmp(g_step_jmp, 1);
+  t_step_armed = 0;
+  siglongjmp(t_step_jmp, 1);
 }
 
 struct HookInstaller {
@@ -140,14 +142,14 @@ struct HookInstaller {
 
 bool GuardedStep(Target& target, GuestContext& ctx) {
   static HookInstaller installer;
-  if (sigsetjmp(g_step_jmp, 1) != 0) {
+  if (sigsetjmp(t_step_jmp, 1) != 0) {
     // Landed here from the SIGSEGV handler: the target walked off the map.
     ctx.Crash(kCrashWildSegv, "segv-wild-access");
     return false;
   }
-  g_step_armed = 1;
+  t_step_armed = 1;
   target.Step(ctx);
-  g_step_armed = 0;
+  t_step_armed = 0;
   return true;
 }
 

@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 
+#include "src/harness/parallel.h"
 #include "src/mario/mario_target.h"
 #include "src/targets/registry.h"
 
@@ -34,6 +35,17 @@ bool IsNyxKind(FuzzerKind kind) {
          kind == FuzzerKind::kNyxAggressive;
 }
 
+PolicyMode NyxPolicyFor(FuzzerKind kind) {
+  switch (kind) {
+    case FuzzerKind::kNyxBalanced:
+      return PolicyMode::kBalanced;
+    case FuzzerKind::kNyxAggressive:
+      return PolicyMode::kAggressive;
+    default:
+      return PolicyMode::kNone;
+  }
+}
+
 namespace {
 
 BaselineKind ToBaselineKind(FuzzerKind kind) {
@@ -52,17 +64,6 @@ BaselineKind ToBaselineKind(FuzzerKind kind) {
   }
 }
 
-PolicyMode ToPolicy(FuzzerKind kind) {
-  switch (kind) {
-    case FuzzerKind::kNyxBalanced:
-      return PolicyMode::kBalanced;
-    case FuzzerKind::kNyxAggressive:
-      return PolicyMode::kAggressive;
-    default:
-      return PolicyMode::kNone;
-  }
-}
-
 CampaignOutcome RunWith(const Spec& spec, TargetFactory factory,
                         const std::vector<Program>& seeds, const CampaignSpec& cs,
                         uint64_t per_byte_extra_ns = 0) {
@@ -75,7 +76,7 @@ CampaignOutcome RunWith(const Spec& spec, TargetFactory factory,
   CampaignOutcome outcome;
   if (IsNyxKind(cs.fuzzer)) {
     FuzzerConfig fcfg;
-    fcfg.policy = ToPolicy(cs.fuzzer);
+    fcfg.policy = NyxPolicyFor(cs.fuzzer);
     fcfg.seed = cs.seed;
     NyxFuzzer fuzzer(engine_cfg, factory, spec, fcfg);
     for (const Program& s : seeds) {
@@ -131,16 +132,10 @@ CampaignOutcome RunMarioCampaign(const std::string& level, FuzzerKind fuzzer,
 }
 
 std::vector<CampaignResult> RepeatCampaign(CampaignSpec spec, size_t runs) {
-  std::vector<CampaignResult> results;
-  for (size_t r = 0; r < runs; r++) {
-    spec.seed = r + 1;
-    CampaignOutcome outcome = RunCampaign(spec);
-    if (!outcome.supported) {
-      return {};
-    }
-    results.push_back(std::move(outcome.result));
-  }
-  return results;
+  // Fans out across the NYX_JOBS pool; every run owns its Vm/RNG/clock and
+  // carries its own seed, so results match the old serial loop exactly.
+  std::vector<std::vector<CampaignResult>> grid = RunCampaignGrid({spec}, runs);
+  return std::move(grid.front());
 }
 
 size_t EvalRuns(size_t def_runs) {

@@ -28,6 +28,9 @@ enum class FuzzerKind {
 const char* FuzzerKindName(FuzzerKind kind);
 bool IsNyxKind(FuzzerKind kind);
 
+// Snapshot-placement policy a Nyx fuzzer kind maps to (kNone for baselines).
+PolicyMode NyxPolicyFor(FuzzerKind kind);
+
 struct CampaignSpec {
   std::string target;  // registry name, or "mario-<level>"
   FuzzerKind fuzzer = FuzzerKind::kNyxNone;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/check.h"
+#include "src/common/hash.h"
 
 namespace nyx {
 
@@ -45,6 +46,24 @@ struct ValueTracker {
 };
 
 }  // namespace
+
+uint64_t Program::OpsHash(size_t end_op) const {
+  uint64_t h = 0xcbf29ce484222325ull;
+  const size_t end = std::min(end_op, ops.size());
+  for (size_t i = 0; i < end; i++) {
+    const Op& op = ops[i];
+    h = Fnv1a64(&op.node_type, 1, h);
+    const uint32_t nargs = static_cast<uint32_t>(op.args.size());
+    h = Fnv1a64(&nargs, 4, h);
+    for (uint16_t a : op.args) {
+      h = Fnv1a64(&a, 2, h);
+    }
+    const uint32_t ndata = static_cast<uint32_t>(op.data.size());
+    h = Fnv1a64(&ndata, 4, h);
+    h = Fnv1a64(op.data.data(), op.data.size(), h);
+  }
+  return h;
+}
 
 Bytes Program::Serialize() const {
   Bytes out;

@@ -42,6 +42,12 @@ struct Program {
   Bytes Serialize() const;
   static std::optional<Program> Parse(const Bytes& wire, const Spec& spec);
 
+  // Incremental FNV-1a over ops [0, end_op) — allocation-free, for the
+  // per-exec RNG seeding and snapshot prefix matching hot paths (a full
+  // Serialize() per exec was a measured hot spot). Two programs whose op
+  // sequences differ hash differently (op/arg/data lengths are folded in).
+  uint64_t OpsHash(size_t end_op) const;
+
   // Affine type checking: every borrowed/consumed arg must reference an
   // existing, live value of the right edge type; consumed values die.
   bool Validate(const Spec& spec, std::string* error = nullptr) const;

@@ -1,11 +1,14 @@
 #include "src/vm/guest_memory.h"
 
+#include <pthread.h>
 #include <signal.h>
 #include <string.h>
 #include <sys/mman.h>
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 
 #include "src/common/check.h"
 
@@ -13,24 +16,45 @@ namespace nyx {
 namespace {
 
 // Registry of live regions consulted by the (process-wide) SIGSEGV handler.
-// Fixed-size and lock-free: fuzzing is single-threaded and regions are
-// registered before tracking is armed.
+// Fixed-size, with atomic slots: worker threads (harness/parallel.h) create
+// and destroy their own VMs concurrently. Each slot is tagged with the
+// registering thread: a tracking fault can only be raised by the thread
+// mutating that region's memory, so the handler dereferences only regions
+// owned by the faulting thread. That confines every dereference to the one
+// thread that also destroys the region — the handler can never touch an
+// object another thread is concurrently deleting.
 constexpr size_t kMaxRegions = 64;
-GuestMemory* g_regions[kMaxRegions] = {};
-UnresolvedFaultHook g_unresolved_hook = nullptr;
+struct RegionSlot {
+  std::atomic<GuestMemory*> region{nullptr};
+  // pthread_t of the owner, written by the owner right after claiming the
+  // slot. Other threads may briefly observe a stale owner and skip the slot
+  // — which is exactly what they must do anyway.
+  std::atomic<unsigned long> owner{0};
+};
+RegionSlot g_regions[kMaxRegions];
+std::atomic<UnresolvedFaultHook> g_unresolved_hook{nullptr};
+
+unsigned long SelfId() {
+  // pthread_self is a TLS read on Linux — safe inside a signal handler.
+  return reinterpret_cast<unsigned long>(pthread_self());
+}
 
 void SegvHandler(int sig, siginfo_t* info, void* ucontext) {
   const uintptr_t addr = reinterpret_cast<uintptr_t>(info->si_addr);
-  for (GuestMemory* region : g_regions) {
-    if (region != nullptr && region->Contains(addr)) {
-      if (region->HandleFault(addr)) {
-        return;
-      }
+  const unsigned long self = SelfId();
+  for (auto& slot : g_regions) {
+    GuestMemory* region = slot.region.load(std::memory_order_acquire);
+    if (region == nullptr || slot.owner.load(std::memory_order_relaxed) != self) {
+      continue;
+    }
+    if (region->Contains(addr) && region->HandleFault(addr)) {
+      return;
     }
   }
   // Not a tracking fault. Give the execution engine a chance to turn it
   // into a detected target crash (it siglongjmps and never returns here).
-  if (g_unresolved_hook != nullptr && g_unresolved_hook()) {
+  UnresolvedFaultHook hook = g_unresolved_hook.load(std::memory_order_acquire);
+  if (hook != nullptr && hook()) {
     return;
   }
   // Restore the default disposition; the faulting instruction re-executes
@@ -39,25 +63,26 @@ void SegvHandler(int sig, siginfo_t* info, void* ucontext) {
 }
 
 void InstallHandlerOnce() {
-  static bool installed = false;
-  if (installed) {
-    return;
-  }
-  struct sigaction sa = {};
-  sa.sa_sigaction = SegvHandler;
-  sa.sa_flags = SA_SIGINFO;
-  sigemptyset(&sa.sa_mask);
-  if (sigaction(SIGSEGV, &sa, nullptr) != 0) {
-    perror("sigaction");
-    abort();
-  }
-  installed = true;
+  static std::once_flag installed;
+  std::call_once(installed, [] {
+    struct sigaction sa = {};
+    sa.sa_sigaction = SegvHandler;
+    sa.sa_flags = SA_SIGINFO;
+    sigemptyset(&sa.sa_mask);
+    if (sigaction(SIGSEGV, &sa, nullptr) != 0) {
+      perror("sigaction");
+      abort();
+    }
+  });
 }
 
 void RegisterRegion(GuestMemory* gm) {
   for (auto& slot : g_regions) {
-    if (slot == nullptr) {
-      slot = gm;
+    GuestMemory* expected = nullptr;
+    if (slot.region.compare_exchange_strong(expected, gm, std::memory_order_release)) {
+      // The owner's own faults are ordered after this store on the same
+      // thread, which is the only reader the value must be exact for.
+      slot.owner.store(SelfId(), std::memory_order_release);
       return;
     }
   }
@@ -67,8 +92,8 @@ void RegisterRegion(GuestMemory* gm) {
 
 void UnregisterRegion(GuestMemory* gm) {
   for (auto& slot : g_regions) {
-    if (slot == gm) {
-      slot = nullptr;
+    GuestMemory* expected = gm;
+    if (slot.region.compare_exchange_strong(expected, nullptr, std::memory_order_release)) {
       return;
     }
   }
@@ -76,7 +101,9 @@ void UnregisterRegion(GuestMemory* gm) {
 
 }  // namespace
 
-void SetUnresolvedFaultHook(UnresolvedFaultHook hook) { g_unresolved_hook = hook; }
+void SetUnresolvedFaultHook(UnresolvedFaultHook hook) {
+  g_unresolved_hook.store(hook, std::memory_order_release);
+}
 
 GuestMemory::GuestMemory(size_t num_pages, TrackingMode mode)
     : num_pages_(num_pages), mode_(mode), tracker_(num_pages) {
@@ -116,7 +143,7 @@ void GuestMemory::Protect(uint32_t first_page, size_t count, int prot) {
     perror("mprotect");
     abort();
   }
-  protect_calls_++;
+  protect_calls_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void GuestMemory::ArmTracking() {
@@ -198,7 +225,7 @@ bool GuestMemory::HandleFault(uintptr_t addr) {
                PROT_READ | PROT_WRITE) != 0) {
     return false;
   }
-  protect_calls_++;
+  protect_calls_.fetch_add(1, std::memory_order_relaxed);
   return true;
 }
 

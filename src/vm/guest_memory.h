@@ -14,6 +14,7 @@
 #ifndef SRC_VM_GUEST_MEMORY_H_
 #define SRC_VM_GUEST_MEMORY_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 
@@ -86,7 +87,7 @@ class GuestMemory {
   }
 
   // mprotect syscalls issued, for the overhead statistics.
-  uint64_t protect_calls() const { return protect_calls_; }
+  uint64_t protect_calls() const { return protect_calls_.load(std::memory_order_relaxed); }
 
  private:
   void Protect(uint32_t first_page, size_t count, int prot);
@@ -96,7 +97,9 @@ class GuestMemory {
   TrackingMode mode_;
   bool armed_ = false;
   DirtyTracker tracker_;
-  uint64_t protect_calls_ = 0;
+  // Atomic because HandleFault bumps it from inside the SIGSEGV handler;
+  // a plain field lets the compiler cache reads across the faulting writes.
+  std::atomic<uint64_t> protect_calls_{0};
 };
 
 }  // namespace nyx

@@ -77,11 +77,9 @@ void IncrementalSnapshot::ReMirror() {
     abort();
   }
   mirror_ = static_cast<uint8_t*>(m);
-  for (uint32_t p : base_pages_) {
-    in_mirror_[p] = 0;
-  }
   // base_pages_ is rebuilt by the caller right after a re-mirror; any other
-  // private copies are gone with the old mapping.
+  // private copies are gone with the old mapping, so the whole flag vector
+  // resets.
   for (auto& flag : in_mirror_) {
     flag = 0;
   }

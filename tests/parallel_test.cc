@@ -1,0 +1,193 @@
+// Tests for the parallel campaign engine (src/harness/parallel.h): worker
+// pool mechanics, the NYX_JOBS knob, and — the property the whole PR hangs
+// on — that fanning campaigns across workers changes nothing about any
+// individual campaign's result.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/fuzz/corpus.h"
+#include "src/harness/campaign.h"
+#include "src/harness/parallel.h"
+
+namespace nyx {
+namespace {
+
+// Strict equality on every deterministic CampaignResult field.
+void ExpectSameResult(const CampaignResult& a, const CampaignResult& b) {
+  EXPECT_EQ(a.execs, b.execs);
+  EXPECT_DOUBLE_EQ(a.vtime_seconds, b.vtime_seconds);
+  EXPECT_EQ(a.branch_coverage, b.branch_coverage);
+  EXPECT_EQ(a.edge_coverage, b.edge_coverage);
+  EXPECT_EQ(a.corpus_size, b.corpus_size);
+  EXPECT_EQ(a.incremental_creates, b.incremental_creates);
+  EXPECT_EQ(a.incremental_restores, b.incremental_restores);
+  EXPECT_EQ(a.root_restores, b.root_restores);
+  EXPECT_EQ(a.contract_soft_failures, b.contract_soft_failures);
+  EXPECT_EQ(a.ijon_best, b.ijon_best);
+  EXPECT_EQ(a.crashes.size(), b.crashes.size());
+  EXPECT_EQ(a.coverage_over_time.ToCsv("s"), b.coverage_over_time.ToCsv("s"));
+}
+
+TEST(ParallelForTest, RunsEveryIndexExactlyOnce) {
+  constexpr size_t kN = 257;
+  std::vector<std::atomic<int>> hits(kN);
+  for (auto& h : hits) {
+    h = 0;
+  }
+  ParallelFor(kN, 4, [&](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < kN; i++) {
+    EXPECT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+TEST(ParallelForTest, SingleJobRunsInlineInOrder) {
+  // jobs=1 must not spawn threads: bodies run on the calling thread, in
+  // index order — the bit-identical serial path.
+  const std::thread::id self = std::this_thread::get_id();
+  std::vector<size_t> order;
+  ParallelFor(5, 1, [&](size_t i) {
+    EXPECT_EQ(std::this_thread::get_id(), self);
+    order.push_back(i);
+  });
+  EXPECT_EQ(order, (std::vector<size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelForTest, ZeroAndOneElement) {
+  int calls = 0;
+  ParallelFor(0, 8, [&](size_t) { calls++; });
+  EXPECT_EQ(calls, 0);
+  ParallelFor(1, 8, [&](size_t) { calls++; });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(EvalJobsTest, EnvOverridesAndDefaultsNonZero) {
+  setenv("NYX_JOBS", "3", 1);
+  EXPECT_EQ(EvalJobs(), 3u);
+  unsetenv("NYX_JOBS");
+  EXPECT_GE(EvalJobs(), 1u);
+}
+
+TEST(ContractCountersTest, ThreadCountersSumToGlobal) {
+  ResetContractCounters();
+  constexpr int kThreads = 4;
+  constexpr uint64_t kPerThread = 1000;
+  std::vector<uint64_t> deltas(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&, t] {
+      const uint64_t before = GetThreadContractCounters().soft_failures;
+      for (uint64_t i = 0; i < kPerThread; i++) {
+        NYX_EXPECT(i == kPerThread);  // always fails
+      }
+      deltas[t] = GetThreadContractCounters().soft_failures - before;
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  uint64_t sum = 0;
+  for (uint64_t d : deltas) {
+    EXPECT_EQ(d, kPerThread);
+    sum += d;
+  }
+  EXPECT_EQ(GetContractCounters().soft_failures, sum);
+  ResetContractCounters();
+}
+
+TEST(CorpusWeightTest, CachedWeightsStayConsistent) {
+  Corpus corpus;
+  Rng rng(7);
+  for (int i = 0; i < 8; i++) {
+    Program p;
+    Op op;
+    op.node_type = static_cast<uint8_t>(i);
+    p.ops.push_back(op);
+    ASSERT_TRUE(corpus.Add(std::move(p), static_cast<uint64_t>(i) * 1000000, 1, 0.0));
+  }
+  for (int i = 0; i < 100; i++) {
+    corpus.Pick(rng);
+  }
+  corpus.SetVtime(3, 42000000);
+  double sum = 0.0;
+  for (size_t i = 0; i < corpus.size(); i++) {
+    const CorpusEntry& e = corpus.entry(i);
+    const double expect =
+        static_cast<double>(e.picks) + static_cast<double>(e.vtime_ns) * 1e-7;
+    EXPECT_DOUBLE_EQ(e.weight, expect) << i;
+    sum += e.weight;
+  }
+  EXPECT_NEAR(corpus.WeightSum(), sum, 1e-9);
+}
+
+// The determinism contract: the same (config, seed) campaign produces an
+// identical result whether run serially, through the pool with NYX_JOBS=1,
+// or through the pool with NYX_JOBS=4.
+TEST(ParallelCampaignTest, PooledRunsMatchSerialPerSeed) {
+  CampaignSpec cs;
+  cs.target = "lightftp";
+  cs.fuzzer = FuzzerKind::kNyxBalanced;
+  cs.limits.vtime_seconds = 2.0;
+  constexpr size_t kRuns = 3;
+
+  std::vector<CampaignResult> serial;
+  for (size_t r = 0; r < kRuns; r++) {
+    cs.seed = r + 1;
+    serial.push_back(RunCampaign(cs).result);
+  }
+
+  setenv("NYX_JOBS", "1", 1);
+  const std::vector<CampaignResult> pooled1 = RepeatCampaign(cs, kRuns);
+  setenv("NYX_JOBS", "4", 1);
+  const std::vector<CampaignResult> pooled4 = RepeatCampaign(cs, kRuns);
+  unsetenv("NYX_JOBS");
+
+  ASSERT_EQ(pooled1.size(), kRuns);
+  ASSERT_EQ(pooled4.size(), kRuns);
+  for (size_t r = 0; r < kRuns; r++) {
+    ExpectSameResult(serial[r], pooled1[r]);
+    ExpectSameResult(serial[r], pooled4[r]);
+  }
+}
+
+TEST(ParallelCampaignTest, RunCampaignsPreservesIndexMapping) {
+  CampaignSpec nyx;
+  nyx.target = "lightftp";
+  nyx.fuzzer = FuzzerKind::kNyxNone;
+  nyx.limits.vtime_seconds = 1.0;
+  CampaignSpec bogus;
+  bogus.target = "no-such-target";
+
+  setenv("NYX_JOBS", "2", 1);
+  const std::vector<CampaignOutcome> out = RunCampaigns({bogus, nyx});
+  unsetenv("NYX_JOBS");
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_FALSE(out[0].supported);
+  ASSERT_TRUE(out[1].supported);
+  EXPECT_GT(out[1].result.execs, 0u);
+}
+
+TEST(ParallelCampaignTest, GridSkipsUnsupportedConfigs) {
+  CampaignSpec nyx;
+  nyx.target = "lightftp";
+  nyx.fuzzer = FuzzerKind::kNyxNone;
+  nyx.limits.vtime_seconds = 1.0;
+  CampaignSpec desock = nyx;
+  desock.target = "live555";  // AFL++ desock is n/a on live555 (Table 1)
+  desock.fuzzer = FuzzerKind::kAflppDesock;
+
+  setenv("NYX_JOBS", "2", 1);
+  const auto grid = RunCampaignGrid({nyx, desock}, 2);
+  unsetenv("NYX_JOBS");
+  ASSERT_EQ(grid.size(), 2u);
+  EXPECT_EQ(grid[0].size(), 2u);
+  EXPECT_TRUE(grid[1].empty());
+}
+
+}  // namespace
+}  // namespace nyx

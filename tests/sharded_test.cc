@@ -1,0 +1,163 @@
+// Tests for in-process sharded fuzzing: the CorpusFrontier's lock-step
+// exchange and RunShardedCampaign's determinism and aggregation.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "src/fuzz/frontier.h"
+#include "src/harness/campaign.h"
+#include "src/harness/parallel.h"
+
+namespace nyx {
+namespace {
+
+CorpusFrontier::Entry MakeEntry(uint8_t tag) {
+  CorpusFrontier::Entry e;
+  Op op;
+  op.node_type = tag;
+  e.program.ops.push_back(op);
+  e.vtime_ns = tag;
+  e.packet_count = 1;
+  return e;
+}
+
+TEST(FrontierTest, TwoShardsExchangeEntries) {
+  CorpusFrontier frontier(2);
+  std::vector<CorpusFrontier::Entry> got0, got1;
+  std::thread t0([&] {
+    std::vector<CorpusFrontier::Entry> fresh;
+    fresh.push_back(MakeEntry(10));
+    got0 = frontier.ExchangeSync(0, std::move(fresh));
+  });
+  std::thread t1([&] {
+    std::vector<CorpusFrontier::Entry> fresh;
+    fresh.push_back(MakeEntry(20));
+    got1 = frontier.ExchangeSync(1, std::move(fresh));
+  });
+  t0.join();
+  t1.join();
+  // Each shard sees exactly the other's entry, never its own.
+  ASSERT_EQ(got0.size(), 1u);
+  EXPECT_EQ(got0[0].vtime_ns, 20u);
+  EXPECT_EQ(got0[0].origin, 1u);
+  ASSERT_EQ(got1.size(), 1u);
+  EXPECT_EQ(got1[0].vtime_ns, 10u);
+  EXPECT_EQ(got1[0].origin, 0u);
+  EXPECT_EQ(frontier.generations(), 1u);
+  EXPECT_EQ(frontier.published(), 2u);
+}
+
+TEST(FrontierTest, DuplicateProgramsDedupedInShardOrder) {
+  CorpusFrontier frontier(2);
+  std::vector<CorpusFrontier::Entry> got0, got1;
+  std::thread t0([&] {
+    std::vector<CorpusFrontier::Entry> fresh;
+    fresh.push_back(MakeEntry(7));
+    got0 = frontier.ExchangeSync(0, std::move(fresh));
+  });
+  std::thread t1([&] {
+    std::vector<CorpusFrontier::Entry> fresh;
+    fresh.push_back(MakeEntry(7));  // identical program to shard 0's
+    got1 = frontier.ExchangeSync(1, std::move(fresh));
+  });
+  t0.join();
+  t1.join();
+  // One copy survives, attributed to the lowest shard regardless of arrival
+  // order — so shard 0 imports nothing and shard 1 imports shard 0's copy.
+  EXPECT_EQ(frontier.published(), 1u);
+  EXPECT_TRUE(got0.empty());
+  ASSERT_EQ(got1.size(), 1u);
+  EXPECT_EQ(got1[0].origin, 0u);
+}
+
+TEST(FrontierTest, LeaveUnblocksRemainingShards) {
+  CorpusFrontier frontier(2);
+  GlobalCoverage cov;
+  // Shard 1 leaves immediately with a final find; shard 0's next sync must
+  // not deadlock and must import that find.
+  frontier.Leave(1, {MakeEntry(42)}, cov);
+  std::vector<CorpusFrontier::Entry> got = frontier.ExchangeSync(0, {});
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].vtime_ns, 42u);
+}
+
+void ExpectSameResult(const CampaignResult& a, const CampaignResult& b) {
+  EXPECT_EQ(a.execs, b.execs);
+  EXPECT_DOUBLE_EQ(a.vtime_seconds, b.vtime_seconds);
+  EXPECT_EQ(a.branch_coverage, b.branch_coverage);
+  EXPECT_EQ(a.edge_coverage, b.edge_coverage);
+  EXPECT_EQ(a.corpus_size, b.corpus_size);
+  EXPECT_EQ(a.incremental_creates, b.incremental_creates);
+  EXPECT_EQ(a.incremental_restores, b.incremental_restores);
+  EXPECT_EQ(a.root_restores, b.root_restores);
+  EXPECT_EQ(a.ijon_best, b.ijon_best);
+  EXPECT_EQ(a.crashes.size(), b.crashes.size());
+  EXPECT_EQ(a.coverage_over_time.ToCsv("s"), b.coverage_over_time.ToCsv("s"));
+}
+
+CampaignSpec ShardableSpec() {
+  CampaignSpec cs;
+  cs.target = "lightftp";
+  cs.fuzzer = FuzzerKind::kNyxBalanced;
+  cs.limits.vtime_seconds = 2.0;  // vtime-bounded => deterministic
+  cs.seed = 1;
+  return cs;
+}
+
+TEST(ShardedCampaignTest, RepeatedRunsAreIdentical) {
+  const CampaignSpec cs = ShardableSpec();
+  const ShardedOutcome a = RunShardedCampaign(cs, 3);
+  const ShardedOutcome b = RunShardedCampaign(cs, 3);
+  ASSERT_TRUE(a.supported);
+  ASSERT_TRUE(b.supported);
+  ASSERT_EQ(a.per_shard.size(), 3u);
+  for (size_t s = 0; s < 3; s++) {
+    ExpectSameResult(a.per_shard[s], b.per_shard[s]);
+  }
+  ExpectSameResult(a.merged, b.merged);
+  EXPECT_EQ(a.frontier_generations, b.frontier_generations);
+  EXPECT_EQ(a.frontier_published, b.frontier_published);
+}
+
+TEST(ShardedCampaignTest, OneShardMatchesPlainCampaign) {
+  const CampaignSpec cs = ShardableSpec();
+  const CampaignOutcome plain = RunCampaign(cs);
+  const ShardedOutcome sharded = RunShardedCampaign(cs, 1);
+  ASSERT_TRUE(sharded.supported);
+  ASSERT_EQ(sharded.per_shard.size(), 1u);
+  // A 1-shard frontier never imports anything, so the worker's trajectory
+  // is exactly the unsharded campaign's.
+  ExpectSameResult(plain.result, sharded.per_shard[0]);
+}
+
+TEST(ShardedCampaignTest, MergedAggregatesShards) {
+  const ShardedOutcome out = RunShardedCampaign(ShardableSpec(), 2);
+  ASSERT_TRUE(out.supported);
+  uint64_t execs = 0;
+  size_t best_cov = 0;
+  for (const CampaignResult& r : out.per_shard) {
+    EXPECT_GT(r.execs, 0u);
+    execs += r.execs;
+    best_cov = std::max(best_cov, r.branch_coverage);
+  }
+  EXPECT_EQ(out.merged.execs, execs);
+  // The frontier-merged map covers at least what the best shard saw.
+  EXPECT_GE(out.merged.branch_coverage, best_cov);
+  EXPECT_GT(out.merged.branch_coverage, 0u);
+  EXPECT_GT(out.frontier_generations, 0u);
+}
+
+TEST(ShardedCampaignTest, RejectsBaselinesAndZeroShards) {
+  CampaignSpec cs = ShardableSpec();
+  EXPECT_FALSE(RunShardedCampaign(cs, 0).supported);
+  cs.fuzzer = FuzzerKind::kAflnet;
+  EXPECT_FALSE(RunShardedCampaign(cs, 2).supported);
+  cs.fuzzer = FuzzerKind::kNyxNone;
+  cs.target = "no-such-target";
+  EXPECT_FALSE(RunShardedCampaign(cs, 2).supported);
+}
+
+}  // namespace
+}  // namespace nyx
