@@ -5,6 +5,7 @@
 #include <cstdlib>
 
 #include "src/common/log.h"
+#include "src/common/sync.h"
 
 namespace nyx {
 
@@ -13,9 +14,15 @@ namespace {
 // process-wide tallies are atomics. Each thread additionally keeps its own
 // tally: a campaign runs whole on one thread, so per-campaign deltas of the
 // thread counter are exact and independent of sibling workers.
-std::atomic<uint64_t> g_soft_failures{0};
-std::atomic<uint64_t> g_hard_failures{0};
-thread_local ContractCounters t_counters;
+//
+// Each counter gets its own cache line: NYX_EXPECT sits on defensive early
+// returns all over the exec path, and two workers bumping adjacent atomics
+// would ping-pong the line between cores (false sharing). Same for the
+// thread-local block — TLS segments of different threads can land on
+// adjacent lines of the same page.
+alignas(kCacheLineSize) std::atomic<uint64_t> g_soft_failures{0};
+alignas(kCacheLineSize) std::atomic<uint64_t> g_hard_failures{0};
+alignas(kCacheLineSize) thread_local ContractCounters t_counters;
 }  // namespace
 
 ContractCounters GetContractCounters() {

@@ -3,11 +3,23 @@
 #include <atomic>
 #include <cstdio>
 
+#include "src/common/sync.h"
+
 namespace nyx {
 namespace {
 
 // Read from campaign worker threads; writes are rare (test/CLI setup).
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+// Serializes the stderr write so concurrent workers cannot interleave
+// halves of two log lines. Rank kLog is the hierarchy leaf: logging happens
+// under other locks (e.g. soft-contract reports inside a frontier sync),
+// but nothing may acquire another lock while emitting a line. Function-local
+// so the mutex is constructed on first use regardless of static init order.
+Mutex& OutputMutex() {
+  static Mutex mu("log.stderr", LockRank::kLog);
+  return mu;
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -35,6 +47,7 @@ void LogMessage(LogLevel level, const std::string& msg) {
   if (level < GetLogLevel() || level == LogLevel::kOff) {
     return;
   }
+  MutexLock lock(OutputMutex());
   std::fprintf(stderr, "[nyx:%s] %s\n", LevelName(level), msg.c_str());
 }
 

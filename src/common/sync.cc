@@ -1,0 +1,220 @@
+#include "src/common/sync.h"
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/check.h"
+
+namespace nyx {
+namespace {
+
+// Process-wide acquisition tallies, one cache line each so two workers
+// bumping different counters never ping-pong a line between cores.
+struct alignas(kCacheLineSize) PaddedCounter {
+  std::atomic<uint64_t> v{0};
+};
+PaddedCounter g_acquisitions;
+PaddedCounter g_contended;
+
+// -1 = not yet resolved from NDEBUG/env; 0/1 afterwards. Resolved lazily on
+// the first Lock() so tests (and the NYX_LOCK_DEBUG knob) can decide before
+// any mutex is touched.
+std::atomic<int> g_lock_debug{-1};
+
+// --- runtime lock-hierarchy analyzer -------------------------------------
+//
+// Per-thread stack of held locks plus a global acquired-after graph keyed by
+// mutex *name* (stable across instances: every campaign's frontier mutex is
+// one graph node). The analyzer's own lock is a raw std::mutex on purpose —
+// it is internal, leaf by construction, and must not recurse into the
+// instrumentation.
+
+struct Held {
+  const Mutex* mu;
+  const char* name;
+  LockRank rank;
+};
+
+thread_local std::vector<Held> t_held;
+
+std::mutex g_graph_mu;
+// adj[from][to] = human-readable context recorded when the edge first
+// appeared (the acquiring thread's held stack at that moment).
+std::unordered_map<std::string, std::unordered_map<std::string, std::string>>
+    g_graph;
+
+std::string DescribeStack(const std::vector<Held>& held) {
+  std::ostringstream os;
+  os << "[";
+  for (size_t i = 0; i < held.size(); i++) {
+    os << (i ? " -> " : "") << held[i].name << "(rank "
+       << static_cast<int>(held[i].rank) << ")";
+  }
+  os << "]";
+  return os.str();
+}
+
+// Depth-first path search `from` -> ... -> `to`; fills `path` with the node
+// sequence when found. Graph lock held by caller.
+bool FindPath(const std::string& from, const std::string& to,
+              std::vector<std::string>& path) {
+  path.push_back(from);
+  if (from == to) {
+    return true;
+  }
+  auto it = g_graph.find(from);
+  if (it != g_graph.end()) {
+    for (const auto& [next, ctx] : it->second) {
+      // The graph is tiny (one node per distinct mutex name in the code
+      // base), so the O(paths) walk without a visited set cannot blow up:
+      // edges are only ever inserted when they close no cycle.
+      bool revisit = false;
+      for (const std::string& seen : path) {
+        revisit = revisit || seen == next;
+      }
+      if (!revisit && FindPath(next, to, path)) {
+        return true;
+      }
+    }
+  }
+  path.pop_back();
+  return false;
+}
+
+[[noreturn]] void FailHierarchy(const std::string& detail) {
+  internal::ContractFailure(__FILE__, __LINE__, "NYX_CHECK", "lock-hierarchy")
+      << detail;
+  __builtin_unreachable();  // ~ContractFailure aborts
+}
+
+// Rank + graph checks, run *before* blocking on the mutex so a would-be
+// deadlock is reported instead of hung on.
+void PreAcquire(const Mutex* mu) {
+  for (const Held& h : t_held) {
+    if (h.mu == mu) {
+      FailHierarchy("recursive acquisition of '" + std::string(mu->name()) +
+                    "'; held stack " + DescribeStack(t_held));
+    }
+  }
+  if (mu->rank() != LockRank::kAny) {
+    for (const Held& h : t_held) {
+      if (h.rank != LockRank::kAny && h.rank >= mu->rank()) {
+        FailHierarchy("rank inversion: acquiring '" + std::string(mu->name()) +
+                      "' (rank " + std::to_string(static_cast<int>(mu->rank())) +
+                      ") while holding '" + h.name + "' (rank " +
+                      std::to_string(static_cast<int>(h.rank)) +
+                      "); held stack " + DescribeStack(t_held));
+      }
+    }
+  }
+  if (t_held.empty()) {
+    return;
+  }
+  const std::string to = mu->name();
+  const std::string acquirer_stack = DescribeStack(t_held);
+  std::lock_guard<std::mutex> g(g_graph_mu);
+  for (const Held& h : t_held) {
+    const std::string from = h.name;
+    if (from == to) {
+      continue;  // distinct instances sharing a name: not orderable by name
+    }
+    auto& out_edges = g_graph[from];
+    if (out_edges.count(to)) {
+      continue;  // already recorded (and therefore already cycle-checked)
+    }
+    // Would from -> to close a cycle? Look for an existing reverse path.
+    std::vector<std::string> path;
+    if (FindPath(to, from, path)) {
+      std::ostringstream os;
+      os << "acquired-after cycle: acquiring '" << to << "' while holding '"
+         << from << "', but the reverse order is already on record:";
+      for (size_t i = 0; i + 1 < path.size(); i++) {
+        os << "\n  " << path[i] << " -> " << path[i + 1] << "  (first seen with "
+           << g_graph[path[i]][path[i + 1]] << ")";
+      }
+      os << "\nthis thread now holds " << acquirer_stack;
+      FailHierarchy(os.str());
+    }
+    out_edges.emplace(to, acquirer_stack + " acquiring " + to);
+  }
+}
+
+void PostAcquire(const Mutex* mu) {
+  t_held.push_back(Held{mu, mu->name(), mu->rank()});
+}
+
+void PreRelease(const Mutex* mu) {
+  for (size_t i = t_held.size(); i > 0; i--) {
+    if (t_held[i - 1].mu == mu) {
+      t_held.erase(t_held.begin() + (i - 1));
+      return;
+    }
+  }
+  FailHierarchy("releasing '" + std::string(mu->name()) +
+                "' which this thread does not hold; held stack " +
+                DescribeStack(t_held));
+}
+
+}  // namespace
+
+bool LockDebugEnabled() {
+  int v = g_lock_debug.load(std::memory_order_relaxed);
+  if (v < 0) {
+#ifdef NDEBUG
+    bool on = false;
+#else
+    bool on = true;
+#endif
+    if (const char* env = std::getenv("NYX_LOCK_DEBUG"); env != nullptr && env[0] != '\0') {
+      on = env[0] != '0';
+    }
+    v = on ? 1 : 0;
+    g_lock_debug.store(v, std::memory_order_relaxed);
+  }
+  return v == 1;
+}
+
+namespace internal {
+void SetLockDebugForTest(bool enabled) {
+  g_lock_debug.store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+}  // namespace internal
+
+SyncStats GetSyncStats() {
+  SyncStats out;
+  out.acquisitions = g_acquisitions.v.load(std::memory_order_relaxed);
+  out.contended = g_contended.v.load(std::memory_order_relaxed);
+  return out;
+}
+
+void ResetSyncStats() {
+  g_acquisitions.v.store(0, std::memory_order_relaxed);
+  g_contended.v.store(0, std::memory_order_relaxed);
+}
+
+void Mutex::Lock() {
+  const bool debug = LockDebugEnabled();
+  if (debug) {
+    PreAcquire(this);
+  }
+  if (!mu_.try_lock()) {
+    g_contended.v.fetch_add(1, std::memory_order_relaxed);
+    mu_.lock();
+  }
+  g_acquisitions.v.fetch_add(1, std::memory_order_relaxed);
+  if (debug) {
+    PostAcquire(this);
+  }
+}
+
+void Mutex::Unlock() {
+  if (LockDebugEnabled()) {
+    PreRelease(this);
+  }
+  mu_.unlock();
+}
+
+}  // namespace nyx

@@ -7,6 +7,7 @@
 namespace nyx {
 
 bool Corpus::Add(Program program, uint64_t vtime_ns, size_t packet_count, double found_at_vsec) {
+  NYX_DCHECK(thread_checker_.CalledOnValidThread());
   program.StripSnapshotMarkers();
   if (spec_ != nullptr) {
     const spec::Result verdict = spec::Verify(program, *spec_);
@@ -34,6 +35,7 @@ double Corpus::EntryWeight(const CorpusEntry& e) {
 }
 
 CorpusEntry& Corpus::Pick(Rng& rng) {
+  NYX_DCHECK(thread_checker_.CalledOnValidThread());
   // Tournament selection over the cached weights: sample a few candidates,
   // keep the best-scoring.
   size_t best = rng.Below(entries_.size());
@@ -50,6 +52,7 @@ CorpusEntry& Corpus::Pick(Rng& rng) {
 }
 
 void Corpus::SetVtime(size_t i, uint64_t vtime_ns) {
+  NYX_DCHECK(thread_checker_.CalledOnValidThread());
   CorpusEntry& e = entries_[i];
   e.vtime_ns = vtime_ns;
   const double fresh = EntryWeight(e);

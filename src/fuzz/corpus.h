@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "src/common/rng.h"
+#include "src/common/sync.h"
 #include "src/fuzz/policy.h"
 #include "src/spec/program.h"
 
@@ -70,6 +71,11 @@ class Corpus {
   const Spec* spec_ = nullptr;
   std::deque<CorpusEntry> entries_;
   double weight_sum_ = 0.0;
+  // The queue is worker-owned, never locked: one NyxFuzzer mutates it on
+  // one thread start-to-finish (DESIGN.md §8.1). Frontier imports happen on
+  // that same thread after ExchangeSync returns. Debug builds verify the
+  // single-thread claim on every mutating entry point.
+  ThreadChecker thread_checker_;
 };
 
 }  // namespace nyx

@@ -20,6 +20,9 @@
 #include <cstdint>
 #include <cstring>
 
+#include "src/common/check.h"
+#include "src/common/sync.h"
+
 namespace nyx {
 
 inline constexpr size_t kCovMapSize = 1 << 16;
@@ -47,6 +50,9 @@ class CoverageMap {
   // Clears only the groups dirtied since the last Reset — a full 72 KiB
   // clear per exec was a measured hot spot.
   void Reset() {
+    // One affinity check per exec (not per site): the map is worker-owned
+    // and unlocked, which is only sound while exactly one thread writes it.
+    NYX_DCHECK(thread_checker_.CalledOnValidThread());
     for (size_t g = 0; g < kMapGroups; g++) {
       if (map_dirty_[g] != 0) {
         memset(map_.data() + g * kMapGroupBytes, 0, kMapGroupBytes);
@@ -89,15 +95,22 @@ class CoverageMap {
   const std::array<uint8_t, kSiteGroups>& sites_dirty() const { return sites_dirty_; }
 
  private:
-  std::array<uint8_t, kCovMapSize> map_;
-  std::array<uint8_t, kSiteBytes> sites_hit_;
+  // Cache-line-aligned so the per-site increments of two workers' maps can
+  // never straddle a shared line even when the owning objects are adjacent.
+  alignas(kCacheLineSize) std::array<uint8_t, kCovMapSize> map_;
+  alignas(kCacheLineSize) std::array<uint8_t, kSiteBytes> sites_hit_;
   std::array<uint8_t, kMapGroups> map_dirty_;
   std::array<uint8_t, kSiteGroups> sites_dirty_;
   uint32_t prev_loc_ = 0;
+  ThreadChecker thread_checker_;
 };
 
 // Campaign-global accumulation: virgin bits for edge+hitcount novelty, site
 // union for branch-coverage reporting.
+//
+// Ownership is context-dependent, so no ThreadChecker here: each fuzzer's
+// instance is worker-owned, while CorpusFrontier::merged_cov_ is written by
+// every departing shard — under the frontier mutex (NYX_GUARDED_BY(mu_)).
 class GlobalCoverage {
  public:
   GlobalCoverage() {

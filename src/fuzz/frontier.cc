@@ -27,7 +27,7 @@ void CorpusFrontier::FlipLocked() {
 
 std::vector<CorpusFrontier::Entry> CorpusFrontier::ExchangeSync(size_t shard,
                                                                 std::vector<Entry> fresh) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   NYX_CHECK_LT(shard, shards_);
   for (Entry& e : fresh) {
     e.origin = shard;
@@ -37,9 +37,11 @@ std::vector<CorpusFrontier::Entry> CorpusFrontier::ExchangeSync(size_t shard,
   const uint64_t gen = generation_;
   if (arrived_ == active_) {
     FlipLocked();
-    cv_.notify_all();
+    cv_.NotifyAll();
   } else {
-    cv_.wait(lock, [&] { return generation_ != gen; });
+    while (generation_ == gen) {
+      cv_.Wait(mu_);
+    }
   }
   std::vector<Entry> imports;
   for (size_t i = next_[shard]; i < log_.size(); i++) {
@@ -52,7 +54,7 @@ std::vector<CorpusFrontier::Entry> CorpusFrontier::ExchangeSync(size_t shard,
 }
 
 void CorpusFrontier::Leave(size_t shard, std::vector<Entry> fresh, const GlobalCoverage& cov) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   NYX_CHECK_LT(shard, shards_);
   for (Entry& e : fresh) {
     e.origin = shard;
@@ -67,17 +69,17 @@ void CorpusFrontier::Leave(size_t shard, std::vector<Entry> fresh, const GlobalC
   // active shard, and a leaving shard never arrives again).
   if (active_ > 0 && arrived_ == active_) {
     FlipLocked();
-    cv_.notify_all();
+    cv_.NotifyAll();
   }
 }
 
 uint64_t CorpusFrontier::generations() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return generation_;
 }
 
 size_t CorpusFrontier::published() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return log_.size();
 }
 

@@ -19,12 +19,11 @@
 #ifndef SRC_FUZZ_FRONTIER_H_
 #define SRC_FUZZ_FRONTIER_H_
 
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <unordered_set>
 #include <vector>
 
+#include "src/common/sync.h"
 #include "src/fuzz/coverage.h"
 #include "src/spec/program.h"
 
@@ -45,37 +44,47 @@ class CorpusFrontier {
   // (the last arriver flips the generation), then returns all log entries
   // this shard has not imported yet, excluding its own. Must not be called
   // after Leave().
-  std::vector<Entry> ExchangeSync(size_t shard, std::vector<Entry> fresh);
+  std::vector<Entry> ExchangeSync(size_t shard, std::vector<Entry> fresh)
+      NYX_EXCLUDES(mu_);
 
   // Final exit: publishes the remaining batch, folds `cov` into the merged
   // coverage, and removes the shard from the barrier. Never blocks.
-  void Leave(size_t shard, std::vector<Entry> fresh, const GlobalCoverage& cov);
+  void Leave(size_t shard, std::vector<Entry> fresh, const GlobalCoverage& cov)
+      NYX_EXCLUDES(mu_);
 
-  // Union of all workers' coverage. Valid once every shard has left
-  // (i.e. after joining the worker threads).
-  const GlobalCoverage& merged_coverage() const { return merged_cov_; }
+  // Union of all workers' coverage. Only valid once every shard has left
+  // (i.e. after joining the worker threads) — at that point no writer
+  // exists, which is an invariant the static analysis cannot see.
+  const GlobalCoverage& merged_coverage() const NYX_NO_THREAD_SAFETY_ANALYSIS {
+    return merged_cov_;
+  }
 
   size_t shards() const { return shards_; }
-  uint64_t generations() const;
-  size_t published() const;
+  uint64_t generations() const NYX_EXCLUDES(mu_);
+  size_t published() const NYX_EXCLUDES(mu_);
 
  private:
   // Appends staged batches to the log in shard order, dropping programs
   // already published (hash dedup — deterministic winner: lowest shard).
-  // Caller holds mu_.
-  void FlipLocked();
+  void FlipLocked() NYX_REQUIRES(mu_);
 
   const size_t shards_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  size_t active_;        // shards that have not Left yet
-  size_t arrived_ = 0;   // shards waiting at the current generation
-  uint64_t generation_ = 0;
-  std::vector<std::vector<Entry>> staged_;  // per shard, pending flip
-  std::vector<Entry> log_;                  // published entries, stable order
-  std::vector<size_t> next_;                // per shard: first unseen log index
-  std::unordered_set<uint64_t> seen_;       // published program hashes
-  GlobalCoverage merged_cov_;
+  // Own cache line: workers hammer this line at every rendezvous while the
+  // entries they stage live right next to it.
+  alignas(kCacheLineSize) mutable Mutex mu_{"frontier.mu", LockRank::kFrontier};
+  CondVar cv_;
+  size_t active_ NYX_GUARDED_BY(mu_);       // shards that have not Left yet
+  size_t arrived_ NYX_GUARDED_BY(mu_) = 0;  // shards waiting at this generation
+  uint64_t generation_ NYX_GUARDED_BY(mu_) = 0;
+  // Per shard, pending flip.
+  std::vector<std::vector<Entry>> staged_ NYX_GUARDED_BY(mu_);
+  // Published entries, stable order.
+  std::vector<Entry> log_ NYX_GUARDED_BY(mu_);
+  // Per shard: first unseen log index.
+  std::vector<size_t> next_ NYX_GUARDED_BY(mu_);
+  // Published program hashes.
+  std::unordered_set<uint64_t> seen_ NYX_GUARDED_BY(mu_);
+  GlobalCoverage merged_cov_ NYX_GUARDED_BY(mu_);
 };
 
 }  // namespace nyx

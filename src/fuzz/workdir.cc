@@ -8,6 +8,7 @@
 
 #include "src/common/check.h"
 #include "src/common/log.h"
+#include "src/common/sync.h"
 #include "src/spec/verify.h"
 
 namespace nyx {
@@ -148,6 +149,15 @@ bool Workdir::SaveCampaign(const CampaignResult& result, const Corpus& corpus) c
           static_cast<unsigned long long>(contracts.soft_failures));
   fprintf(f, "contract_hard    %llu\n",
           static_cast<unsigned long long>(contracts.hard_failures));
+  // Process-wide lock traffic (common/sync.h): how often any annotated
+  // mutex was taken and how often the taker had to block. A contended
+  // count creeping toward the acquisition count means the frontier sync
+  // cadence is too aggressive for the shard count.
+  const SyncStats locks = GetSyncStats();
+  fprintf(f, "lock_acquired    %llu\n",
+          static_cast<unsigned long long>(locks.acquisitions));
+  fprintf(f, "lock_contended   %llu\n",
+          static_cast<unsigned long long>(locks.contended));
   fclose(f);
   return ok;
 }

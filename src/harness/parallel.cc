@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "src/common/hash.h"
+#include "src/common/sync.h"
 #include "src/fuzz/frontier.h"
 #include "src/targets/registry.h"
 
@@ -31,7 +32,10 @@ void ParallelFor(size_t n, size_t jobs, const std::function<void(size_t)>& body)
     }
     return;
   }
-  std::atomic<size_t> next{0};
+  // Own cache line: every worker fetch_adds this counter between bodies,
+  // and the surrounding stack frame (captured by reference below) must not
+  // share the line with it.
+  alignas(kCacheLineSize) std::atomic<size_t> next{0};
   auto worker = [&] {
     for (size_t i = next.fetch_add(1, std::memory_order_relaxed); i < n;
          i = next.fetch_add(1, std::memory_order_relaxed)) {

@@ -6,6 +6,11 @@
 //   raw-rand        libc rand()/srand() outside src/common/rng.h. All
 //                   randomness must flow through the seeded xoshiro Rng so
 //                   campaigns replay deterministically.
+//   raw-sync        std::mutex / std::condition_variable / std::lock_guard /
+//                   std::unique_lock / std::scoped_lock / std::shared_mutex
+//                   outside src/common/sync.{h,cc}. All locking goes through
+//                   the capability-annotated layer so -Wthread-safety and
+//                   the lock-hierarchy analyzer see every acquisition.
 //   include-path    quoted project includes must use the full path from the
 //                   repository root ("src/...").
 //   local-warnings  -Wall/-Wextra/-Wno-* belong in the top-level
@@ -64,6 +69,10 @@ std::string StripLineComment(const std::string& line) {
 void LintSourceFile(const fs::path& root, const fs::path& file) {
   const fs::path rel = fs::relative(file, root);
   const bool rng_impl = rel == fs::path("src/common/rng.h");
+  // The linter itself must spell the banned tokens to ban them.
+  const bool sync_impl = rel == fs::path("src/common/sync.h") ||
+                         rel == fs::path("src/common/sync.cc") ||
+                         rel == fs::path("src/tools/nyx_lint.cc");
 
   std::ifstream in(file);
   std::string line;
@@ -77,6 +86,25 @@ void LintSourceFile(const fs::path& root, const fs::path& file) {
          HasBareCall(code, "random(") || HasBareCall(code, "rand_r("))) {
       Report(rel, lineno, "raw-rand",
              "use nyx::Rng (src/common/rng.h); libc rand breaks replay determinism");
+    }
+
+    if (!sync_impl) {
+      // std::condition_variable also catches std::condition_variable_any;
+      // std::shared_mutex / std::recursive_mutex have no annotated wrapper
+      // on purpose (the lock hierarchy bans reader/writer and re-entrant
+      // locking until a use case earns them).
+      for (const char* primitive :
+           {"std::mutex", "std::condition_variable", "std::lock_guard",
+            "std::unique_lock", "std::scoped_lock", "std::shared_mutex",
+            "std::shared_lock", "std::recursive_mutex"}) {
+        if (code.find(primitive) != std::string::npos) {
+          Report(rel, lineno, "raw-sync",
+                 std::string(primitive) +
+                     " is banned outside src/common/sync.h; use the annotated "
+                     "nyx::Mutex/MutexLock/CondVar layer");
+          break;
+        }
+      }
     }
 
     const size_t inc = code.find("#include \"");

@@ -24,7 +24,11 @@ namespace {
 // thread that also destroys the region — the handler can never touch an
 // object another thread is concurrently deleting.
 constexpr size_t kMaxRegions = 64;
-struct RegionSlot {
+// One cache line per slot: register/unregister CAS over the whole array
+// from many worker threads, and unpadded slots (16 bytes) would put four
+// unrelated workers' claims on one line (false sharing on every campaign
+// setup/teardown).
+struct alignas(kCacheLineSize) RegionSlot {
   std::atomic<GuestMemory*> region{nullptr};
   // pthread_t of the owner, written by the owner right after claiming the
   // slot. Other threads may briefly observe a stale owner and skip the slot
@@ -124,6 +128,8 @@ GuestMemory::GuestMemory(size_t num_pages, TrackingMode mode)
   if (mode_ == TrackingMode::kMprotect) {
     InstallHandlerOnce();
     RegisterRegion(this);
+    // Bind the region to this thread (see thread_checker_ in the header).
+    NYX_DCHECK(thread_checker_.CalledOnValidThread());
   }
 }
 
@@ -147,6 +153,7 @@ void GuestMemory::Protect(uint32_t first_page, size_t count, int prot) {
 }
 
 void GuestMemory::ArmTracking() {
+  NYX_DCHECK(mode_ != TrackingMode::kMprotect || thread_checker_.CalledOnValidThread());
   tracker_.Clear();
   armed_ = true;
   if (mode_ == TrackingMode::kMprotect) {
@@ -162,6 +169,7 @@ void GuestMemory::DisarmTracking() {
 }
 
 void GuestMemory::ReArmDirtyPages() {
+  NYX_DCHECK(mode_ != TrackingMode::kMprotect || thread_checker_.CalledOnValidThread());
   if (mode_ == TrackingMode::kMprotect) {
     // Coalesce runs of consecutive dirty pages into single mprotect calls.
     const uint32_t* stack = tracker_.stack_data();

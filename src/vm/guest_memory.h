@@ -18,6 +18,7 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "src/common/sync.h"
 #include "src/vm/dirty_tracker.h"
 #include "src/vm/page.h"
 
@@ -100,6 +101,11 @@ class GuestMemory {
   // Atomic because HandleFault bumps it from inside the SIGSEGV handler;
   // a plain field lets the compiler cache reads across the faulting writes.
   std::atomic<uint64_t> protect_calls_{0};
+  // A region with mprotect tracking must live its whole life on the thread
+  // that constructed it (the SIGSEGV handler only resolves faults for
+  // regions owned by the faulting thread — DESIGN.md §8.1). Debug builds
+  // check that at every arm/disarm boundary instead of trusting the comment.
+  ThreadChecker thread_checker_;
 };
 
 }  // namespace nyx
