@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/env.h"
 #include "src/common/stats.h"
 #include "src/harness/campaign.h"
 #include "src/harness/parallel.h"
@@ -26,8 +27,7 @@ namespace nyx {
 namespace {
 
 std::vector<std::string> TargetSelection() {
-  const char* env = getenv("NYX_FIG5_TARGETS");
-  if (env != nullptr && strcmp(env, "all") == 0) {
+  if (env::StringOr("NYX_FIG5_TARGETS", "") == "all") {
     std::vector<std::string> all;
     for (const auto& reg : AllTargets()) {
       if (reg.in_profuzzbench) {

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "src/agamotto/agamotto.h"
+#include "src/common/env.h"
 #include "src/harness/table.h"
 #include "src/vm/vm.h"
 
@@ -130,9 +131,10 @@ int main() {
   using namespace nyx;
 
   std::vector<size_t> vm_mbs = {256, 1024};
-  if (const char* env = getenv("NYX_FIG6_VM_MB")) {
+  const std::string vm_mb_env = env::StringOr("NYX_FIG6_VM_MB", "");
+  if (!vm_mb_env.empty()) {
     vm_mbs.clear();
-    for (const char* p = env; *p != '\0';) {
+    for (const char* p = vm_mb_env.c_str(); *p != '\0';) {
       vm_mbs.push_back(strtoul(p, const_cast<char**>(&p), 10));
       while (*p == ' ' || *p == ',') {
         p++;

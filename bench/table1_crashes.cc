@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/env.h"
 #include "src/harness/campaign.h"
 #include "src/harness/parallel.h"
 #include "src/harness/table.h"
@@ -30,10 +31,7 @@
 namespace nyx {
 namespace {
 
-double WallCap() {
-  const char* env = getenv("NYX_WALL");
-  return env != nullptr && atof(env) > 0 ? atof(env) : 15.0;
-}
+double WallCap() { return env::Wall(15.0); }
 
 CampaignSpec CellSpec(const std::string& target, FuzzerKind fuzzer, bool asan) {
   CampaignSpec cs;

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/env.h"
 #include "src/common/stats.h"
 #include "src/harness/campaign.h"
 #include "src/harness/parallel.h"
@@ -66,6 +67,8 @@ int main() {
 
   // Per-fuzzer aggregation across every supported (target, run) cell.
   std::vector<std::vector<double>> per_fuzzer_eps(fuzzers.size());
+  uint64_t pages_audited = 0;
+  uint64_t audit_divergences = 0;
   for (size_t t = 0; t < row_targets.size(); t++) {
     std::vector<std::string> row = {row_targets[t]};
     for (size_t i = 0; i < fuzzers.size(); i++) {
@@ -78,6 +81,8 @@ int main() {
       for (const auto& r : results) {
         eps.push_back(r.execs_per_vsecond);
         per_fuzzer_eps[i].push_back(r.execs_per_vsecond);
+        pages_audited += r.pages_audited;
+        audit_divergences += r.audit_divergences;
       }
       row.push_back(Fmt(Mean(eps), 1) + " +/- " + Fmt(StdDev(eps), 1));
     }
@@ -86,11 +91,8 @@ int main() {
   table.Print();
 
   // Machine-readable summary for CI trend tracking.
-  const char* out_path = getenv("NYX_BENCH_OUT");
-  if (out_path == nullptr) {
-    out_path = "BENCH_throughput.json";
-  }
-  FILE* out = fopen(out_path, "w");
+  const std::string out_path = env::StringOr("NYX_BENCH_OUT", "BENCH_throughput.json");
+  FILE* out = fopen(out_path.c_str(), "w");
   if (out != nullptr) {
     fprintf(out, "{\n");
     fprintf(out, "  \"bench\": \"table3_throughput\",\n");
@@ -107,12 +109,23 @@ int main() {
     fprintf(out, "  }\n");
     fprintf(out, "}\n");
     fclose(out);
-    fprintf(stderr, "[table3] wrote %s (%.1fs wall)\n", out_path, wall_seconds);
+    fprintf(stderr, "[table3] wrote %s (%.1fs wall)\n", out_path.c_str(), wall_seconds);
   } else {
-    fprintf(stderr, "[table3] could not write %s\n", out_path);
+    fprintf(stderr, "[table3] could not write %s\n", out_path.c_str());
   }
 
   printf("\nPaper shape check: Nyx-Net-none is 10x-1000x above the AFL family;\n");
   printf("aggressive >= balanced >= none on most targets.\n");
+
+  // When run with NYX_AUDIT=1 this bench doubles as a whole-matrix
+  // determinism gate: any divergence fails the process so CI goes red.
+  if (env::Audit()) {
+    fprintf(stderr, "[table3] audit: %llu pages compared, %llu divergences\n",
+            static_cast<unsigned long long>(pages_audited),
+            static_cast<unsigned long long>(audit_divergences));
+    if (pages_audited == 0 || audit_divergences > 0) {
+      return 1;
+    }
+  }
   return 0;
 }

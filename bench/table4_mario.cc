@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/env.h"
 #include "src/common/stats.h"
 #include "src/harness/campaign.h"
 #include "src/harness/parallel.h"
@@ -24,14 +25,12 @@
 namespace nyx {
 namespace {
 
-double WallCap() {
-  const char* env = getenv("NYX_WALL");
-  return env != nullptr && atof(env) > 0 ? atof(env) : 20.0;
-}
+double WallCap() { return env::Wall(20.0); }
 
 std::vector<std::string> LevelSelection() {
-  const char* env = getenv("NYX_MARIO_LEVELS");
-  if (env != nullptr && strcmp(env, "all") == 0) {
+  const std::string sel = env::StringOr("NYX_MARIO_LEVELS", "");
+  const char* env = sel.c_str();
+  if (sel == "all") {
     std::vector<std::string> all;
     for (const LevelDef& lv : AllLevels()) {
       all.push_back(lv.name);

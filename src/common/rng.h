@@ -76,6 +76,17 @@ class Rng {
 
   uint8_t NextByte() { return static_cast<uint8_t>(Next()); }
 
+  // Order-sensitive digest of the generator state, for the snapshot
+  // divergence auditor: two streams that consumed the same draws from the
+  // same seed hash identically.
+  uint64_t StateHash() const {
+    uint64_t h = 0xcbf29ce484222325ull;
+    for (uint64_t word : state_) {
+      h = (h ^ word) * 0x100000001b3ull;
+    }
+    return h;
+  }
+
   template <typename T>
   const T& Choice(const std::vector<T>& v) {
     return v[Below(v.size())];

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "src/common/check.h"
+#include "src/common/env.h"
 
 namespace nyx {
 namespace {
@@ -164,14 +165,11 @@ bool LockDebugEnabled() {
   int v = g_lock_debug.load(std::memory_order_relaxed);
   if (v < 0) {
 #ifdef NDEBUG
-    bool on = false;
+    const bool def = false;
 #else
-    bool on = true;
+    const bool def = true;
 #endif
-    if (const char* env = std::getenv("NYX_LOCK_DEBUG"); env != nullptr && env[0] != '\0') {
-      on = env[0] != '0';
-    }
-    v = on ? 1 : 0;
+    v = env::LockDebug(def) ? 1 : 0;
     g_lock_debug.store(v, std::memory_order_relaxed);
   }
   return v == 1;

@@ -15,43 +15,70 @@ NyxEngine::NyxEngine(const EngineConfig& config, TargetFactory factory, const Sp
   net_.AttachClock(&clock_, &config_.cost);
   target_ = factory();
   target_info_ = target_->info();
+  if (config_.audit) {
+    auditor_ = std::make_unique<DivergenceAuditor>();
+  }
+
+  // Snapshot-state inventory (DESIGN.md §10): every piece of host-side state
+  // that a restore must bring back is registered here, and the snapshot aux
+  // blob is assembled from these hooks — state outside the registry cannot
+  // ride along even by accident.
+  SnapshotStateRegistry::HostState netemu_state;
+  netemu_state.name = "netemu.socket_table";
+  netemu_state.owner = "src/netemu/netemu.cc";
+  netemu_state.capture = [this] { return net_.Serialize(); };
+  netemu_state.restore = [this](const Bytes& blob) { return net_.Deserialize(blob); };
+  state_registry_.RegisterHostState(std::move(netemu_state));
+
+  SnapshotStateRegistry::HostState interp_state;
+  interp_state.name = "engine.interp";
+  interp_state.owner = "src/fuzz/engine.cc";
+  interp_state.capture = [this] {
+    Bytes out;
+    PutLe32(out, static_cast<uint32_t>(value_conns_.size()));
+    for (int c : value_conns_) {
+      PutLe32(out, static_cast<uint32_t>(c));
+    }
+    PutLe32(out, resume_op_);
+    PutLe32(out, static_cast<uint32_t>(connection_ops_seen_));
+    return out;
+  };
+  interp_state.restore = [this](const Bytes& blob) {
+    size_t off = 0;
+    const uint32_t nvals = ReadLe32(blob, off);
+    off += 4;
+    if (blob.size() != 4 + 4ull * nvals + 8) {
+      return false;
+    }
+    value_conns_.clear();
+    for (uint32_t i = 0; i < nvals; i++) {
+      value_conns_.push_back(static_cast<int>(ReadLe32(blob, off)));
+      off += 4;
+    }
+    resume_op_ = ReadLe32(blob, off);
+    off += 4;
+    connection_ops_seen_ = ReadLe32(blob, off);
+    return true;
+  };
+  state_registry_.RegisterHostState(std::move(interp_state));
+
+  // Per-exec ephemerals: never snapshotted, asserted back to their idle
+  // state between executions where an invariant exists.
+  state_registry_.DeclareEphemeral("engine.exec_rng", "src/fuzz/engine.cc");
+  state_registry_.DeclareEphemeral("guest.fault_jmp", "src/fuzz/guest.cc",
+                                   [] { return FaultGuardIdle(); });
+  state_registry_.DeclareEphemeral("coverage.trace_map", "src/fuzz/coverage.h");
 }
 
-Bytes NyxEngine::SerializeInterpState(uint32_t resume_op) const {
-  Bytes out;
-  const Bytes net_blob = net_.Serialize();
-  PutLe32(out, static_cast<uint32_t>(net_blob.size()));
-  Append(out, net_blob);
-  PutLe32(out, static_cast<uint32_t>(value_conns_.size()));
-  for (int c : value_conns_) {
-    PutLe32(out, static_cast<uint32_t>(c));
-  }
-  PutLe32(out, resume_op);
-  PutLe32(out, static_cast<uint32_t>(connection_ops_seen_));
-  return out;
+Bytes NyxEngine::SerializeInterpState(uint32_t resume_op) {
+  resume_op_ = resume_op;
+  return state_registry_.CaptureAll();
 }
 
 void NyxEngine::RestoreInterpState(const Bytes& aux) {
-  size_t off = 0;
-  const uint32_t net_len = ReadLe32(aux, off);
-  off += 4;
   // Aux blobs are engine-produced; a mismatch means corruption. Fail hard
-  // rather than reading out of bounds.
-  NYX_CHECK_LE(off + net_len, aux.size()) << "corrupt snapshot aux blob";
-  Bytes net_blob(aux.begin() + static_cast<long>(off),
-                 aux.begin() + static_cast<long>(off + net_len));
-  net_.Deserialize(net_blob);
-  off += net_len;
-  const uint32_t nvals = ReadLe32(aux, off);
-  off += 4;
-  value_conns_.clear();
-  for (uint32_t i = 0; i < nvals; i++) {
-    value_conns_.push_back(static_cast<int>(ReadLe32(aux, off)));
-    off += 4;
-  }
-  resume_op_ = ReadLe32(aux, off);
-  off += 4;
-  connection_ops_seen_ = ReadLe32(aux, off);
+  // rather than restoring partial state.
+  NYX_CHECK(state_registry_.RestoreAll(aux)) << "corrupt snapshot aux blob";
 }
 
 void NyxEngine::Boot() {
@@ -61,6 +88,32 @@ void NyxEngine::Boot() {
   ctx.ReseedRng(config_.seed);
   target_->Init(ctx);
   GuardedStep(*target_, ctx);
+
+  // Name the guest-physical layout so the divergence auditor can attribute
+  // a diverging page to its owner (guest.h layout + the target's declared
+  // state-struct size).
+  const uint64_t mem_bytes = vm_->mem().size_bytes();
+  state_registry_.RegisterGuestRegion("guest.reserved", 0, kStateBase);
+  const uint64_t state_window = kHeapBase - kStateBase;
+  const uint64_t state_bytes =
+      target_info_.state_bytes > 0 && target_info_.state_bytes < state_window
+          ? target_info_.state_bytes
+          : state_window;
+  state_registry_.RegisterGuestRegion("target." + target_info_.name + ".state", kStateBase,
+                                      state_bytes);
+  if (state_bytes < state_window) {
+    state_registry_.RegisterGuestRegion("guest.state_slack", kStateBase + state_bytes,
+                                        state_window - state_bytes);
+  }
+  if (mem_bytes > kHeapBase) {
+    const uint64_t heap_end = mem_bytes < kScratchBase ? mem_bytes : kScratchBase;
+    state_registry_.RegisterGuestRegion("guest.heap", kHeapBase, heap_end - kHeapBase);
+  }
+  if (mem_bytes > kScratchBase) {
+    state_registry_.RegisterGuestRegion("guest.scratch", kScratchBase,
+                                        mem_bytes - kScratchBase);
+  }
+
   // The target is now parked on Accept/Recv/Poll over the attack surface:
   // the automatic root snapshot point, "after starting the process and
   // directly before the first byte of input data is passed to the target".
@@ -84,9 +137,47 @@ int NyxEngine::ResolveConn(const Op& op) const {
 }
 
 ExecResult NyxEngine::Run(const Program& input, CoverageMap& cov) {
+  execs_++;
+  if (auditor_ == nullptr) {
+    return RunInternal(input, cov);
+  }
+
+  // Audit mode (NYX_AUDIT=1): run the program, replay it down the identical
+  // path, and compare end states. See src/fuzz/audit.h for the oracle.
+  ExecResult result_a = RunInternal(input, cov);
+  const StateFingerprint fp_a = CaptureFingerprint(cov, result_a);
+
+  // Force the replay down run A's exact path: if A started from the root it
+  // may have created an incremental snapshot mid-run, and the replay must
+  // not shortcut through it. (If A itself resumed from the incremental, the
+  // replay reuses it — nothing invalidated it in between.)
+  if (!result_a.used_incremental) {
+    inc_hash_valid_ = false;
+  }
+  CoverageMap audit_cov;
+  ExecResult result_b = RunInternal(input, audit_cov);
+  const StateFingerprint fp_b = CaptureFingerprint(audit_cov, result_b);
+  auditor_->CompareReplay(fp_a, fp_b, state_registry_);
+  auditor_->ReportEphemeralFailures(state_registry_.CheckEphemeral());
+
+  // Cross-restore check: if the replay recreated the incremental snapshot,
+  // a third execution takes the restore-and-resume shortcut through it and
+  // must land exactly where the full replay did. Comparing against run B's
+  // own just-created snapshot keeps the per-exec RNG seeding consistent.
+  if (!result_a.used_incremental && result_b.created_incremental && vm_->has_incremental()) {
+    audit_cov.Reset();
+    ExecResult result_c = RunInternal(input, audit_cov);
+    if (result_c.used_incremental) {
+      const StateFingerprint fp_c = CaptureFingerprint(audit_cov, result_c);
+      auditor_->CompareCrossRestore(fp_b, fp_c, state_registry_);
+    }
+  }
+  return result_a;
+}
+
+ExecResult NyxEngine::RunInternal(const Program& input, CoverageMap& cov) {
   ExecResult result;
   const uint64_t t0 = clock_.now_ns();
-  execs_++;
 
   const auto marker = input.SnapshotMarkerPos();
   const uint64_t prefix_hash = marker.has_value() ? input.OpsHash(*marker) : 0;
@@ -169,7 +260,34 @@ ExecResult NyxEngine::Run(const Program& input, CoverageMap& cov) {
   result.crash = ctx.crash();
   result.ijon_max = ctx.IjonValue(0);
   result.vtime_ns = clock_.now_ns() - t0;
+  last_exec_rng_hash_ = ctx.rng().StateHash();
   return result;
+}
+
+StateFingerprint NyxEngine::CaptureFingerprint(const CoverageMap& cov,
+                                               const ExecResult& result) {
+  StateFingerprint fp;
+  GuestMemory& mem = vm_->mem();
+  const size_t pages = mem.size_bytes() / kPageSize;
+  fp.page_hashes.reserve(pages);
+  for (size_t p = 0; p < pages; p++) {
+    fp.page_hashes.push_back(Fnv1a64(mem.base() + p * kPageSize, kPageSize));
+  }
+  const DeviceState& dev = vm_->devices();
+  for (size_t d = 0; d < dev.device_count(); d++) {
+    fp.device_hashes.emplace_back(dev.name(d),
+                                  Fnv1a64(dev.regs(d).data(), dev.regs(d).size()));
+  }
+  fp.disk_hash = Fnv1a64(vm_->disk().SectorPtr(0), vm_->disk().size_bytes());
+  fp.host_hashes = SnapshotStateRegistry::EntryHashes(state_registry_.CaptureAll());
+  fp.rng_hash = last_exec_rng_hash_;
+  fp.edge_hash = Fnv1a64(cov.map().data(), cov.map().size());
+  fp.sites.assign(cov.sites_hit().begin(), cov.sites_hit().end());
+  fp.crashed = result.crash.crashed;
+  fp.crash_id = result.crash.crash_id;
+  fp.packets_delivered = result.packets_delivered;
+  fp.ijon_max = result.ijon_max;
+  return fp;
 }
 
 void NyxEngine::DropIncremental() {

@@ -24,13 +24,16 @@
 #include <cstdint>
 #include <memory>
 
+#include "src/common/env.h"
 #include "src/common/rng.h"
 #include "src/common/vclock.h"
+#include "src/fuzz/audit.h"
 #include "src/fuzz/coverage.h"
 #include "src/fuzz/guest.h"
 #include "src/netemu/netemu.h"
 #include "src/spec/program.h"
 #include "src/spec/spec.h"
+#include "src/vm/state_registry.h"
 #include "src/vm/vm.h"
 
 namespace nyx {
@@ -41,6 +44,11 @@ struct EngineConfig {
   bool asan = false;
   // Deterministic layout/noise seed mixed with the input hash each run.
   uint64_t seed = 1;
+  // Snapshot divergence auditing (NYX_AUDIT=1, src/fuzz/audit.h): every
+  // execution runs twice (three times when it creates an incremental
+  // snapshot) and end states are compared. Debug oracle — triples per-exec
+  // virtual cost.
+  bool audit = env::Audit();
 };
 
 struct ExecResult {
@@ -76,8 +84,17 @@ class NyxEngine {
   // machines and for tests).
   std::vector<Bytes> LastResponses() const;
 
+  // Snapshot-state inventory: every piece of host-side state that must
+  // survive a restore is registered here; the snapshot aux blob is built
+  // from it (DESIGN.md §10).
+  SnapshotStateRegistry& state_registry() { return state_registry_; }
+  // Null unless EngineConfig.audit (NYX_AUDIT=1).
+  DivergenceAuditor* auditor() { return auditor_.get(); }
+
  private:
-  Bytes SerializeInterpState(uint32_t resume_op) const;
+  ExecResult RunInternal(const Program& input, CoverageMap& cov);
+  StateFingerprint CaptureFingerprint(const CoverageMap& cov, const ExecResult& result);
+  Bytes SerializeInterpState(uint32_t resume_op);
   void RestoreInterpState(const Bytes& aux);
   int ResolveConn(const Op& op) const;
 
@@ -89,6 +106,9 @@ class NyxEngine {
   std::unique_ptr<Target> target_;
   TargetInfo target_info_;
   bool booted_ = false;
+  SnapshotStateRegistry state_registry_;
+  std::unique_ptr<DivergenceAuditor> auditor_;
+  uint64_t last_exec_rng_hash_ = 0;
 
   // Interpreter state (snapshot-managed via aux blobs).
   std::vector<int> value_conns_;  // value id -> connection handle

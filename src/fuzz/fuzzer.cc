@@ -215,6 +215,10 @@ CampaignResult NyxFuzzer::Run(const CampaignLimits& limits) {
   result.incremental_restores = engine_.vm_stats().incremental_restores;
   result.root_restores = engine_.vm_stats().root_restores;
   result.contract_soft_failures = GetThreadContractCounters().soft_failures - soft_at_start;
+  if (engine_.auditor() != nullptr) {
+    result.pages_audited = engine_.auditor()->stats().pages_audited;
+    result.audit_divergences = engine_.auditor()->stats().divergences;
+  }
   if (result.ijon_goal_vsec < 0 && limits.ijon_goal != 0 &&
       result.ijon_best >= limits.ijon_goal) {
     result.ijon_goal_vsec = result.vtime_seconds;

@@ -50,6 +50,10 @@ struct CampaignResult {
   uint64_t incremental_restores = 0;
   uint64_t root_restores = 0;
   uint64_t contract_soft_failures = 0;  // NYX_EXPECT misses (common/check.h)
+  // Snapshot divergence audit (NYX_AUDIT=1, src/fuzz/audit.h); zero unless
+  // the auditor is enabled.
+  uint64_t pages_audited = 0;
+  uint64_t audit_divergences = 0;
   TimeSeries coverage_over_time;  // (vtime seconds, branch coverage)
   std::map<uint32_t, CrashRecord> crashes;
   double first_crash_vsec = -1.0;

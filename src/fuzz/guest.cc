@@ -5,6 +5,8 @@
 
 #include <cstring>
 
+#include "src/vm/state_registry.h"
+
 namespace nyx {
 
 namespace {
@@ -123,7 +125,11 @@ namespace {
 // own Step() calls, and SIGSEGV is delivered on the faulting thread, so
 // thread_local state routes every fault back to the guard that armed it.
 // The flag is sig_atomic_t because it is read from the SIGSEGV handler.
+// Re-armed around every Step, never captured by a snapshot; FaultGuardIdle
+// is the registry's verify hook for the invariant.
+NYX_EXEC_EPHEMERAL("guest.fault_jmp");
 thread_local sigjmp_buf t_step_jmp;
+NYX_EXEC_EPHEMERAL("guest.fault_armed");
 thread_local volatile std::sig_atomic_t t_step_armed = 0;
 
 bool OnUnresolvedFault() {
@@ -140,7 +146,12 @@ struct HookInstaller {
 
 }  // namespace
 
+bool FaultGuardIdle() { return t_step_armed == 0; }
+
 bool GuardedStep(Target& target, GuestContext& ctx) {
+  // Monotonic init-once state: set on first use, immutable afterwards, so it
+  // can never diverge across executions.
+  NYX_EXEC_EPHEMERAL("guest.fault_hook_installer");
   static HookInstaller installer;
   if (sigsetjmp(t_step_jmp, 1) != 0) {
     // Landed here from the SIGSEGV handler: the target walked off the map.

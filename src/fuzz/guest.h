@@ -158,6 +158,12 @@ struct TargetInfo {
   uint32_t startup_dirty_pages = 4;
   // Client targets Connect() out instead of accepting.
   bool is_client = false;
+  // Size of the target's fixed state struct at kStateBase (sizeof(State)).
+  // The engine registers it as a named guest region in the
+  // SnapshotStateRegistry so the divergence auditor can attribute a
+  // diverging page to this target's state rather than "somewhere in RAM".
+  // 0 = undeclared; the whole state window is attributed to the target.
+  size_t state_bytes = 0;
 };
 
 class Target {
@@ -187,6 +193,12 @@ inline constexpr uint32_t kCrashWildSegv = 0x5e97f417;
 // by the target is converted into a kCrashWildSegv crash on `ctx` instead of
 // killing the fuzzer. Returns false if a fault was caught.
 bool GuardedStep(Target& target, GuestContext& ctx);
+
+// True when the calling thread's fault guard is disarmed — the invariant
+// the SnapshotStateRegistry's "guest.fault_jmp" ephemeral declaration
+// asserts between executions (the guard must never leak an armed jump
+// buffer across an exec boundary).
+bool FaultGuardIdle();
 
 }  // namespace nyx
 

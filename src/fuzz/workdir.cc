@@ -153,6 +153,13 @@ bool Workdir::SaveCampaign(const CampaignResult& result, const Corpus& corpus) c
   // mutex was taken and how often the taker had to block. A contended
   // count creeping toward the acquisition count means the frontier sync
   // cadence is too aggressive for the shard count.
+  // Snapshot divergence audit (zeros unless the campaign ran with
+  // NYX_AUDIT=1): pages compared and mismatches found by the run-twice
+  // oracle. Any nonzero divergence count is a determinism bug.
+  fprintf(f, "pages_audited    %llu\n",
+          static_cast<unsigned long long>(result.pages_audited));
+  fprintf(f, "divergences      %llu\n",
+          static_cast<unsigned long long>(result.audit_divergences));
   const SyncStats locks = GetSyncStats();
   fprintf(f, "lock_acquired    %llu\n",
           static_cast<unsigned long long>(locks.acquisitions));

@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 
+#include "src/common/env.h"
 #include "src/harness/parallel.h"
 #include "src/mario/mario_target.h"
 #include "src/targets/registry.h"
@@ -138,20 +139,8 @@ std::vector<CampaignResult> RepeatCampaign(CampaignSpec spec, size_t runs) {
   return std::move(grid.front());
 }
 
-size_t EvalRuns(size_t def_runs) {
-  const char* env = std::getenv("NYX_RUNS");
-  if (env != nullptr && atoi(env) > 0) {
-    return static_cast<size_t>(atoi(env));
-  }
-  return def_runs;
-}
+size_t EvalRuns(size_t def_runs) { return env::Runs(def_runs); }
 
-double EvalVtime(double def_vtime) {
-  const char* env = std::getenv("NYX_VTIME");
-  if (env != nullptr && atof(env) > 0) {
-    return atof(env);
-  }
-  return def_vtime;
-}
+double EvalVtime(double def_vtime) { return env::Vtime(def_vtime); }
 
 }  // namespace nyx

@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <thread>
 
+#include "src/common/env.h"
 #include "src/common/hash.h"
 #include "src/common/sync.h"
 #include "src/fuzz/frontier.h"
@@ -13,12 +14,8 @@
 namespace nyx {
 
 size_t EvalJobs() {
-  const char* env = std::getenv("NYX_JOBS");
-  if (env != nullptr && atoi(env) > 0) {
-    return static_cast<size_t>(atoi(env));
-  }
   const unsigned hw = std::thread::hardware_concurrency();
-  return hw > 0 ? hw : 1;
+  return env::Jobs(hw > 0 ? hw : 1);
 }
 
 void ParallelFor(size_t n, size_t jobs, const std::function<void(size_t)>& body) {
@@ -164,6 +161,8 @@ ShardedOutcome RunShardedCampaign(const CampaignSpec& cs, size_t shards) {
     m.incremental_restores += r.incremental_restores;
     m.root_restores += r.root_restores;
     m.contract_soft_failures += r.contract_soft_failures;
+    m.pages_audited += r.pages_audited;
+    m.audit_divergences += r.audit_divergences;
     m.ijon_best = std::max(m.ijon_best, r.ijon_best);
     for (const auto& [id, rec] : r.crashes) {
       MergeCrash(m, id, rec);

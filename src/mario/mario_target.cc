@@ -31,6 +31,7 @@ class MarioTarget final : public Target {
     ti.request_ns = 0;            // charged per frame instead
     ti.aflnet_extra_ns = 0;
     ti.startup_dirty_pages = 20;
+    ti.state_bytes = sizeof(State);
     return ti;
   }
 

@@ -47,6 +47,7 @@ class Bftpd final : public Target {
     ti.request_ns = kRequestNs;
     ti.aflnet_extra_ns = kAflnetExtraNs;
     ti.startup_dirty_pages = 10;
+    ti.state_bytes = sizeof(State);
     return ti;
   }
 

@@ -57,6 +57,7 @@ class Dcmtk final : public Target {
     ti.request_ns = kRequestNs;
     ti.aflnet_extra_ns = kAflnetExtraNs;
     ti.startup_dirty_pages = 10;
+    ti.state_bytes = sizeof(State);
     return ti;
   }
 

@@ -39,6 +39,7 @@ class Dnsmasq final : public Target {
     ti.request_ns = kRequestNs;
     ti.aflnet_extra_ns = kAflnetExtraNs;
     ti.startup_dirty_pages = 24;
+    ti.state_bytes = sizeof(State);
     return ti;
   }
 

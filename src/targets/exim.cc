@@ -58,6 +58,7 @@ class Exim final : public Target {
     ti.request_ns = kRequestNs;
     ti.aflnet_extra_ns = kAflnetExtraNs;
     ti.startup_dirty_pages = 12;
+    ti.state_bytes = sizeof(State);
     return ti;
   }
 

@@ -66,6 +66,7 @@ class FirefoxIpc final : public Target {
     ti.request_ns = kRequestNs;
     ti.aflnet_extra_ns = kAflnetExtraNs;
     ti.startup_dirty_pages = 64;
+    ti.state_bytes = sizeof(State);
     return ti;
   }
 

@@ -42,6 +42,7 @@ class ForkedDaapd final : public Target {
     ti.request_ns = kRequestNs;
     ti.aflnet_extra_ns = kAflnetExtraNs;
     ti.startup_dirty_pages = 48;
+    ti.state_bytes = sizeof(State);
     return ti;
   }
 

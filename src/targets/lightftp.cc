@@ -58,6 +58,7 @@ class LightFtp final : public Target {
     ti.request_ns = kRequestNs;
     ti.aflnet_extra_ns = 95'000'000;
     ti.startup_dirty_pages = 6;
+    ti.state_bytes = sizeof(State);
     return ti;
   }
 

@@ -50,6 +50,7 @@ class Lighttpd final : public Target {
     ti.request_ns = kRequestNs;
     ti.aflnet_extra_ns = kAflnetExtraNs;
     ti.startup_dirty_pages = 8;
+    ti.state_bytes = sizeof(State);
     return ti;
   }
 

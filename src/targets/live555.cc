@@ -46,6 +46,7 @@ class Live555 final : public Target {
     ti.request_ns = kRequestNs;
     ti.aflnet_extra_ns = kAflnetExtraNs;
     ti.startup_dirty_pages = 14;
+    ti.state_bytes = sizeof(State);
     return ti;
   }
 

@@ -53,6 +53,7 @@ class MysqlClient final : public Target {
     ti.request_ns = kRequestNs;
     ti.aflnet_extra_ns = kAflnetExtraNs;
     ti.startup_dirty_pages = 6;
+    ti.state_bytes = sizeof(State);
     return ti;
   }
 

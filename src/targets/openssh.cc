@@ -52,6 +52,7 @@ class OpenSsh final : public Target {
     ti.request_ns = kRequestNs;
     ti.aflnet_extra_ns = kAflnetExtraNs;
     ti.startup_dirty_pages = 8;
+    ti.state_bytes = sizeof(State);
     return ti;
   }
 

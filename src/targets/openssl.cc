@@ -49,6 +49,7 @@ class OpenSsl final : public Target {
     ti.request_ns = kRequestNs;
     ti.aflnet_extra_ns = kAflnetExtraNs;
     ti.startup_dirty_pages = 20;
+    ti.state_bytes = sizeof(State);
     return ti;
   }
 

@@ -56,6 +56,7 @@ class ProFtpd final : public Target {
     ti.request_ns = kRequestNs;
     ti.aflnet_extra_ns = kAflnetExtraNs;
     ti.startup_dirty_pages = 16;
+    ti.state_bytes = sizeof(State);
     return ti;
   }
 

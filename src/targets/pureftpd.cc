@@ -48,6 +48,7 @@ class PureFtpd final : public Target {
     ti.request_ns = kRequestNs;
     ti.aflnet_extra_ns = kAflnetExtraNs;
     ti.startup_dirty_pages = 8;
+    ti.state_bytes = sizeof(State);
     return ti;
   }
 

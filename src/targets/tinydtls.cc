@@ -48,6 +48,7 @@ class TinyDtls final : public Target {
     ti.request_ns = kRequestNs;
     ti.aflnet_extra_ns = kAflnetExtraNs;
     ti.startup_dirty_pages = 4;
+    ti.state_bytes = sizeof(State);
     return ti;
   }
 

@@ -1,6 +1,8 @@
 // Repo-specific lint checks that clang-tidy cannot express. Run as a ctest
 // (`nyx_lint <repo root>`); exits nonzero and prints file:line for every
-// violation.
+// violation. `nyx_lint --self-test` runs the rules over embedded fixtures
+// (the negative tests: each rule must fire on its bad example and stay
+// silent on the annotated/allowlisted one).
 //
 // Rules:
 //   raw-rand        libc rand()/srand() outside src/common/rng.h. All
@@ -11,6 +13,22 @@
 //                   outside src/common/sync.{h,cc}. All locking goes through
 //                   the capability-annotated layer so -Wthread-safety and
 //                   the lock-hierarchy analyzer see every acquisition.
+//   raw-time        std::chrono / time() / clock_gettime / gettimeofday in
+//                   src/ outside the harness and the two wall-clock budget
+//                   sites. Fuzzing logic runs on the virtual clock
+//                   (src/common/vclock.h); wall-clock reads anywhere else
+//                   make executions unreproducible.
+//   raw-env         getenv outside src/common/env.cc. Configuration comes
+//                   in through the typed accessors in src/common/env.h so
+//                   every knob is documented and greppable in one place.
+//   snapshot-state  mutable file-scope / function-local statics,
+//                   thread_locals and g_ globals in the snapshot-relevant
+//                   directories (src/vm, src/netemu, src/targets, src/mario,
+//                   src/fuzz) must carry NYX_SNAPSHOT_STATE (registered in
+//                   the SnapshotStateRegistry with capture/restore hooks) or
+//                   NYX_EXEC_EPHEMERAL (re-initialized every exec). State
+//                   with neither annotation survives a snapshot restore
+//                   unrestored — the classic irreproducible-execution bug.
 //   include-path    quoted project includes must use the full path from the
 //                   repository root ("src/...").
 //   local-warnings  -Wall/-Wextra/-Wno-* belong in the top-level
@@ -35,8 +53,8 @@ struct Violation {
 
 std::vector<Violation> g_violations;
 
-void Report(const fs::path& file, size_t line, const char* rule, std::string message) {
-  g_violations.push_back({file.string(), line, rule, std::move(message)});
+void Report(const std::string& file, size_t line, const char* rule, std::string message) {
+  g_violations.push_back({file, line, rule, std::move(message)});
 }
 
 bool IsIdentChar(char c) {
@@ -66,22 +84,105 @@ std::string StripLineComment(const std::string& line) {
   return pos == std::string::npos ? line : line.substr(0, pos);
 }
 
-void LintSourceFile(const fs::path& root, const fs::path& file) {
-  const fs::path rel = fs::relative(file, root);
-  const bool rng_impl = rel == fs::path("src/common/rng.h");
-  // The linter itself must spell the banned tokens to ban them.
-  const bool sync_impl = rel == fs::path("src/common/sync.h") ||
-                         rel == fs::path("src/common/sync.cc") ||
-                         rel == fs::path("src/tools/nyx_lint.cc");
+bool StartsWith(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
 
-  std::ifstream in(file);
-  std::string line;
-  size_t lineno = 0;
-  while (std::getline(in, line)) {
-    lineno++;
-    const std::string code = StripLineComment(line);
+std::string TrimLeft(const std::string& s) {
+  size_t i = 0;
+  while (i < s.size() && (s[i] == ' ' || s[i] == '\t')) {
+    i++;
+  }
+  return s.substr(i);
+}
 
-    if (!rng_impl &&
+// ---- snapshot-state rule -------------------------------------------------
+
+// Directories whose mutable statics must be snapshot-annotated: everything a
+// snapshot restore is supposed to cover. src/fuzz is included (stricter than
+// the bare minimum) because the engine and guest runtime hold the
+// interpreter state the aux blob must capture.
+bool InSnapshotDirs(const std::string& rel) {
+  return StartsWith(rel, "src/vm/") || StartsWith(rel, "src/netemu/") ||
+         StartsWith(rel, "src/targets/") || StartsWith(rel, "src/mario/") ||
+         StartsWith(rel, "src/fuzz/");
+}
+
+// Heuristic for "this line declares mutable static-duration state":
+// `static`/`thread_local` declarations and namespace-scope `g_` globals,
+// minus const/constexpr data, static_assert/static_cast and function
+// declarations (a '(' with no preceding '=' is a parameter list, not an
+// initializer).
+bool DeclaresMutableStatic(const std::string& code) {
+  const std::string t = TrimLeft(code);
+  const bool static_decl = StartsWith(t, "static ") || StartsWith(t, "thread_local ") ||
+                           t.find(" thread_local ") != std::string::npos;
+  if (static_decl) {
+    if (t.find("constexpr") != std::string::npos || t.find("static const ") != std::string::npos ||
+        StartsWith(t, "static_assert") || t.find("static_cast") != std::string::npos) {
+      return false;
+    }
+    const size_t paren = t.find('(');
+    const size_t eq = t.find('=');
+    if (paren != std::string::npos && (eq == std::string::npos || paren < eq)) {
+      return false;  // function declaration/definition
+    }
+    return true;
+  }
+  // Namespace-scope globals by naming convention: a `g_foo` token preceded
+  // by a type (not at line start — that would be an assignment, not a
+  // declaration) and followed by an initializer or array/semicolon.
+  size_t pos = 0;
+  while ((pos = t.find("g_", pos)) != std::string::npos) {
+    const bool start_ok = pos > 0 && !IsIdentChar(t[pos - 1]) && t[pos - 1] != '.' &&
+                          t[pos - 1] != ':' && t[pos - 1] != '>';
+    if (!start_ok || t.find('=') < pos) {
+      pos += 2;
+      continue;
+    }
+    size_t end = pos;
+    while (end < t.size() && IsIdentChar(t[end])) {
+      end++;
+    }
+    while (end < t.size() && (t[end] == ' ' || t[end] == '\t')) {
+      end++;
+    }
+    if (end < t.size() && (t[end] == '=' || t[end] == '{' || t[end] == '[' || t[end] == ';')) {
+      return true;
+    }
+    pos += 2;
+  }
+  return false;
+}
+
+// ---- per-file driver -----------------------------------------------------
+
+void LintSourceLines(const std::string& rel, const std::vector<std::string>& lines) {
+  const bool rng_impl = rel == "src/common/rng.h";
+  // The linter itself must spell the banned tokens to ban them; env.cc is
+  // the one sanctioned getenv call site.
+  const bool self = rel == "src/tools/nyx_lint.cc";
+  const bool sync_impl = rel == "src/common/sync.h" || rel == "src/common/sync.cc" || self;
+  const bool env_impl = rel == "src/common/env.cc" || self;
+  // raw-time applies to fuzzing logic only: src/ minus the harness (which
+  // owns wall-clock budgets and progress reporting) and the two documented
+  // wall-clock stop conditions. Benches and tests measure real time by
+  // design.
+  const bool time_exempt = !StartsWith(rel, "src/") || StartsWith(rel, "src/harness/") ||
+                           rel == "src/fuzz/fuzzer.cc" || rel == "src/baselines/baseline.cc" ||
+                           self;
+  const bool snapshot_dirs = InSnapshotDirs(rel);
+
+  // Countdown of lines during which a NYX_SNAPSHOT_STATE/NYX_EXEC_EPHEMERAL
+  // annotation still covers a following declaration (annotation line itself
+  // plus the next three lines, enough for a multi-line declaration).
+  int annotated = 0;
+
+  for (size_t i = 0; i < lines.size(); i++) {
+    const size_t lineno = i + 1;
+    const std::string code = StripLineComment(lines[i]);
+
+    if (!rng_impl && !self &&
         (HasBareCall(code, "rand(") || HasBareCall(code, "srand(") ||
          HasBareCall(code, "random(") || HasBareCall(code, "rand_r("))) {
       Report(rel, lineno, "raw-rand",
@@ -107,6 +208,37 @@ void LintSourceFile(const fs::path& root, const fs::path& file) {
       }
     }
 
+    if (!time_exempt &&
+        (code.find("std::chrono") != std::string::npos || HasBareCall(code, "time(") ||
+         HasBareCall(code, "clock_gettime(") || HasBareCall(code, "gettimeofday("))) {
+      Report(rel, lineno, "raw-time",
+             "wall-clock reads are banned in fuzzing logic; use the virtual clock "
+             "(src/common/vclock.h) so executions replay deterministically");
+    }
+
+    if (!env_impl && code.find("getenv") != std::string::npos) {
+      Report(rel, lineno, "raw-env",
+             "getenv is banned outside src/common/env.cc; add a typed accessor "
+             "to src/common/env.h");
+    }
+
+    if (snapshot_dirs) {
+      if (code.find("NYX_SNAPSHOT_STATE") != std::string::npos ||
+          code.find("NYX_EXEC_EPHEMERAL") != std::string::npos) {
+        annotated = 4;
+      }
+      if (annotated == 0 && DeclaresMutableStatic(code)) {
+        Report(rel, lineno, "snapshot-state",
+               "mutable static-duration state in a snapshot-covered directory "
+               "must be annotated NYX_SNAPSHOT_STATE (registered with "
+               "capture/restore hooks) or NYX_EXEC_EPHEMERAL (re-initialized "
+               "every exec); see src/vm/state_registry.h");
+      }
+      if (annotated > 0) {
+        annotated--;
+      }
+    }
+
     const size_t inc = code.find("#include \"");
     if (inc != std::string::npos) {
       const size_t start = inc + 10;
@@ -122,6 +254,16 @@ void LintSourceFile(const fs::path& root, const fs::path& file) {
   }
 }
 
+void LintSourceFile(const fs::path& root, const fs::path& file) {
+  std::ifstream in(file);
+  std::string line;
+  std::vector<std::string> lines;
+  while (std::getline(in, line)) {
+    lines.push_back(line);
+  }
+  LintSourceLines(fs::relative(file, root).string(), lines);
+}
+
 void LintCMakeFile(const fs::path& root, const fs::path& file) {
   const fs::path rel = fs::relative(file, root);
   std::ifstream in(file);
@@ -133,7 +275,7 @@ void LintCMakeFile(const fs::path& root, const fs::path& file) {
     const std::string code = hash == std::string::npos ? line : line.substr(0, hash);
     for (const char* flag : {"-Wall", "-Wextra", "-Wno-"}) {
       if (code.find(flag) != std::string::npos) {
-        Report(rel, lineno, "local-warnings",
+        Report(rel.string(), lineno, "local-warnings",
                std::string(flag) + " is configured centrally in the top-level CMakeLists.txt");
         break;
       }
@@ -160,9 +302,92 @@ void LintTree(const fs::path& root, const char* subdir) {
   }
 }
 
+// ---- self-test -----------------------------------------------------------
+
+// Each fixture is linted as if it were the named file; `want` is the rule
+// expected to fire exactly `count` times (0 = rule must stay silent).
+struct Fixture {
+  const char* name;
+  const char* path;
+  std::vector<const char*> lines;
+  const char* want;
+  size_t count;
+};
+
+int SelfTest() {
+  const std::vector<Fixture> fixtures = {
+      {"unannotated file-scope static", "src/netemu/fixture.cc",
+       {"static int g_counter = 0;"}, "snapshot-state", 1},
+      {"unannotated function-local static", "src/targets/fixture.cc",
+       {"void F() {", "  static uint64_t calls = 0;", "}"}, "snapshot-state", 1},
+      {"unannotated thread_local", "src/fuzz/fixture.cc",
+       {"thread_local int t_depth = 0;"}, "snapshot-state", 1},
+      {"unannotated g_ global", "src/vm/fixture.cc",
+       {"std::atomic<int> g_hook{nullptr};"}, "snapshot-state", 1},
+      {"annotated static", "src/netemu/fixture.cc",
+       {"NYX_SNAPSHOT_STATE(\"netemu.fixture\");", "static int g_counter = 0;"},
+       "snapshot-state", 0},
+      {"annotated thread_local", "src/fuzz/fixture.cc",
+       {"NYX_EXEC_EPHEMERAL(\"fuzz.fixture\");", "thread_local int t_depth = 0;"},
+       "snapshot-state", 0},
+      {"const static is immutable", "src/vm/fixture.cc",
+       {"static const std::string kName = \"x\";", "static constexpr int kN = 3;"},
+       "snapshot-state", 0},
+      {"static member function", "src/vm/fixture.h",
+       {"  static uint8_t Classify(uint8_t hits);"}, "snapshot-state", 0},
+      {"static outside snapshot dirs", "src/harness/fixture.cc",
+       {"static int g_counter = 0;"}, "snapshot-state", 0},
+      {"raw time call", "src/fuzz/fixture.cc",
+       {"uint64_t now = time(nullptr);"}, "raw-time", 1},
+      {"raw chrono", "src/vm/fixture.cc",
+       {"auto t = std::chrono::steady_clock::now();"}, "raw-time", 1},
+      {"chrono in harness is allowed", "src/harness/fixture.cc",
+       {"auto t = std::chrono::steady_clock::now();"}, "raw-time", 0},
+      {"chrono in bench is allowed", "bench/fixture.cc",
+       {"auto t = std::chrono::steady_clock::now();"}, "raw-time", 0},
+      {"mytime() is not time()", "src/fuzz/fixture.cc",
+       {"uint64_t now = mytime();"}, "raw-time", 0},
+      {"raw getenv", "src/harness/fixture.cc",
+       {"const char* v = std::getenv(\"NYX_X\");"}, "raw-env", 1},
+      {"getenv in bench", "bench/fixture.cc",
+       {"const char* v = getenv(\"NYX_X\");"}, "raw-env", 1},
+      {"raw rand", "src/fuzz/fixture.cc", {"int r = rand();"}, "raw-rand", 1},
+  };
+
+  int failures = 0;
+  for (const Fixture& f : fixtures) {
+    g_violations.clear();
+    std::vector<std::string> lines;
+    for (const char* l : f.lines) {
+      lines.push_back(l);
+    }
+    LintSourceLines(f.path, lines);
+    size_t hits = 0;
+    for (const Violation& v : g_violations) {
+      if (v.rule == f.want) {
+        hits++;
+      }
+    }
+    if (hits != f.count) {
+      fprintf(stderr, "self-test FAIL: %s: expected %zu x %s, got %zu\n", f.name, f.count,
+              f.want, hits);
+      failures++;
+    }
+  }
+  g_violations.clear();
+  if (failures == 0) {
+    fprintf(stderr, "nyx_lint self-test: all fixtures passed\n");
+  }
+  return failures == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && std::string(argv[1]) == "--self-test") {
+    return SelfTest();
+  }
+
   const fs::path root = argc > 1 ? fs::path(argv[1]) : fs::current_path();
   if (!fs::is_directory(root / "src")) {
     fprintf(stderr, "nyx_lint: %s does not look like the repo root (no src/)\n",

@@ -11,6 +11,7 @@
 #include <mutex>
 
 #include "src/common/check.h"
+#include "src/vm/state_registry.h"
 
 namespace nyx {
 namespace {
@@ -35,7 +36,11 @@ struct alignas(kCacheLineSize) RegionSlot {
   // — which is exactly what they must do anyway.
   std::atomic<unsigned long> owner{0};
 };
+// Campaign infrastructure, not guest state: executions never observe these,
+// so no snapshot captures them (NYX_EXEC_EPHEMERAL, DESIGN.md §10).
+NYX_EXEC_EPHEMERAL("guest_memory.region_slots");
 RegionSlot g_regions[kMaxRegions];
+NYX_EXEC_EPHEMERAL("guest_memory.unresolved_hook");
 std::atomic<UnresolvedFaultHook> g_unresolved_hook{nullptr};
 
 unsigned long SelfId() {
@@ -67,6 +72,8 @@ void SegvHandler(int sig, siginfo_t* info, void* ucontext) {
 }
 
 void InstallHandlerOnce() {
+  // Monotonic init-once: set on first VM construction, immutable afterwards.
+  NYX_EXEC_EPHEMERAL("guest_memory.sighandler_once");
   static std::once_flag installed;
   std::call_once(installed, [] {
     struct sigaction sa = {};

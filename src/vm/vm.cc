@@ -22,6 +22,7 @@ void Vm::TakeRootSnapshot(Bytes aux) {
   root_aux_ = std::move(aux);
   current_aux_ = root_aux_;
   inc_.reset();
+  inc_base_live_ = false;
   disk_.ClearDirty();
   mem_.ArmTracking();
 }
@@ -46,8 +47,12 @@ void Vm::RestoreRoot() {
 
   // Pages captured by the incremental snapshot are dirty relative to root but
   // are no longer in the tracker (it was cleared when the incremental
-  // snapshot was created); revert them first.
-  if (has_incremental()) {
+  // snapshot was created); revert them first. Keyed on inc_base_live_, NOT
+  // has_incremental(): DropIncremental invalidates the snapshot without
+  // cleaning guest memory, and the stale pages still need reverting here.
+  // (Found by the divergence auditor: replays of post-drop executions
+  // started from different guest state than the original run.)
+  if (inc_ != nullptr && inc_base_live_) {
     for (uint32_t p : inc_->base_pages()) {
       if (!mem_.tracker().IsDirty(p)) {
         // These pages were re-protected when the incremental snapshot was
@@ -72,6 +77,7 @@ void Vm::RestoreRoot() {
     restored++;
   }
   mem_.ReArmDirtyPages();
+  inc_base_live_ = false;  // memory is exactly root again
 
   // The incremental snapshot describes a state we just discarded.
   if (inc_ != nullptr) {
@@ -96,6 +102,7 @@ void Vm::CreateIncremental(Bytes aux) {
   const size_t dirty = mem_.tracker().stack_size();
   inc_->Capture(mem_, devices_, disk_);
   mem_.ReArmDirtyPages();
+  inc_base_live_ = true;
   inc_aux_ = std::move(aux);
   current_aux_ = inc_aux_;
 

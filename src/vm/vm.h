@@ -101,6 +101,12 @@ class Vm {
 
   std::unique_ptr<RootSnapshot> root_;
   std::unique_ptr<IncrementalSnapshot> inc_;
+  // True from CreateIncremental until RestoreRoot has reverted the pages the
+  // incremental captured. Those pages hold non-root content but left the
+  // dirty tracker when the capture re-armed it, so a root restore must
+  // revert them even if the incremental was invalidated in between
+  // (DropIncremental) — dropping the snapshot does not clean the memory.
+  bool inc_base_live_ = false;
   Bytes root_aux_;
   Bytes inc_aux_;
   Bytes current_aux_;

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/common/rng.h"
 #include "src/vm/device_state.h"
 
 namespace nyx {
@@ -83,6 +84,50 @@ TEST(DeviceStateTest, DeserializeRejectsCorruptFieldTag) {
   size_t tag_off = 4 + 4 + 4 + 6 + 4;
   blob[tag_off] ^= 0x40;
   EXPECT_FALSE(s.Deserialize(blob));
+}
+
+TEST(DeviceStateTest, DeserializeSurvivesRandomCorruption) {
+  // Snapshot aux blobs are engine-produced, but a Deserialize that can be
+  // walked out of bounds by a flipped length field is a time bomb. 10k
+  // random corruptions of a valid blob: every one must either be rejected
+  // or produce a state that round-trips — never crash or hang.
+  const Bytes good = MakeState().Serialize();
+  Rng rng(0x5eed);
+  for (int iter = 0; iter < 10000; iter++) {
+    Bytes blob = good;
+    switch (rng.Below(4)) {
+      case 0:  // flip 1..8 random bytes
+        for (uint64_t k = rng.Range(1, 8); k > 0; k--) {
+          blob[rng.Below(blob.size())] ^= static_cast<uint8_t>(rng.Range(1, 255));
+        }
+        break;
+      case 1:  // truncate
+        blob.resize(rng.Below(blob.size()));
+        break;
+      case 2:  // extend with junk
+        for (uint64_t k = rng.Range(1, 16); k > 0; k--) {
+          blob.push_back(rng.NextByte());
+        }
+        break;
+      default:  // overwrite a 32-bit field with an extreme value
+        if (blob.size() >= 4) {
+          const size_t at = rng.Below(blob.size() - 3);
+          const uint32_t v = rng.Chance(1, 2) ? 0xffffffffu : 0x7fffffffu;
+          blob[at] = static_cast<uint8_t>(v);
+          blob[at + 1] = static_cast<uint8_t>(v >> 8);
+          blob[at + 2] = static_cast<uint8_t>(v >> 16);
+          blob[at + 3] = static_cast<uint8_t>(v >> 24);
+        }
+        break;
+    }
+    DeviceState victim = MakeState();
+    if (victim.Deserialize(blob)) {
+      // Accepted (corruption hit a don't-care byte or cancelled out): the
+      // resulting state must itself serialize and parse cleanly.
+      DeviceState check = MakeState();
+      EXPECT_TRUE(check.Deserialize(victim.Serialize())) << "iteration " << iter;
+    }
+  }
 }
 
 }  // namespace

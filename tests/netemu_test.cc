@@ -316,6 +316,46 @@ TEST(NetEmuTest, SerializeDeserializeRoundTrip) {
   EXPECT_TRUE(restored.consumed_input());
 }
 
+TEST(NetEmuTest, ForkFdTableSurvivesSnapshotRestore) {
+  // A forked server is mid-handoff when the fuzzer snapshots: the child's
+  // duplicated fd table, the shared socket refcounts, and the
+  // current-process selector must all come back from the blob, or a resumed
+  // run double-frees sockets the pre-snapshot run still held.
+  ServerSetup s;
+  s.net.DeliverPacket(s.conn, ToBytes("ONE"));
+  s.net.DeliverPacket(s.conn, ToBytes("TWO"));
+  const int child = s.net.ForkFdTable();
+  ASSERT_GT(child, 0);
+  char buf[8];
+  EXPECT_EQ(s.net.Recv(s.conn_fd, buf, 8), 3);  // parent consumes "ONE"
+  s.net.SetCurrentProcess(child);
+
+  const Bytes blob = s.net.Serialize();
+  NetEmu restored;
+  ASSERT_TRUE(restored.Deserialize(blob));
+
+  // The restore lands in the child process with the stream position intact.
+  EXPECT_EQ(restored.current_process(), child);
+  EXPECT_EQ(restored.Recv(s.conn_fd, buf, 8), 3);
+  EXPECT_EQ(0, memcmp(buf, "TWO", 3));
+
+  // Refcounts were restored too: the parent's exit must not tear down the
+  // connection while the child's duplicated fd still references it.
+  restored.ExitProcess(0);
+  EXPECT_TRUE(restored.ValidConn(s.conn));
+  restored.ExitProcess(child);
+  EXPECT_FALSE(restored.ValidConn(s.conn));
+
+  // The pre-restore instance is untouched by the restored copy's teardown.
+  EXPECT_TRUE(s.net.ValidConn(s.conn));
+
+  // A fork in the restored world must mint a process id the snapshot never
+  // used — next_process_ survives the round trip.
+  NetEmu again;
+  ASSERT_TRUE(again.Deserialize(blob));
+  EXPECT_GT(again.ForkFdTable(), child);
+}
+
 TEST(NetEmuTest, DeserializeRejectsGarbage) {
   NetEmu net;
   EXPECT_FALSE(net.Deserialize(ToBytes("not a snapshot")));

@@ -105,6 +105,40 @@ TEST(VmTest, RootRestoreDirectlyAfterIncrementalCreate) {
   EXPECT_EQ(vm.mem().base()[7 * kPageSize], 0);
 }
 
+TEST(VmTest, RootRestoreAfterDropIncrementalRevertsCapturedPages) {
+  // Regression test for a restore-completeness bug the divergence auditor
+  // found: CreateIncremental re-arms the tracker, so the captured pages are
+  // no longer in the dirty stack. DropIncremental invalidates the snapshot
+  // but leaves those pages in memory — the next root restore must still
+  // revert them even though has_incremental() is false by then.
+  Vm vm(SmallConfig());
+  vm.TakeRootSnapshot();
+  vm.mem().base()[3 * kPageSize] = 42;  // prefix writes
+  vm.CreateIncremental();               // page 3 leaves the dirty tracker
+  vm.DropIncremental();                 // fuzzer schedules a different input
+  ASSERT_FALSE(vm.has_incremental());
+  vm.RestoreRoot();
+  EXPECT_EQ(vm.mem().base()[3 * kPageSize], 0);
+}
+
+TEST(VmTest, RootRestoreAfterIncrementalRestoreThenDrop) {
+  // Same bug, longer path: resume through the incremental a few times first,
+  // so the captured pages hold prefix state with a clean tracker, then drop.
+  Vm vm(SmallConfig());
+  vm.TakeRootSnapshot();
+  vm.mem().base()[3 * kPageSize] = 42;
+  vm.CreateIncremental();
+  for (int i = 0; i < 3; i++) {
+    vm.mem().base()[9 * kPageSize] = static_cast<uint8_t>(i + 1);  // suffix writes
+    vm.RestoreIncremental();
+  }
+  EXPECT_EQ(vm.mem().base()[3 * kPageSize], 42);  // prefix state intact
+  vm.DropIncremental();
+  vm.RestoreRoot();
+  EXPECT_EQ(vm.mem().base()[3 * kPageSize], 0);
+  EXPECT_EQ(vm.mem().base()[9 * kPageSize], 0);
+}
+
 TEST(VmTest, AuxBlobFollowsSnapshots) {
   Vm vm(SmallConfig());
   vm.TakeRootSnapshot(ToBytes("root-aux"));
