@@ -25,6 +25,8 @@
 
 #include "src/agamotto/agamotto.h"
 #include "src/common/env.h"
+#include "src/common/telemetry.h"
+#include "src/harness/phase_dump.h"
 #include "src/harness/table.h"
 #include "src/vm/vm.h"
 
@@ -146,8 +148,18 @@ int main() {
   printf("Figure 6: incremental snapshot create/load time vs dirtied pages\n");
   printf("(averaged wall-clock microseconds; lower is better)\n\n");
 
+  // The Nyx snapshot paths are phase-instrumented (the vm-layer dirty-reset
+  // phase, src/vm/vm.cc; the snapshot-restore wrapper belongs to the engine,
+  // which this microbenchmark bypasses); with the profiler on, each VM
+  // size's sweep doubles as a phase-latency sample that lands next to
+  // table3's campaign breakdown in BENCH_phase_breakdown.json.
+  const std::string phase_out = env::StringOr("NYX_PHASE_OUT", "BENCH_phase_breakdown.json");
+  const bool was_enabled = telemetry::Enabled();
+  telemetry::SetTelemetryEnabled(true);
+
   for (size_t mb : vm_mbs) {
     const size_t pages = mb * 1024 * 1024 / kPageSize;
+    telemetry::MetricRegistry::Global().ResetValues();
     TextTable table({"dirty pages", "Nyx create us", "Agamotto create us", "create speedup",
                      "Nyx load us", "Agamotto load us", "load speedup"});
     for (size_t dirty : dirty_counts) {
@@ -173,7 +185,16 @@ int main() {
     printf("VM size: %zu MB (%zu pages)\n", mb, pages);
     table.Print();
     printf("\n");
+    if (!UpdatePhaseBreakdown(phase_out, "fig6-" + std::to_string(mb) + "mb",
+                              PhaseBreakdownSection())) {
+      telemetry::SetTelemetryEnabled(was_enabled);
+      return 1;
+    }
   }
+  telemetry::SetTelemetryEnabled(was_enabled);
+  telemetry::MetricRegistry::Global().ResetValues();
+  fprintf(stderr, "[fig6] phase breakdown -> %s\n", phase_out.c_str());
+
   printf("Paper shape check: Nyx-Net ~10x faster in the relevant range;\n");
   printf("gap narrows as the dirty count approaches the VM size.\n");
   return 0;

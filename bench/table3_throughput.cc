@@ -11,6 +11,7 @@
 // summary is written to BENCH_throughput.json (override: NYX_BENCH_OUT) so
 // CI can track throughput over time.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -19,8 +20,10 @@
 
 #include "src/common/env.h"
 #include "src/common/stats.h"
+#include "src/common/telemetry.h"
 #include "src/harness/campaign.h"
 #include "src/harness/parallel.h"
+#include "src/harness/phase_dump.h"
 #include "src/harness/table.h"
 #include "src/targets/registry.h"
 
@@ -116,6 +119,40 @@ int main() {
 
   printf("\nPaper shape check: Nyx-Net-none is 10x-1000x above the AFL family;\n");
   printf("aggressive >= balanced >= none on most targets.\n");
+
+  // ---- Phase breakdown (serial, telemetry on) ----
+  // One short campaign per Nyx config with the profiler enabled, serial so
+  // the histograms describe a single worker's per-exec pipeline. The main
+  // grid above runs with telemetry off, so its throughput numbers measure
+  // the uninstrumented (one-relaxed-load) hot path.
+  {
+    const std::string phase_out = env::StringOr("NYX_PHASE_OUT", "BENCH_phase_breakdown.json");
+    const bool was_enabled = telemetry::Enabled();
+    const struct {
+      FuzzerKind kind;
+      const char* name;
+    } nyx_configs[] = {{FuzzerKind::kNyxNone, "nyx-none"},
+                       {FuzzerKind::kNyxBalanced, "nyx-balanced"},
+                       {FuzzerKind::kNyxAggressive, "nyx-aggressive"}};
+    for (const auto& nc : nyx_configs) {
+      telemetry::SetTelemetryEnabled(true);
+      telemetry::MetricRegistry::Global().ResetValues();
+      CampaignSpec cs;
+      cs.target = "lightftp";
+      cs.fuzzer = nc.kind;
+      cs.limits.vtime_seconds = std::min(vtime, 5.0);
+      cs.limits.wall_seconds = 3.0;
+      fprintf(stderr, "[table3] phase breakdown: %s...\n", nc.name);
+      RunCampaign(cs);
+      if (!UpdatePhaseBreakdown(phase_out, nc.name, PhaseBreakdownSection())) {
+        telemetry::SetTelemetryEnabled(was_enabled);
+        return 1;
+      }
+    }
+    telemetry::SetTelemetryEnabled(was_enabled);
+    telemetry::MetricRegistry::Global().ResetValues();
+    fprintf(stderr, "[table3] wrote phase breakdown -> %s\n", phase_out.c_str());
+  }
 
   // When run with NYX_AUDIT=1 this bench doubles as a whole-matrix
   // determinism gate: any divergence fails the process so CI goes red.

@@ -20,6 +20,7 @@ namespace {
 // would ping-pong the line between cores (false sharing). Same for the
 // thread-local block — TLS segments of different threads can land on
 // adjacent lines of the same page.
+NYX_RAW_METRIC_OK("telemetry depends on check.h; registering here would be circular");
 alignas(kCacheLineSize) std::atomic<uint64_t> g_soft_failures{0};
 alignas(kCacheLineSize) std::atomic<uint64_t> g_hard_failures{0};
 alignas(kCacheLineSize) thread_local ContractCounters t_counters;

@@ -25,6 +25,14 @@
 #include <sstream>
 #include <string>
 
+// Marker for the nyx_lint `raw-metrics` rule: a static-duration integer
+// atomic that deliberately bypasses the telemetry MetricRegistry
+// (src/common/telemetry.h). Legitimate uses are bootstrap-ordering hazards
+// (the registry itself, or code the registry depends on) and lazily-resolved
+// configuration flags that are not counters. Everything else should be a
+// registered Counter so it shows up in metrics.json.
+#define NYX_RAW_METRIC_OK(reason)
+
 namespace nyx {
 
 // Tallies of contract failures. Hard failures abort, so the counter is only

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <sstream>
 
+#include "src/common/check.h"
+
 namespace nyx {
 
 double Mean(const std::vector<double>& xs) {
@@ -95,27 +97,30 @@ double MannWhitneyUPValue(const std::vector<double>& a, const std::vector<double
 }
 
 void TimeSeries::Record(double t_seconds, double value) {
+  // Lookups binary-search on time; out-of-order samples would silently
+  // corrupt them, so reject at the source.
+  NYX_DCHECK(points_.empty() || t_seconds >= points_.back().first)
+      << "TimeSeries samples must arrive in time order";
   points_.emplace_back(t_seconds, value);
+  cummax_.push_back(cummax_.empty() ? value : std::max(cummax_.back(), value));
 }
 
 double TimeSeries::ValueAt(double t_seconds) const {
-  double v = 0.0;
-  for (const auto& [t, x] : points_) {
-    if (t > t_seconds) {
-      break;
-    }
-    v = x;
-  }
-  return v;
+  // First point strictly after t; the sample before it is the answer.
+  const auto it = std::upper_bound(
+      points_.begin(), points_.end(), t_seconds,
+      [](double t, const std::pair<double, double>& p) { return t < p.first; });
+  return it == points_.begin() ? 0.0 : std::prev(it)->second;
 }
 
 double TimeSeries::TimeToReach(double value) const {
-  for (const auto& [t, x] : points_) {
-    if (x >= value) {
-      return t;
-    }
+  // The running maximum is monotone, so the first index where it reaches
+  // `value` is exactly the first sample that did.
+  const auto it = std::lower_bound(cummax_.begin(), cummax_.end(), value);
+  if (it == cummax_.end()) {
+    return -1.0;
   }
-  return -1.0;
+  return points_[static_cast<size_t>(it - cummax_.begin())].first;
 }
 
 TimeSeries TimeSeries::PointwiseMedian(const std::vector<TimeSeries>& runs, double t_end,

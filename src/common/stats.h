@@ -23,12 +23,16 @@ double Median(std::vector<double> xs);
 double MannWhitneyUPValue(const std::vector<double>& a, const std::vector<double>& b);
 
 // Records (virtual time, value) pairs, e.g. branch coverage over time.
+// Samples must arrive in non-decreasing time order (campaign recorders run
+// on a monotone clock); lookups are O(log n) binary searches, so the long
+// per-campaign plot_data series stay cheap to query.
 class TimeSeries {
  public:
   void Record(double t_seconds, double value);
   // Value of the last sample at or before t; 0 before the first sample.
   double ValueAt(double t_seconds) const;
   // First time the series reached at least `value`; negative if never.
+  // Correct for non-monotone values too (searches the running maximum).
   double TimeToReach(double value) const;
   bool empty() const { return points_.empty(); }
   const std::vector<std::pair<double, double>>& points() const { return points_; }
@@ -42,6 +46,10 @@ class TimeSeries {
 
  private:
   std::vector<std::pair<double, double>> points_;
+  // Running maximum of values, maintained by Record: cummax_[i] is the max
+  // of values 0..i. Monotone by construction, so TimeToReach can binary
+  // search it even when the raw values dip.
+  std::vector<double> cummax_;
 };
 
 }  // namespace nyx

@@ -23,6 +23,7 @@ PaddedCounter g_contended;
 // -1 = not yet resolved from NDEBUG/env; 0/1 afterwards. Resolved lazily on
 // the first Lock() so tests (and the NYX_LOCK_DEBUG knob) can decide before
 // any mutex is touched.
+NYX_RAW_METRIC_OK("cached config flag, not a counter");
 std::atomic<int> g_lock_debug{-1};
 
 // --- runtime lock-hierarchy analyzer -------------------------------------

@@ -1,0 +1,208 @@
+#include "src/common/trace.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "src/common/env.h"
+#include "src/common/log.h"
+#include "src/common/sync.h"
+
+namespace nyx {
+namespace trace {
+
+namespace {
+
+struct Event {
+  uint64_t start_ns;
+  uint64_t dur_ns;
+  telemetry::Phase phase;
+};
+
+// One per thread, owned by the global recorder so it survives thread exit.
+struct Ring {
+  explicit Ring(size_t capacity) : events(capacity) {}
+  std::vector<Event> events;
+  size_t head = 0;       // next write position
+  uint64_t written = 0;  // total events ever recorded
+  uint32_t track = 0;    // Chrome tid
+  std::string name;      // thread_name metadata ("" = default)
+
+  void Push(const Event& e) {
+    events[head] = e;
+    head = (head + 1) % events.size();
+    written++;
+  }
+  size_t Size() const {
+    return written < events.size() ? static_cast<size_t>(written) : events.size();
+  }
+};
+
+struct Recorder {
+  Mutex mu{"trace.recorder", LockRank::kAny};
+  std::vector<std::unique_ptr<Ring>> rings NYX_GUARDED_BY(mu);
+  std::string path NYX_GUARDED_BY(mu);         // "" = tracing off
+  bool path_resolved NYX_GUARDED_BY(mu) = false;
+  bool atexit_installed NYX_GUARDED_BY(mu) = false;
+  uint64_t epoch_ns NYX_GUARDED_BY(mu) = 0;    // ts origin for the export
+};
+
+Recorder& Rec() {
+  static Recorder* r = new Recorder();  // never destroyed: atexit flush reads it
+  return *r;
+}
+
+// Fast-path flag mirroring "path is nonempty", so RecordPhase costs one
+// relaxed load when tracing is off.
+std::atomic<int> g_active{-1};
+
+void ResolvePathLocked(Recorder& r) NYX_REQUIRES(r.mu) {
+  if (r.path_resolved) {
+    return;
+  }
+  r.path_resolved = true;
+  r.path = env::TracePath();
+  g_active.store(r.path.empty() ? 0 : 1, std::memory_order_relaxed);
+  if (!r.path.empty() && !r.atexit_installed) {
+    r.atexit_installed = true;
+    std::atexit([] { WriteTraceIfRequested(); });
+  }
+}
+
+thread_local Ring* t_ring = nullptr;
+
+Ring* ThreadRing() {
+  if (t_ring == nullptr) {
+    Recorder& r = Rec();
+    MutexLock lock(r.mu);
+    auto ring = std::make_unique<Ring>(env::SizeOr("NYX_TRACE_RING", 65536));
+    ring->track = static_cast<uint32_t>(r.rings.size());
+    if (r.epoch_ns == 0) {
+      r.epoch_ns = telemetry::NowNs();
+    }
+    t_ring = ring.get();
+    r.rings.push_back(std::move(ring));
+  }
+  return t_ring;
+}
+
+}  // namespace
+
+bool TracingActive() {
+  int v = g_active.load(std::memory_order_relaxed);
+  if (v < 0) {
+    Recorder& r = Rec();
+    MutexLock lock(r.mu);
+    ResolvePathLocked(r);
+    v = g_active.load(std::memory_order_relaxed);
+  }
+  return v > 0;
+}
+
+void RecordPhase(telemetry::Phase phase, uint64_t start_ns, uint64_t dur_ns) {
+  if (!TracingActive()) {
+    return;
+  }
+  ThreadRing()->Push({start_ns, dur_ns, phase});
+}
+
+void SetThreadTrackName(const std::string& name) {
+  if (!TracingActive()) {
+    return;
+  }
+  Ring* ring = ThreadRing();
+  Recorder& r = Rec();
+  MutexLock lock(r.mu);  // name is read under the lock by WriteTrace
+  ring->name = name;
+}
+
+bool WriteTrace(const std::string& path) {
+  Recorder& r = Rec();
+  MutexLock lock(r.mu);
+  FILE* f = fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    NYX_LOG_WARN << "trace: cannot write " << path;
+    return false;
+  }
+  const uint64_t epoch = r.epoch_ns;
+  fprintf(f, "{\"displayTimeUnit\": \"ns\", \"traceEvents\": [");
+  bool first = true;
+  for (const auto& ring : r.rings) {
+    fprintf(f, "%s\n  {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 0, \"tid\": %u, "
+               "\"args\": {\"name\": \"%s\"}}",
+            first ? "" : ",", ring->track,
+            ring->name.empty() ? ("thread-" + std::to_string(ring->track)).c_str()
+                               : ring->name.c_str());
+    first = false;
+    // Oldest surviving event first so each track's events are time-ordered.
+    const size_t n = ring->Size();
+    const size_t cap = ring->events.size();
+    const size_t oldest = ring->written > n ? ring->head : 0;
+    for (size_t i = 0; i < n; i++) {
+      const Event& e = ring->events[(oldest + i) % cap];
+      const double ts_us =
+          static_cast<double>(e.start_ns >= epoch ? e.start_ns - epoch : 0) / 1000.0;
+      const double dur_us = static_cast<double>(e.dur_ns) / 1000.0;
+      fprintf(f, ",\n  {\"name\": \"%s\", \"ph\": \"X\", \"pid\": 0, \"tid\": %u, "
+                 "\"ts\": %.3f, \"dur\": %.3f}",
+              telemetry::PhaseName(e.phase), ring->track, ts_us, dur_us);
+    }
+  }
+  fprintf(f, "\n]}\n");
+  const bool ok = fflush(f) == 0 && ferror(f) == 0;
+  fclose(f);
+  if (ok) {
+    uint64_t events = 0, dropped = 0;
+    for (const auto& ring : r.rings) {
+      events += ring->Size();
+      dropped += ring->written - ring->Size();
+    }
+    NYX_LOG_INFO << "trace: wrote " << events << " events (" << dropped
+                 << " dropped to ring wraparound), " << r.rings.size() << " track(s) -> "
+                 << path;
+  }
+  return ok;
+}
+
+void WriteTraceIfRequested() {
+  std::string path;
+  {
+    Recorder& r = Rec();
+    MutexLock lock(r.mu);
+    ResolvePathLocked(r);
+    if (r.path.empty() || r.rings.empty()) {
+      return;
+    }
+    path = r.path;
+  }
+  WriteTrace(path);
+}
+
+void SetTracePathForTest(const std::string& path) {
+  Recorder& r = Rec();
+  MutexLock lock(r.mu);
+  r.path_resolved = true;
+  r.path = path;
+  g_active.store(path.empty() ? 0 : 1, std::memory_order_relaxed);
+  for (auto& ring : r.rings) {
+    ring->head = 0;
+    ring->written = 0;
+  }
+  r.epoch_ns = telemetry::NowNs();
+}
+
+RecorderStats GetRecorderStats() {
+  Recorder& r = Rec();
+  MutexLock lock(r.mu);
+  RecorderStats out;
+  out.tracks = r.rings.size();
+  for (const auto& ring : r.rings) {
+    out.recorded += ring->Size();
+    out.dropped += ring->written - ring->Size();
+  }
+  return out;
+}
+
+}  // namespace trace
+}  // namespace nyx

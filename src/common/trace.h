@@ -1,0 +1,77 @@
+// Per-thread ring-buffer trace recorder with Chrome trace-event export
+// (DESIGN.md §11). With NYX_TRACE=<path> set (src/common/env.h), every
+// ScopedPhase records one complete event into its thread's ring; at process
+// exit (or an explicit WriteTrace call) the rings are merged and written as
+// Chrome trace-event JSON, loadable in chrome://tracing or Perfetto.
+//
+// Design constraints, in order:
+//  * Recording must be allocation-free and lock-free after a thread's first
+//    event: each thread owns a preallocated ring (capacity NYX_TRACE_RING,
+//    default 65536 events) and wraps around, keeping the most recent events.
+//    A wrapped ring reports how many events it dropped.
+//  * One track per shard/worker: threads are separate Chrome "tid"s, and the
+//    harness names them (SetThreadTrackName) so the timeline reads
+//    "shard-3", "worker-0" instead of bare ids. Names are emitted as
+//    thread_name metadata events.
+//  * Rings outlive their threads: the global recorder owns them, so a
+//    campaign worker that exits before the flush still contributes its
+//    timeline.
+//
+// The JSON schema (validated by src/tools/trace_check.cc):
+//   {"traceEvents": [
+//     {"name":"thread_name","ph":"M","pid":0,"tid":3,
+//      "args":{"name":"shard-3"}},
+//     {"name":"guest-run","ph":"X","pid":0,"tid":3,"ts":12.3,"dur":4.5},
+//     ...]}
+// ts/dur are microseconds relative to the first recorded event.
+
+#ifndef SRC_COMMON_TRACE_H_
+#define SRC_COMMON_TRACE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/telemetry.h"
+
+namespace nyx {
+namespace trace {
+
+// True when a trace destination is configured (NYX_TRACE set or
+// SetTracePathForTest called) — recording is active only then.
+bool TracingActive();
+
+// Records one completed phase scope (called by ScopedPhase::End; start/dur
+// in NowNs units). No-op unless tracing is active.
+void RecordPhase(telemetry::Phase phase, uint64_t start_ns, uint64_t dur_ns);
+
+// Names the calling thread's track in the exported timeline ("shard-3",
+// "worker-0", "main"). Safe to call repeatedly; last name wins.
+void SetThreadTrackName(const std::string& name);
+
+// Writes the merged timeline as Chrome trace JSON. Returns false (with a
+// log line) if the file cannot be written. Thread rings are kept; a second
+// call re-exports the union.
+bool WriteTrace(const std::string& path);
+
+// Flushes to the NYX_TRACE path if one is configured (the atexit hook the
+// recorder installs on first use does this automatically; benches call it
+// explicitly so the file exists before their own post-processing).
+void WriteTraceIfRequested();
+
+// Test/bench override of the destination path ("" disables). Also resets
+// the recorded rings so tests see only their own events.
+void SetTracePathForTest(const std::string& path);
+
+// Total events currently held across all rings, and events dropped to ring
+// wraparound (tests, and the summary log line).
+struct RecorderStats {
+  uint64_t recorded = 0;  // events currently in rings
+  uint64_t dropped = 0;   // overwritten by wraparound
+  size_t tracks = 0;
+};
+RecorderStats GetRecorderStats();
+
+}  // namespace trace
+}  // namespace nyx
+
+#endif  // SRC_COMMON_TRACE_H_

@@ -5,9 +5,16 @@
 
 namespace nyx {
 
+DivergenceAuditor::DivergenceAuditor()
+    : pages_counter_(telemetry::MetricRegistry::Global().RegisterCounter("audit.pages_compared")),
+      divergences_counter_(telemetry::MetricRegistry::Global().RegisterCounter("audit.divergences")),
+      programs_counter_(
+          telemetry::MetricRegistry::Global().RegisterCounter("audit.programs_audited")) {}
+
 void DivergenceAuditor::Note(std::vector<Divergence>& out, std::string source,
                              std::string owner, uint64_t page) {
   stats_.divergences++;
+  divergences_counter_->Add(1);
   Divergence d{std::move(source), std::move(owner), page};
   // Cap the per-comparison report; the counters and log_ keep the tally.
   if (out.size() < 16) {
@@ -27,6 +34,7 @@ void DivergenceAuditor::CompareState(const StateFingerprint& a, const StateFinge
   const size_t pages = a.page_hashes.size() < b.page_hashes.size() ? a.page_hashes.size()
                                                                    : b.page_hashes.size();
   stats_.pages_audited += pages;
+  pages_counter_->Add(pages);
   for (size_t p = 0; p < pages; p++) {
     if (a.page_hashes[p] != b.page_hashes[p]) {
       Note(out, "guest-page", registry.GuestOwner(p * kPageSize), p);
@@ -67,6 +75,7 @@ std::vector<DivergenceAuditor::Divergence> DivergenceAuditor::CompareReplay(
     const StateFingerprint& a, const StateFingerprint& b,
     const SnapshotStateRegistry& registry) {
   stats_.programs_audited++;
+  programs_counter_->Add(1);
   comparing_ = "replay";
   std::vector<Divergence> out;
   CompareState(a, b, registry, out);

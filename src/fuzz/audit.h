@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "src/common/bytes.h"
+#include "src/common/telemetry.h"
 #include "src/vm/state_registry.h"
 
 namespace nyx {
@@ -57,6 +58,8 @@ struct StateFingerprint {
 
 class DivergenceAuditor {
  public:
+  DivergenceAuditor();
+
   struct Divergence {
     // What diverged: "guest-page", "device", "disk", "host-state", "rng",
     // "coverage", "result", "ephemeral".
@@ -104,6 +107,11 @@ class DivergenceAuditor {
   Stats stats_;
   std::vector<Divergence> log_;  // every divergence ever recorded (tests)
   const char* comparing_ = "";   // which comparison is running (log detail)
+  // Global-registry mirrors of the Stats counters (resolved once in the
+  // constructor), so audited runs show up in metrics.json process dumps.
+  telemetry::Counter* pages_counter_;
+  telemetry::Counter* divergences_counter_;
+  telemetry::Counter* programs_counter_;
 };
 
 }  // namespace nyx

@@ -2,6 +2,7 @@
 
 #include "src/common/check.h"
 #include "src/common/log.h"
+#include "src/common/telemetry.h"
 #include "src/spec/verify.h"
 
 namespace nyx {
@@ -10,6 +11,7 @@ bool Corpus::Add(Program program, uint64_t vtime_ns, size_t packet_count, double
   NYX_DCHECK(thread_checker_.CalledOnValidThread());
   program.StripSnapshotMarkers();
   if (spec_ != nullptr) {
+    telemetry::ScopedPhase phase(telemetry::Phase::kVerify);
     const spec::Result verdict = spec::Verify(program, *spec_);
     if (!NYX_EXPECT(verdict.ok())) {
       NYX_LOG_WARN << "corpus rejected ill-formed program: " << verdict.Summary();

@@ -5,6 +5,7 @@
 
 #include "src/common/check.h"
 #include "src/common/hash.h"
+#include "src/common/telemetry.h"
 
 namespace nyx {
 
@@ -68,6 +69,14 @@ NyxEngine::NyxEngine(const EngineConfig& config, TargetFactory factory, const Sp
   state_registry_.DeclareEphemeral("guest.fault_jmp", "src/fuzz/guest.cc",
                                    [] { return FaultGuardIdle(); });
   state_registry_.DeclareEphemeral("coverage.trace_map", "src/fuzz/coverage.h");
+  // Telemetry is observational host state: phase timers and the trace ring
+  // never feed back into execution, so they are per-exec ephemeral, not
+  // snapshot state. The verify hook pins the invariant that makes this
+  // sound — no phase scope may straddle an execution boundary (a frame left
+  // open would attribute one exec's time to another).
+  state_registry_.DeclareEphemeral("telemetry.phase_timers", "src/common/telemetry.cc",
+                                   [] { return telemetry::PhaseDepth() == 0; });
+  state_registry_.DeclareEphemeral("telemetry.trace_ring", "src/common/trace.cc");
 }
 
 Bytes NyxEngine::SerializeInterpState(uint32_t resume_op) {
@@ -145,33 +154,43 @@ ExecResult NyxEngine::Run(const Program& input, CoverageMap& cov) {
   // Audit mode (NYX_AUDIT=1): run the program, replay it down the identical
   // path, and compare end states. See src/fuzz/audit.h for the oracle.
   ExecResult result_a = RunInternal(input, cov);
-  const StateFingerprint fp_a = CaptureFingerprint(cov, result_a);
+  {
+    // Everything past the primary execution is audit overhead:
+    // fingerprinting, the replay (whose inner phases nest here and keep
+    // their own self-time), and the cross-restore check. The scope closes
+    // before CheckEphemeral below — that check runs the telemetry
+    // phase-depth verify hook, which must observe depth zero.
+    telemetry::ScopedPhase phase(telemetry::Phase::kAudit);
+    const StateFingerprint fp_a = CaptureFingerprint(cov, result_a);
 
-  // Force the replay down run A's exact path: if A started from the root it
-  // may have created an incremental snapshot mid-run, and the replay must
-  // not shortcut through it. (If A itself resumed from the incremental, the
-  // replay reuses it — nothing invalidated it in between.)
-  if (!result_a.used_incremental) {
-    inc_hash_valid_ = false;
-  }
-  CoverageMap audit_cov;
-  ExecResult result_b = RunInternal(input, audit_cov);
-  const StateFingerprint fp_b = CaptureFingerprint(audit_cov, result_b);
-  auditor_->CompareReplay(fp_a, fp_b, state_registry_);
-  auditor_->ReportEphemeralFailures(state_registry_.CheckEphemeral());
+    // Force the replay down run A's exact path: if A started from the root
+    // it may have created an incremental snapshot mid-run, and the replay
+    // must not shortcut through it. (If A itself resumed from the
+    // incremental, the replay reuses it — nothing invalidated it in
+    // between.)
+    if (!result_a.used_incremental) {
+      inc_hash_valid_ = false;
+    }
+    CoverageMap audit_cov;
+    ExecResult result_b = RunInternal(input, audit_cov);
+    const StateFingerprint fp_b = CaptureFingerprint(audit_cov, result_b);
+    auditor_->CompareReplay(fp_a, fp_b, state_registry_);
 
-  // Cross-restore check: if the replay recreated the incremental snapshot,
-  // a third execution takes the restore-and-resume shortcut through it and
-  // must land exactly where the full replay did. Comparing against run B's
-  // own just-created snapshot keeps the per-exec RNG seeding consistent.
-  if (!result_a.used_incremental && result_b.created_incremental && vm_->has_incremental()) {
-    audit_cov.Reset();
-    ExecResult result_c = RunInternal(input, audit_cov);
-    if (result_c.used_incremental) {
-      const StateFingerprint fp_c = CaptureFingerprint(audit_cov, result_c);
-      auditor_->CompareCrossRestore(fp_b, fp_c, state_registry_);
+    // Cross-restore check: if the replay recreated the incremental
+    // snapshot, a third execution takes the restore-and-resume shortcut
+    // through it and must land exactly where the full replay did. Comparing
+    // against run B's own just-created snapshot keeps the per-exec RNG
+    // seeding consistent.
+    if (!result_a.used_incremental && result_b.created_incremental && vm_->has_incremental()) {
+      audit_cov.Reset();
+      ExecResult result_c = RunInternal(input, audit_cov);
+      if (result_c.used_incremental) {
+        const StateFingerprint fp_c = CaptureFingerprint(audit_cov, result_c);
+        auditor_->CompareCrossRestore(fp_b, fp_c, state_registry_);
+      }
     }
   }
+  auditor_->ReportEphemeralFailures(state_registry_.CheckEphemeral());
   return result_a;
 }
 
@@ -183,17 +202,20 @@ ExecResult NyxEngine::RunInternal(const Program& input, CoverageMap& cov) {
   const uint64_t prefix_hash = marker.has_value() ? input.OpsHash(*marker) : 0;
 
   size_t start_op = 0;
-  if (marker.has_value() && vm_->has_incremental() && inc_hash_valid_ &&
-      inc_prefix_hash_ == prefix_hash) {
-    vm_->RestoreIncremental();
-    RestoreInterpState(vm_->current_aux());
-    start_op = resume_op_;
-    result.used_incremental = true;
-  } else {
-    vm_->RestoreRoot();
-    RestoreInterpState(vm_->current_aux());
-    start_op = 0;
-    inc_hash_valid_ = false;
+  {
+    telemetry::ScopedPhase phase(telemetry::Phase::kSnapshotRestore);
+    if (marker.has_value() && vm_->has_incremental() && inc_hash_valid_ &&
+        inc_prefix_hash_ == prefix_hash) {
+      vm_->RestoreIncremental();
+      RestoreInterpState(vm_->current_aux());
+      start_op = resume_op_;
+      result.used_incremental = true;
+    } else {
+      vm_->RestoreRoot();
+      RestoreInterpState(vm_->current_aux());
+      start_op = 0;
+      inc_hash_valid_ = false;
+    }
   }
 
   GuestContext ctx(*vm_, net_, cov, clock_, config_.cost);
@@ -206,6 +228,7 @@ ExecResult NyxEngine::RunInternal(const Program& input, CoverageMap& cov) {
   for (size_t i = start_op; i < input.ops.size() && !ctx.crash().crashed; i++) {
     const Op& op = input.ops[i];
     if (op.is_snapshot()) {
+      telemetry::ScopedPhase phase(telemetry::Phase::kSnapshotRestore);
       inc_prefix_hash_ = prefix_hash;
       inc_hash_valid_ = true;
       vm_->CreateIncremental(SerializeInterpState(static_cast<uint32_t>(i + 1)));

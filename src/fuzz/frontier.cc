@@ -1,6 +1,7 @@
 #include "src/fuzz/frontier.h"
 
 #include "src/common/check.h"
+#include "src/common/telemetry.h"
 
 namespace nyx {
 
@@ -27,6 +28,9 @@ void CorpusFrontier::FlipLocked() {
 
 std::vector<CorpusFrontier::Entry> CorpusFrontier::ExchangeSync(size_t shard,
                                                                 std::vector<Entry> fresh) {
+  // Covers both lock acquisition and barrier-wait time, so the phase
+  // histogram exposes sync stalls, not just critical-section work.
+  telemetry::ScopedPhase phase(telemetry::Phase::kFrontierSync);
   MutexLock lock(mu_);
   NYX_CHECK_LT(shard, shards_);
   for (Entry& e : fresh) {
@@ -54,6 +58,7 @@ std::vector<CorpusFrontier::Entry> CorpusFrontier::ExchangeSync(size_t shard,
 }
 
 void CorpusFrontier::Leave(size_t shard, std::vector<Entry> fresh, const GlobalCoverage& cov) {
+  telemetry::ScopedPhase phase(telemetry::Phase::kFrontierSync);
   MutexLock lock(mu_);
   NYX_CHECK_LT(shard, shards_);
   for (Entry& e : fresh) {

@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "src/common/check.h"
+#include "src/common/telemetry.h"
 #include "src/fuzz/frontier.h"
 
 namespace nyx {
@@ -52,7 +53,12 @@ bool NyxFuzzer::RunOne(const Program& input, CampaignResult& result) {
     }
   }
 
-  const bool new_bits = global_cov_.MergeAndCheckNew(trace_) || ijon_new;
+  bool merged_new;
+  {
+    telemetry::ScopedPhase phase(telemetry::Phase::kCoverageMerge);
+    merged_new = global_cov_.MergeAndCheckNew(trace_);
+  }
+  const bool new_bits = merged_new || ijon_new;
   return new_bits && !exec.crash.crashed;
 }
 
@@ -84,7 +90,9 @@ CampaignResult NyxFuzzer::Run(const CampaignLimits& limits) {
     return std::chrono::duration<double>(wall).count() >= limits.wall_seconds;
   };
   auto record_coverage = [&] {
-    result.coverage_over_time.Record(vnow(), static_cast<double>(global_cov_.SiteCount()));
+    const double t = vnow();
+    result.coverage_over_time.Record(t, static_cast<double>(global_cov_.SiteCount()));
+    result.execs_over_time.Record(t, static_cast<double>(result.execs));
   };
   // Sharded mode: package the entries found since the last sync for the
   // frontier (corpus indices stay valid — entries live in a deque).
@@ -153,9 +161,12 @@ CampaignResult NyxFuzzer::Run(const CampaignLimits& limits) {
       const bool full_range =
           decision.use_incremental && rng_.Chance(1, 4) && first_mutable_op > 0;
       Program mutated = base;
-      mutator_.Mutate(mutated, donors, full_range ? 0 : first_mutable_op);
-      if (decision.use_incremental && !full_range) {
-        mutated.InsertSnapshotAfterPacket(spec_, decision.packet_index);
+      {
+        telemetry::ScopedPhase phase(telemetry::Phase::kMutate);
+        mutator_.Mutate(mutated, donors, full_range ? 0 : first_mutable_op);
+        if (decision.use_incremental && !full_range) {
+          mutated.InsertSnapshotAfterPacket(spec_, decision.packet_index);
+        }
       }
       const bool interesting = RunOne(mutated, result);
       if (interesting) {

@@ -55,6 +55,7 @@ struct CampaignResult {
   uint64_t pages_audited = 0;
   uint64_t audit_divergences = 0;
   TimeSeries coverage_over_time;  // (vtime seconds, branch coverage)
+  TimeSeries execs_over_time;     // (vtime seconds, cumulative execs)
   std::map<uint32_t, CrashRecord> crashes;
   double first_crash_vsec = -1.0;
   uint64_t ijon_best = 0;

@@ -5,6 +5,7 @@
 
 #include <cstring>
 
+#include "src/common/telemetry.h"
 #include "src/vm/state_registry.h"
 
 namespace nyx {
@@ -153,6 +154,10 @@ bool GuardedStep(Target& target, GuestContext& ctx) {
   // can never diverge across executions.
   NYX_EXEC_EPHEMERAL("guest.fault_hook_installer");
   static HookInstaller installer;
+  // Constructed before sigsetjmp on purpose: the crash path siglongjmps back
+  // into this frame, and a scope opened after the setjmp would be jumped
+  // over without its destructor, leaking a phase-stack frame.
+  telemetry::ScopedPhase phase(telemetry::Phase::kGuestRun);
   if (sigsetjmp(t_step_jmp, 1) != 0) {
     // Landed here from the SIGSEGV handler: the target walked off the map.
     ctx.Crash(kCrashWildSegv, "segv-wild-access");

@@ -2,13 +2,18 @@
 
 #include <dirent.h>
 #include <sys/stat.h>
+#include <unistd.h>
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
+#include <sstream>
 
 #include "src/common/check.h"
 #include "src/common/log.h"
 #include "src/common/sync.h"
+#include "src/common/telemetry.h"
 #include "src/spec/verify.h"
 
 namespace nyx {
@@ -120,6 +125,110 @@ std::vector<std::pair<std::string, Program>> Workdir::LoadCrashes(const Spec& sp
   return out;
 }
 
+namespace {
+
+// Atomic replacement: write <path>.tmp, flush it all the way to disk, then
+// rename over the target, so a crashed run never leaves a truncated
+// stats.txt/metrics.json. Any failure is loud — silently dropped stats made
+// campaigns look healthy while reporting nothing.
+void WriteFileAtomic(const std::string& path, const std::string& content) {
+  const std::string tmp = path + ".tmp";
+  FILE* f = fopen(tmp.c_str(), "w");
+  NYX_CHECK(f != nullptr) << "cannot open " << tmp << ": " << strerror(errno);
+  NYX_CHECK(fwrite(content.data(), 1, content.size(), f) == content.size())
+      << "short write to " << tmp << ": " << strerror(errno);
+  NYX_CHECK(fflush(f) == 0) << "flush of " << tmp << " failed: " << strerror(errno);
+  NYX_CHECK(fsync(fileno(f)) == 0) << "fsync of " << tmp << " failed: " << strerror(errno);
+  fclose(f);
+  NYX_CHECK(rename(tmp.c_str(), path.c_str()) == 0)
+      << "rename " << tmp << " -> " << path << " failed: " << strerror(errno);
+}
+
+// Builds the campaign-local metric registry: one named metric per summary
+// statistic. The same registry feeds both the human-readable stats.txt and
+// the machine-readable metrics.json, so the two can never drift apart.
+void PopulateCampaignRegistry(telemetry::MetricRegistry& reg, const CampaignResult& result) {
+  reg.RegisterCounter("execs")->Add(result.execs);
+  reg.RegisterGauge("vtime_seconds")->SetDouble(result.vtime_seconds);
+  reg.RegisterGauge("execs_per_vsec")->SetDouble(result.execs_per_vsecond);
+  reg.RegisterGauge("branch_coverage")->Set(result.branch_coverage);
+  reg.RegisterGauge("edge_coverage")->Set(result.edge_coverage);
+  reg.RegisterGauge("corpus_size")->Set(result.corpus_size);
+  reg.RegisterGauge("crashes")->Set(result.crashes.size());
+  reg.RegisterCounter("root_restores")->Add(result.root_restores);
+  reg.RegisterCounter("inc_creates")->Add(result.incremental_creates);
+  reg.RegisterCounter("inc_restores")->Add(result.incremental_restores);
+  const ContractCounters contracts = GetContractCounters();
+  reg.RegisterCounter("contract_soft")->Add(contracts.soft_failures);
+  reg.RegisterCounter("contract_hard")->Add(contracts.hard_failures);
+  // Snapshot divergence audit (zeros unless the campaign ran with
+  // NYX_AUDIT=1): pages compared and mismatches found by the run-twice
+  // oracle. Any nonzero divergence count is a determinism bug.
+  reg.RegisterCounter("pages_audited")->Add(result.pages_audited);
+  reg.RegisterCounter("divergences")->Add(result.audit_divergences);
+  // Process-wide lock traffic (common/sync.h): how often any annotated
+  // mutex was taken and how often the taker had to block. A contended
+  // count creeping toward the acquisition count means the frontier sync
+  // cadence is too aggressive for the shard count.
+  const SyncStats locks = GetSyncStats();
+  reg.RegisterCounter("lock_acquired")->Add(locks.acquisitions);
+  reg.RegisterCounter("lock_contended")->Add(locks.contended);
+}
+
+// Renders stats.txt from the registry in a fixed display order. The literal
+// key names and 17-column value alignment are load-bearing: workdir_test and
+// external scripts grep for them.
+std::string RenderStatsText(const telemetry::MetricRegistry& reg) {
+  static const char* kOrder[] = {
+      "execs",         "vtime_seconds", "execs_per_vsec", "branch_coverage",
+      "edge_coverage", "corpus_size",   "crashes",        "root_restores",
+      "inc_creates",   "inc_restores",  "contract_soft",  "contract_hard",
+      "pages_audited", "divergences",   "lock_acquired",  "lock_contended",
+  };
+  const std::vector<telemetry::MetricRegistry::Entry> entries = reg.Entries();
+  std::ostringstream os;
+  for (const char* key : kOrder) {
+    for (const telemetry::MetricRegistry::Entry& e : entries) {
+      if (e.name != key) {
+        continue;
+      }
+      char line[128];
+      if (e.counter != nullptr) {
+        snprintf(line, sizeof(line), "%-17s%llu\n", key,
+                 static_cast<unsigned long long>(e.counter->Value()));
+      } else if (e.gauge != nullptr && e.gauge->is_double()) {
+        snprintf(line, sizeof(line), "%-17s%.3f\n", key, e.gauge->DoubleValue());
+      } else {
+        snprintf(line, sizeof(line), "%-17s%llu\n", key,
+                 static_cast<unsigned long long>(e.gauge->Value()));
+      }
+      os << line;
+      break;
+    }
+  }
+  return os.str();
+}
+
+// AFL plot_data-style per-campaign time series: one row per recorded sample.
+// Virtual time, not wall time, so reruns of the same seed produce identical
+// files.
+std::string RenderPlotData(const CampaignResult& result) {
+  std::ostringstream os;
+  os << "# vtime_seconds, execs, branch_coverage\n";
+  const auto& cov = result.coverage_over_time.points();
+  const auto& exe = result.execs_over_time.points();
+  const size_t n = std::min(cov.size(), exe.size());
+  for (size_t i = 0; i < n; i++) {
+    char line[96];
+    snprintf(line, sizeof(line), "%.6f, %.0f, %.0f\n", cov[i].first, exe[i].second,
+             cov[i].second);
+    os << line;
+  }
+  return os.str();
+}
+
+}  // namespace
+
 bool Workdir::SaveCampaign(const CampaignResult& result, const Corpus& corpus) const {
   bool ok = true;
   for (size_t i = 0; i < corpus.size(); i++) {
@@ -128,44 +237,28 @@ bool Workdir::SaveCampaign(const CampaignResult& result, const Corpus& corpus) c
   for (const auto& [id, rec] : result.crashes) {
     ok &= SaveCrash(id, rec.kind, rec.reproducer);
   }
-  FILE* f = fopen((path_ + "/stats.txt").c_str(), "w");
-  if (f == nullptr) {
-    return false;
+
+  // Campaign-local registry: concurrent campaigns (harness/parallel.h) each
+  // dump their own workdir, so campaign statistics never route through the
+  // process-global registry. The global registry is embedded separately in
+  // metrics.json — its phase histograms and hot-layer counters are
+  // process-wide by nature (and zero unless telemetry is enabled).
+  telemetry::MetricRegistry reg;
+  PopulateCampaignRegistry(reg, result);
+  WriteFileAtomic(path_ + "/stats.txt", RenderStatsText(reg));
+
+  std::string campaign_json = telemetry::DumpJson(reg);
+  std::string process_json = telemetry::DumpJson(telemetry::MetricRegistry::Global());
+  // DumpJson returns a complete object with a trailing newline; embed both.
+  if (!campaign_json.empty() && campaign_json.back() == '\n') {
+    campaign_json.pop_back();
   }
-  fprintf(f, "execs            %llu\n", static_cast<unsigned long long>(result.execs));
-  fprintf(f, "vtime_seconds    %.3f\n", result.vtime_seconds);
-  fprintf(f, "execs_per_vsec   %.1f\n", result.execs_per_vsecond);
-  fprintf(f, "branch_coverage  %zu\n", result.branch_coverage);
-  fprintf(f, "edge_coverage    %zu\n", result.edge_coverage);
-  fprintf(f, "corpus_size      %zu\n", result.corpus_size);
-  fprintf(f, "crashes          %zu\n", result.crashes.size());
-  fprintf(f, "root_restores    %llu\n", static_cast<unsigned long long>(result.root_restores));
-  fprintf(f, "inc_creates      %llu\n",
-          static_cast<unsigned long long>(result.incremental_creates));
-  fprintf(f, "inc_restores     %llu\n",
-          static_cast<unsigned long long>(result.incremental_restores));
-  const ContractCounters contracts = GetContractCounters();
-  fprintf(f, "contract_soft    %llu\n",
-          static_cast<unsigned long long>(contracts.soft_failures));
-  fprintf(f, "contract_hard    %llu\n",
-          static_cast<unsigned long long>(contracts.hard_failures));
-  // Process-wide lock traffic (common/sync.h): how often any annotated
-  // mutex was taken and how often the taker had to block. A contended
-  // count creeping toward the acquisition count means the frontier sync
-  // cadence is too aggressive for the shard count.
-  // Snapshot divergence audit (zeros unless the campaign ran with
-  // NYX_AUDIT=1): pages compared and mismatches found by the run-twice
-  // oracle. Any nonzero divergence count is a determinism bug.
-  fprintf(f, "pages_audited    %llu\n",
-          static_cast<unsigned long long>(result.pages_audited));
-  fprintf(f, "divergences      %llu\n",
-          static_cast<unsigned long long>(result.audit_divergences));
-  const SyncStats locks = GetSyncStats();
-  fprintf(f, "lock_acquired    %llu\n",
-          static_cast<unsigned long long>(locks.acquisitions));
-  fprintf(f, "lock_contended   %llu\n",
-          static_cast<unsigned long long>(locks.contended));
-  fclose(f);
+  if (!process_json.empty() && process_json.back() == '\n') {
+    process_json.pop_back();
+  }
+  WriteFileAtomic(path_ + "/metrics.json", "{\n\"campaign\": " + campaign_json +
+                                               ",\n\"process\": " + process_json + "\n}\n");
+  WriteFileAtomic(path_ + "/plot_data", RenderPlotData(result));
   return ok;
 }
 

@@ -2,7 +2,15 @@
 //
 //   <workdir>/queue/id_000042.nyx     bytecode corpus entries
 //   <workdir>/crashes/<id>_<kind>.nyx crash reproducers
-//   <workdir>/stats.txt               final campaign statistics
+//   <workdir>/stats.txt               final campaign statistics (text)
+//   <workdir>/metrics.json            same statistics, machine-readable,
+//                                     plus the process-wide metric registry
+//                                     (phase histograms when telemetry is on)
+//   <workdir>/plot_data               per-campaign time series CSV
+//                                     (vtime, execs, branch coverage)
+//
+// The stats files are written via tmp+fsync+rename, so readers never observe
+// a truncated file even if the run is killed mid-write.
 //
 // The wire format is the Program serialization (src/spec/program.h), so
 // corpus entries can be copied between campaigns, hand-edited via the

@@ -1,0 +1,98 @@
+#include "src/harness/phase_dump.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "src/common/telemetry.h"
+
+namespace nyx {
+
+namespace {
+
+// The file keeps exactly one config per line between the "configs" markers,
+// so the update below is a line-level splice, not a JSON rewrite.
+constexpr const char* kHeader = "{\n  \"bench\": \"phase_breakdown\",\n  \"unit\": \"ns\",\n  \"configs\": {\n";
+constexpr const char* kFooter = "  }\n}\n";
+
+std::string ConfigLinePrefix(const std::string& config) {
+  return "    \"" + config + "\": ";
+}
+
+}  // namespace
+
+std::string PhaseBreakdownSection() {
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  for (size_t i = 0; i < telemetry::kPhaseCount; i++) {
+    const auto phase = static_cast<telemetry::Phase>(i);
+    const telemetry::Histogram::Snapshot s = telemetry::PhaseHistogram(phase)->Snap();
+    if (s.total == 0) {
+      continue;
+    }
+    char buf[160];
+    snprintf(buf, sizeof(buf),
+             "\"%s\": {\"total\": %llu, \"p50_ns\": %.0f, \"p90_ns\": %.0f, \"p99_ns\": %.0f}",
+             telemetry::PhaseName(phase), static_cast<unsigned long long>(s.total),
+             s.Percentile(50), s.Percentile(90), s.Percentile(99));
+    os << (first ? "" : ", ") << buf;
+    first = false;
+  }
+  os << "}";
+  return os.str();
+}
+
+bool UpdatePhaseBreakdown(const std::string& path, const std::string& config,
+                          const std::string& section) {
+  // Collect surviving config lines from an existing file (anything between
+  // the header and footer that is not the section being replaced).
+  std::vector<std::string> lines;
+  {
+    std::ifstream in(path);
+    std::string line;
+    bool in_configs = false;
+    while (std::getline(in, line)) {
+      if (line == "  \"configs\": {") {
+        in_configs = true;
+        continue;
+      }
+      if (!in_configs || line == "  }" || line == "}") {
+        continue;
+      }
+      if (line.rfind(ConfigLinePrefix(config), 0) == 0) {
+        continue;  // replaced below
+      }
+      if (line.rfind("    \"", 0) == 0) {
+        if (!line.empty() && line.back() == ',') {
+          line.pop_back();
+        }
+        lines.push_back(line);
+      }
+    }
+  }
+  lines.push_back(ConfigLinePrefix(config) + section);
+
+  const std::string tmp = path + ".tmp";
+  FILE* f = fopen(tmp.c_str(), "w");
+  if (f == nullptr) {
+    fprintf(stderr, "[phase_dump] cannot write %s\n", tmp.c_str());
+    return false;
+  }
+  fputs(kHeader, f);
+  for (size_t i = 0; i < lines.size(); i++) {
+    fprintf(f, "%s%s\n", lines[i].c_str(), i + 1 < lines.size() ? "," : "");
+  }
+  fputs(kFooter, f);
+  const bool ok = fflush(f) == 0 && ferror(f) == 0;
+  fclose(f);
+  if (!ok || rename(tmp.c_str(), path.c_str()) != 0) {
+    fprintf(stderr, "[phase_dump] cannot replace %s\n", path.c_str());
+    remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace nyx

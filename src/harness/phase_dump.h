@@ -1,0 +1,30 @@
+// Phase-breakdown dump shared by the benches (DESIGN.md §11).
+//
+// table3 (one section per Nyx fuzzer config) and fig6 (one section per VM
+// size of the snapshot microbenchmark) both aggregate the global phase
+// histograms into the same committed file, BENCH_phase_breakdown.json.
+// Each bench owns only its sections: UpdatePhaseBreakdown reads the existing
+// file, replaces the section with the same config name, and rewrites the
+// rest untouched, so running one bench never discards the other's numbers.
+
+#ifndef SRC_HARNESS_PHASE_DUMP_H_
+#define SRC_HARNESS_PHASE_DUMP_H_
+
+#include <string>
+
+namespace nyx {
+
+// One "config" line: {"<phase>": {"total": N, "p50_ns": ..., "p90_ns": ...,
+// "p99_ns": ...}, ...} from the *current* global phase histograms (benches
+// reset them between configs via MetricRegistry::Global().ResetValues()).
+// Phases with zero samples are omitted.
+std::string PhaseBreakdownSection();
+
+// Inserts/replaces the `config` section of the phase-breakdown file at
+// `path`. Returns false (with a log line) if the file cannot be written.
+bool UpdatePhaseBreakdown(const std::string& path, const std::string& config,
+                          const std::string& section);
+
+}  // namespace nyx
+
+#endif  // SRC_HARNESS_PHASE_DUMP_H_

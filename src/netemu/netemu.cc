@@ -8,7 +8,13 @@ namespace nyx {
 
 NetEmu::NetEmu() : NetEmu(Config()) {}
 
-NetEmu::NetEmu(Config config) : config_(config) {
+NetEmu::NetEmu(Config config)
+    : config_(config),
+      conns_queued_counter_(
+          telemetry::MetricRegistry::Global().RegisterCounter("netemu.connections_queued")),
+      packets_counter_(
+          telemetry::MetricRegistry::Global().RegisterCounter("netemu.packets_delivered")),
+      bytes_counter_(telemetry::MetricRegistry::Global().RegisterCounter("netemu.bytes_delivered")) {
   sockets_.reserve(config_.max_sockets);
   fds_.reserve(config_.max_fds);
 }
@@ -417,6 +423,7 @@ void NetEmu::ExitProcess(int process) {
 }
 
 int NetEmu::QueueConnection(uint16_t port) {
+  telemetry::ScopedPhase phase(telemetry::Phase::kNetemu);
   // Find the listener (first listening socket, matching port if given).
   int listener = -1;
   for (size_t i = 0; i < sockets_.size(); i++) {
@@ -440,6 +447,7 @@ int NetEmu::QueueConnection(uint16_t port) {
   // sits in the backlog.
   sockets_[conn].refcount = 1;
   sockets_[listener].pending_accept.push_back(conn);
+  conns_queued_counter_->Add(1);
   return conn;
 }
 
@@ -454,16 +462,20 @@ int NetEmu::FindDgramSocket(uint16_t port) const {
 }
 
 bool NetEmu::DeliverPacket(int conn, Bytes data) {
+  telemetry::ScopedPhase phase(telemetry::Phase::kNetemu);
   // A dead connection id here means the interpreter's view of the socket
   // table diverged from ours — count it instead of dropping silently.
   if (!NYX_EXPECT(ValidConn(conn))) {
     return false;
   }
+  packets_counter_->Add(1);
+  bytes_counter_->Add(data.size());
   sockets_[conn].rx.push_back(std::move(data));
   return true;
 }
 
 void NetEmu::PeerClose(int conn) {
+  telemetry::ScopedPhase phase(telemetry::Phase::kNetemu);
   if (NYX_EXPECT(ValidConn(conn))) {
     sockets_[conn].peer_closed = true;
   }

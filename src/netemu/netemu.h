@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "src/common/bytes.h"
+#include "src/common/telemetry.h"
 #include "src/common/vclock.h"
 
 namespace nyx {
@@ -189,6 +190,11 @@ class NetEmu {
   uint64_t calls_ = 0;
   VirtualClock* clock_ = nullptr;
   const CostModel* cost_ = nullptr;
+  // Registry counters, resolved once at construction; the per-call overhead
+  // is one relaxed fetch_add each.
+  telemetry::Counter* conns_queued_counter_;
+  telemetry::Counter* packets_counter_;
+  telemetry::Counter* bytes_counter_;
 };
 
 }  // namespace nyx

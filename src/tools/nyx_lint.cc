@@ -21,6 +21,12 @@
 //   raw-env         getenv outside src/common/env.cc. Configuration comes
 //                   in through the typed accessors in src/common/env.h so
 //                   every knob is documented and greppable in one place.
+//   raw-metrics     static-duration std::atomic<integer> declarations
+//                   outside the telemetry layer itself. Loose atomic
+//                   counters never reach stats.txt / metrics.json; register
+//                   a Counter in the MetricRegistry (src/common/telemetry.h)
+//                   instead, or annotate NYX_RAW_METRIC_OK with a reason
+//                   (bootstrap ordering, config flags).
 //   snapshot-state  mutable file-scope / function-local statics,
 //                   thread_locals and g_ globals in the snapshot-relevant
 //                   directories (src/vm, src/netemu, src/targets, src/mario,
@@ -155,6 +161,27 @@ bool DeclaresMutableStatic(const std::string& code) {
   return false;
 }
 
+// ---- raw-metrics rule ----------------------------------------------------
+
+// True if the line declares a std::atomic over an integer type — the shape
+// of an ad-hoc counter. Pointer/enum/struct atomics (hooks, cached levels)
+// are not counters and stay out of scope.
+bool DeclaresAtomicInteger(const std::string& code) {
+  const size_t pos = code.find("std::atomic<");
+  if (pos == std::string::npos) {
+    return false;
+  }
+  const std::string inner = code.substr(pos + 12);
+  for (const char* ty : {"int", "unsigned", "long", "short", "size_t", "uint8_t", "uint16_t",
+                         "uint32_t", "uint64_t", "int8_t", "int16_t", "int32_t", "int64_t",
+                         "std::size_t", "std::uint32_t", "std::uint64_t"}) {
+    if (StartsWith(inner, ty)) {
+      return true;
+    }
+  }
+  return false;
+}
+
 // ---- per-file driver -----------------------------------------------------
 
 void LintSourceLines(const std::string& rel, const std::vector<std::string>& lines) {
@@ -168,15 +195,24 @@ void LintSourceLines(const std::string& rel, const std::vector<std::string>& lin
   // owns wall-clock budgets and progress reporting) and the two documented
   // wall-clock stop conditions. Benches and tests measure real time by
   // design.
+  // telemetry.cc owns the one sanctioned clock_gettime site (phase timers
+  // measure host cost, which is what a profiler is for; the results never
+  // feed back into fuzzing decisions).
   const bool time_exempt = !StartsWith(rel, "src/") || StartsWith(rel, "src/harness/") ||
                            rel == "src/fuzz/fuzzer.cc" || rel == "src/baselines/baseline.cc" ||
-                           self;
+                           rel == "src/common/telemetry.cc" || self;
+  // The metric/trace layer is built out of the raw atomics it exists to
+  // replace everywhere else.
+  const bool metrics_impl = StartsWith(rel, "src/common/telemetry.") ||
+                            StartsWith(rel, "src/common/trace.") || self;
   const bool snapshot_dirs = InSnapshotDirs(rel);
 
   // Countdown of lines during which a NYX_SNAPSHOT_STATE/NYX_EXEC_EPHEMERAL
   // annotation still covers a following declaration (annotation line itself
   // plus the next three lines, enough for a multi-line declaration).
   int annotated = 0;
+  // Same countdown scheme for NYX_RAW_METRIC_OK (raw-metrics rule).
+  int metric_ok = 0;
 
   for (size_t i = 0; i < lines.size(); i++) {
     const size_t lineno = i + 1;
@@ -220,6 +256,21 @@ void LintSourceLines(const std::string& rel, const std::vector<std::string>& lin
       Report(rel, lineno, "raw-env",
              "getenv is banned outside src/common/env.cc; add a typed accessor "
              "to src/common/env.h");
+    }
+
+    if (!metrics_impl) {
+      if (code.find("NYX_RAW_METRIC_OK") != std::string::npos) {
+        metric_ok = 4;
+      }
+      if (metric_ok == 0 && DeclaresMutableStatic(code) && DeclaresAtomicInteger(code)) {
+        Report(rel, lineno, "raw-metrics",
+               "loose static atomic counters never reach stats.txt/metrics.json; "
+               "register a Counter in the MetricRegistry (src/common/telemetry.h) "
+               "or annotate NYX_RAW_METRIC_OK with a reason");
+      }
+      if (metric_ok > 0) {
+        metric_ok--;
+      }
     }
 
     if (snapshot_dirs) {
@@ -352,6 +403,21 @@ int SelfTest() {
       {"getenv in bench", "bench/fixture.cc",
        {"const char* v = getenv(\"NYX_X\");"}, "raw-env", 1},
       {"raw rand", "src/fuzz/fixture.cc", {"int r = rand();"}, "raw-rand", 1},
+      {"loose atomic counter", "src/fuzz/fixture.cc",
+       {"std::atomic<uint64_t> g_execs{0};"}, "raw-metrics", 1},
+      {"loose static atomic counter", "src/harness/fixture.cc",
+       {"static std::atomic<int> hits = 0;"}, "raw-metrics", 1},
+      {"annotated raw metric", "src/fuzz/fixture.cc",
+       {"NYX_RAW_METRIC_OK(\"bootstrap ordering\");", "std::atomic<uint64_t> g_execs{0};"},
+       "raw-metrics", 0},
+      {"atomic hook is not a counter", "src/vm/fixture.cc",
+       {"std::atomic<FaultHook> g_hook{nullptr};"}, "raw-metrics", 0},
+      {"atomic member is not static", "src/common/fixture.h",
+       {"  std::atomic<uint64_t> value_{0};"}, "raw-metrics", 0},
+      {"telemetry impl may use raw atomics", "src/common/telemetry.cc",
+       {"std::atomic<int> g_enabled{-1};"}, "raw-metrics", 0},
+      {"clock_gettime in telemetry impl", "src/common/telemetry.cc",
+       {"clock_gettime(CLOCK_MONOTONIC, &ts);"}, "raw-time", 0},
   };
 
   int failures = 0;

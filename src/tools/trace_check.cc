@@ -1,0 +1,396 @@
+// Validates a Chrome trace-event JSON file produced by the telemetry layer
+// (src/common/trace.cc). Run as `trace_check <file> [--min-tracks N]
+// [--require-phases]`; exits nonzero with a diagnostic on the first schema
+// violation. CI runs it against a traced table3 smoke so a malformed export
+// (one Perfetto would refuse to load) fails the build instead of being
+// discovered the first time someone actually opens a timeline.
+//
+// Checks:
+//   * the file parses as JSON (hand-rolled parser, no dependencies);
+//   * the top level is an object with a "traceEvents" array;
+//   * every event has "name"/"ph"/"pid"/"tid"; "X" events additionally carry
+//     numeric ts/dur, and ts+dur is non-decreasing within each track (rings
+//     record at scope *end*, so a nested scope precedes its parent and only
+//     end times are monotone);
+//   * every "X" event name is a known phase (telemetry::PhaseName);
+//   * each track with events has a thread_name metadata record;
+//   * --min-tracks N: at least N tracks contain "X" events (one per
+//     shard/worker in sharded smokes);
+//   * --require-phases: every phase of the taxonomy appears at least once;
+//     --require-phases=a,b,c checks only the listed phases (a smoke that
+//     cannot reach a phase — frontier-sync needs a sharded campaign, audit
+//     needs NYX_AUDIT=1 — lists what it can).
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/common/telemetry.h"
+
+namespace {
+
+// ---- minimal JSON --------------------------------------------------------
+
+struct Value {
+  enum Kind { kNull, kBool, kNumber, kString, kArray, kObject } kind = kNull;
+  bool b = false;
+  double num = 0.0;
+  std::string str;
+  std::vector<Value> arr;
+  std::vector<std::pair<std::string, Value>> obj;
+
+  const Value* Get(const std::string& key) const {
+    for (const auto& [k, v] : obj) {
+      if (k == key) {
+        return &v;
+      }
+    }
+    return nullptr;
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  bool Parse(Value& out) { return ParseValue(out) && (SkipWs(), pos_ == s_.size()); }
+  std::string Error() const {
+    return err_.empty() ? "" : err_ + " at byte " + std::to_string(pos_);
+  }
+
+ private:
+  bool Fail(const char* what) {
+    if (err_.empty()) {
+      err_ = what;
+    }
+    return false;
+  }
+
+  void SkipWs() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' || s_[pos_] == '\r')) {
+      pos_++;
+    }
+  }
+
+  bool Literal(const char* lit) {
+    const size_t n = strlen(lit);
+    if (s_.compare(pos_, n, lit) != 0) {
+      return Fail("bad literal");
+    }
+    pos_ += n;
+    return true;
+  }
+
+  bool ParseString(std::string& out) {
+    if (pos_ >= s_.size() || s_[pos_] != '"') {
+      return Fail("expected string");
+    }
+    pos_++;
+    out.clear();
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      char c = s_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= s_.size()) {
+          return Fail("truncated escape");
+        }
+        const char e = s_[pos_++];
+        switch (e) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case '/': c = '/'; break;
+          case 'u':  // keep the raw sequence; names here are ASCII anyway
+            out += "\\u";
+            continue;
+          default:
+            return Fail("unknown escape");
+        }
+      }
+      out += c;
+    }
+    if (pos_ >= s_.size()) {
+      return Fail("unterminated string");
+    }
+    pos_++;  // closing quote
+    return true;
+  }
+
+  bool ParseValue(Value& out) {
+    SkipWs();
+    if (pos_ >= s_.size()) {
+      return Fail("unexpected end of input");
+    }
+    const char c = s_[pos_];
+    if (c == '{') {
+      pos_++;
+      out.kind = Value::kObject;
+      SkipWs();
+      if (pos_ < s_.size() && s_[pos_] == '}') {
+        pos_++;
+        return true;
+      }
+      while (true) {
+        SkipWs();
+        std::string key;
+        if (!ParseString(key)) {
+          return false;
+        }
+        SkipWs();
+        if (pos_ >= s_.size() || s_[pos_] != ':') {
+          return Fail("expected ':'");
+        }
+        pos_++;
+        Value v;
+        if (!ParseValue(v)) {
+          return false;
+        }
+        out.obj.emplace_back(std::move(key), std::move(v));
+        SkipWs();
+        if (pos_ < s_.size() && s_[pos_] == ',') {
+          pos_++;
+          continue;
+        }
+        if (pos_ < s_.size() && s_[pos_] == '}') {
+          pos_++;
+          return true;
+        }
+        return Fail("expected ',' or '}'");
+      }
+    }
+    if (c == '[') {
+      pos_++;
+      out.kind = Value::kArray;
+      SkipWs();
+      if (pos_ < s_.size() && s_[pos_] == ']') {
+        pos_++;
+        return true;
+      }
+      while (true) {
+        Value v;
+        if (!ParseValue(v)) {
+          return false;
+        }
+        out.arr.push_back(std::move(v));
+        SkipWs();
+        if (pos_ < s_.size() && s_[pos_] == ',') {
+          pos_++;
+          continue;
+        }
+        if (pos_ < s_.size() && s_[pos_] == ']') {
+          pos_++;
+          return true;
+        }
+        return Fail("expected ',' or ']'");
+      }
+    }
+    if (c == '"') {
+      out.kind = Value::kString;
+      return ParseString(out.str);
+    }
+    if (c == 't') {
+      out.kind = Value::kBool;
+      out.b = true;
+      return Literal("true");
+    }
+    if (c == 'f') {
+      out.kind = Value::kBool;
+      out.b = false;
+      return Literal("false");
+    }
+    if (c == 'n') {
+      out.kind = Value::kNull;
+      return Literal("null");
+    }
+    // number
+    const size_t start = pos_;
+    if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+')) {
+      pos_++;
+    }
+    while (pos_ < s_.size() &&
+           ((s_[pos_] >= '0' && s_[pos_] <= '9') || s_[pos_] == '.' || s_[pos_] == 'e' ||
+            s_[pos_] == 'E' || s_[pos_] == '-' || s_[pos_] == '+')) {
+      pos_++;
+    }
+    if (pos_ == start) {
+      return Fail("expected value");
+    }
+    out.kind = Value::kNumber;
+    out.num = atof(s_.substr(start, pos_ - start).c_str());
+    return true;
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+  std::string err_;
+};
+
+// ---- schema checks -------------------------------------------------------
+
+int Die(const std::string& msg) {
+  fprintf(stderr, "trace_check: %s\n", msg.c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string file;
+  size_t min_tracks = 1;
+  bool require_phases = false;
+  std::set<std::string> required;  // empty with require_phases = all phases
+  for (int i = 1; i < argc; i++) {
+    const std::string arg = argv[i];
+    if (arg == "--min-tracks" && i + 1 < argc) {
+      min_tracks = static_cast<size_t>(atol(argv[++i]));
+    } else if (arg == "--require-phases") {
+      require_phases = true;
+    } else if (arg.rfind("--require-phases=", 0) == 0) {
+      require_phases = true;
+      std::string list = arg.substr(strlen("--require-phases="));
+      for (size_t pos = 0; pos <= list.size();) {
+        const size_t comma = std::min(list.find(',', pos), list.size());
+        if (comma > pos) {
+          required.insert(list.substr(pos, comma - pos));
+        }
+        pos = comma + 1;
+      }
+    } else if (!arg.empty() && arg[0] != '-') {
+      file = arg;
+    } else {
+      return Die("usage: trace_check <file> [--min-tracks N] [--require-phases[=a,b,...]]");
+    }
+  }
+  if (file.empty()) {
+    return Die("usage: trace_check <file> [--min-tracks N] [--require-phases[=a,b,...]]");
+  }
+
+  std::ifstream in(file);
+  if (!in) {
+    return Die("cannot open " + file);
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+
+  Value root;
+  Parser parser(text);
+  if (!parser.Parse(root)) {
+    return Die(file + ": JSON parse error: " + parser.Error());
+  }
+  if (root.kind != Value::kObject) {
+    return Die(file + ": top level is not an object");
+  }
+  const Value* events = root.Get("traceEvents");
+  if (events == nullptr || events->kind != Value::kArray) {
+    return Die(file + ": missing \"traceEvents\" array");
+  }
+
+  std::set<std::string> known_phases;
+  for (size_t i = 0; i < nyx::telemetry::kPhaseCount; i++) {
+    known_phases.insert(
+        nyx::telemetry::PhaseName(static_cast<nyx::telemetry::Phase>(i)));
+  }
+
+  std::set<double> named_tracks;        // tids with a thread_name record
+  std::set<double> event_tracks;        // tids with at least one X event
+  std::set<std::string> phases_seen;
+  std::map<double, double> last_end;    // per-track end-time monotonicity
+  size_t n_events = 0;
+
+  for (size_t i = 0; i < events->arr.size(); i++) {
+    const Value& e = events->arr[i];
+    const std::string at = "event " + std::to_string(i);
+    if (e.kind != Value::kObject) {
+      return Die(at + ": not an object");
+    }
+    const Value* name = e.Get("name");
+    const Value* ph = e.Get("ph");
+    const Value* pid = e.Get("pid");
+    const Value* tid = e.Get("tid");
+    if (name == nullptr || name->kind != Value::kString) {
+      return Die(at + ": missing string \"name\"");
+    }
+    if (ph == nullptr || ph->kind != Value::kString) {
+      return Die(at + ": missing string \"ph\"");
+    }
+    if (pid == nullptr || pid->kind != Value::kNumber || tid == nullptr ||
+        tid->kind != Value::kNumber) {
+      return Die(at + ": missing numeric pid/tid");
+    }
+    if (ph->str == "M") {
+      if (name->str != "thread_name") {
+        continue;  // other metadata is fine, just not checked
+      }
+      const Value* args = e.Get("args");
+      if (args == nullptr || args->kind != Value::kObject ||
+          args->Get("name") == nullptr) {
+        return Die(at + ": thread_name metadata without args.name");
+      }
+      named_tracks.insert(tid->num);
+      continue;
+    }
+    if (ph->str != "X") {
+      return Die(at + ": unexpected ph \"" + ph->str + "\" (only M and X are emitted)");
+    }
+    const Value* ts = e.Get("ts");
+    const Value* dur = e.Get("dur");
+    if (ts == nullptr || ts->kind != Value::kNumber || dur == nullptr ||
+        dur->kind != Value::kNumber) {
+      return Die(at + ": X event without numeric ts/dur");
+    }
+    if (ts->num < 0 || dur->num < 0) {
+      return Die(at + ": negative ts/dur");
+    }
+    if (known_phases.count(name->str) == 0) {
+      return Die(at + ": unknown phase \"" + name->str + "\"");
+    }
+    // Events are ring-ordered by when the scope *ended*; allow 0.002us of
+    // slack for the independent rounding of ts and dur in the writer.
+    const double end = ts->num + dur->num;
+    auto [it, fresh] = last_end.emplace(tid->num, end);
+    if (!fresh) {
+      if (end < it->second - 0.002) {
+        return Die(at + ": scope end time went backwards within track");
+      }
+      it->second = std::max(it->second, end);
+    }
+    event_tracks.insert(tid->num);
+    phases_seen.insert(name->str);
+    n_events++;
+  }
+
+  for (double t : event_tracks) {
+    if (named_tracks.count(t) == 0) {
+      return Die("track " + std::to_string(t) + " has events but no thread_name record");
+    }
+  }
+  if (event_tracks.size() < min_tracks) {
+    return Die("expected at least " + std::to_string(min_tracks) + " track(s) with events, got " +
+               std::to_string(event_tracks.size()));
+  }
+  if (require_phases) {
+    for (const std::string& p : required.empty() ? known_phases : required) {
+      if (known_phases.count(p) == 0) {
+        return Die("--require-phases names unknown phase \"" + p + "\"");
+      }
+      if (phases_seen.count(p) == 0) {
+        return Die("phase \"" + p + "\" never appears in the trace");
+      }
+    }
+  }
+
+  printf("trace_check: OK: %zu events, %zu track(s), %zu/%zu phases\n", n_events,
+         event_tracks.size(), phases_seen.size(), known_phases.size());
+  return 0;
+}

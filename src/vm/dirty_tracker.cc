@@ -4,7 +4,12 @@
 
 namespace nyx {
 
-DirtyTracker::DirtyTracker(size_t num_pages) : bitmap_(num_pages, 0), stack_(num_pages, 0) {}
+DirtyTracker::DirtyTracker(size_t num_pages)
+    : bitmap_(num_pages, 0),
+      stack_(num_pages, 0),
+      marks_counter_(telemetry::MetricRegistry::Global().RegisterCounter("vm.dirty_marks")),
+      ring_exit_counter_(
+          telemetry::MetricRegistry::Global().RegisterCounter("vm.dirty_ring_exits")) {}
 
 void DirtyTracker::MarkDirty(uint32_t page) {
   // An out-of-range page means the fault handler or a guest write computed a
@@ -19,9 +24,11 @@ void DirtyTracker::MarkDirty(uint32_t page) {
   NYX_DCHECK_LT(stack_size_, stack_.size());
   stack_[stack_size_++] = page;
   total_marks_++;
+  marks_counter_->Add(1);
   if (++ring_fill_ >= kDirtyRingCapacity) {
     ring_fill_ = 0;
     ring_exits_++;
+    ring_exit_counter_->Add(1);
   }
 }
 

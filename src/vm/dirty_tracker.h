@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/common/telemetry.h"
 #include "src/vm/page.h"
 
 namespace nyx {
@@ -70,6 +71,10 @@ class DirtyTracker {
   size_t ring_fill_ = 0;
   uint64_t ring_exits_ = 0;
   uint64_t total_marks_ = 0;
+  // Registry counters, resolved once in the constructor so MarkDirty stays
+  // async-signal-safe (Counter::Add is a relaxed fetch_add, no allocation).
+  telemetry::Counter* marks_counter_;
+  telemetry::Counter* ring_exit_counter_;
 };
 
 }  // namespace nyx

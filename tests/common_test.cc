@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 
 #include "src/common/bytes.h"
@@ -213,6 +214,51 @@ TEST(TimeSeriesTest, CsvExport) {
   TimeSeries ts;
   ts.Record(1, 2);
   EXPECT_EQ(ts.ToCsv("x"), "x,1,2\n");
+}
+
+// Dense grid cross-check of the binary-search lookups: every query between,
+// at, before and after the sample points must agree with a brute-force scan.
+TEST(TimeSeriesTest, DenseGridMatchesBruteForce) {
+  TimeSeries ts;
+  std::vector<std::pair<double, double>> pts;
+  // Non-monotone values (dips at every 7th sample) exercise the cummax path
+  // of TimeToReach.
+  for (int i = 0; i < 500; i++) {
+    const double t = 0.25 * i;
+    const double v = (i % 7 == 0) ? i / 2.0 : static_cast<double>(i);
+    ts.Record(t, v);
+    pts.emplace_back(t, v);
+  }
+  // ValueAt: step function, last sample at or before t.
+  for (double t = -1.0; t < 130.0; t += 0.1) {
+    double expect = 0.0;
+    for (const auto& [pt, pv] : pts) {
+      if (pt <= t) {
+        expect = pv;
+      } else {
+        break;
+      }
+    }
+    ASSERT_DOUBLE_EQ(ts.ValueAt(t), expect) << "t=" << t;
+  }
+  // TimeToReach: first time the running max reaches the threshold.
+  for (double v = 0.0; v < 520.0; v += 1.7) {
+    double expect = -1.0;
+    double running_max = -1.0;
+    for (const auto& [pt, pv] : pts) {
+      running_max = std::max(running_max, pv);
+      if (running_max >= v) {
+        expect = pt;
+        break;
+      }
+    }
+    const double got = ts.TimeToReach(v);
+    if (expect < 0) {
+      ASSERT_LT(got, 0.0) << "v=" << v;
+    } else {
+      ASSERT_DOUBLE_EQ(got, expect) << "v=" << v;
+    }
+  }
 }
 
 }  // namespace

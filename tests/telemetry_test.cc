@@ -1,0 +1,243 @@
+// Tests for the metric registry and per-exec phase profiler
+// (src/common/telemetry.h): histogram bucket geometry, cross-thread shard
+// merging, ScopedPhase nesting/self-time semantics, and the dump writers.
+
+#include "src/common/telemetry.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <thread>
+#include <vector>
+
+namespace nyx {
+namespace telemetry {
+namespace {
+
+TEST(HistogramTest, BucketBoundaries) {
+  // Bucket 0 holds zeros only; bucket b>0 covers [2^(b-1), 2^b).
+  EXPECT_EQ(Histogram::BucketFor(0), 0u);
+  EXPECT_EQ(Histogram::BucketFor(1), 1u);
+  EXPECT_EQ(Histogram::BucketFor(2), 2u);
+  EXPECT_EQ(Histogram::BucketFor(3), 2u);
+  EXPECT_EQ(Histogram::BucketFor(4), 3u);
+  // Values >= 2^63 clamp into the top bucket instead of indexing past it.
+  EXPECT_EQ(Histogram::BucketFor(UINT64_MAX), Histogram::kBuckets - 1);
+  EXPECT_EQ(Histogram::BucketFor(1ull << 63), Histogram::kBuckets - 1);
+  for (size_t b = 1; b < Histogram::kBuckets - 1; b++) {
+    const uint64_t low = Histogram::BucketLow(b);
+    const uint64_t high = Histogram::BucketHigh(b);
+    EXPECT_EQ(Histogram::BucketFor(low), b) << b;
+    EXPECT_EQ(Histogram::BucketFor(high - 1), b) << b;
+    EXPECT_EQ(Histogram::BucketFor(high), b + 1) << b;
+    EXPECT_LT(low, high);
+  }
+  // Every representable value lands in a valid bucket.
+  EXPECT_LT(Histogram::BucketFor(UINT64_MAX), Histogram::kBuckets);
+}
+
+TEST(HistogramTest, RecordAndSnapshot) {
+  Histogram h;
+  h.Record(0);
+  h.Record(1);
+  h.Record(5);   // bucket 3: [4, 8)
+  h.Record(7);   // bucket 3
+  h.Record(100);
+  const Histogram::Snapshot s = h.Snap();
+  EXPECT_EQ(s.total, 5u);
+  EXPECT_EQ(s.counts[0], 1u);
+  EXPECT_EQ(s.counts[1], 1u);
+  EXPECT_EQ(s.counts[3], 2u);
+  EXPECT_EQ(s.counts[Histogram::BucketFor(100)], 1u);
+}
+
+TEST(HistogramTest, PercentileInterpolation) {
+  Histogram h;
+  // 100 samples in bucket [64, 128): percentiles stay inside the bucket and
+  // grow with p.
+  for (int i = 0; i < 100; i++) {
+    h.Record(64 + i % 64);
+  }
+  const Histogram::Snapshot s = h.Snap();
+  const double p50 = s.Percentile(50);
+  const double p99 = s.Percentile(99);
+  EXPECT_GE(p50, 64.0);
+  EXPECT_LE(p99, 128.0);
+  EXPECT_LT(p50, p99);
+  // Empty histogram: all percentiles are zero.
+  Histogram empty;
+  EXPECT_EQ(empty.Snap().Percentile(99), 0.0);
+}
+
+TEST(CounterTest, CrossThreadShardMerge) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&c] {
+      for (uint64_t i = 0; i < kPerThread; i++) {
+        c.Add(1);
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(c.Value(), kThreads * kPerThread);
+  c.Reset();
+  EXPECT_EQ(c.Value(), 0u);
+}
+
+TEST(HistogramTest, CrossThreadShardMerge) {
+  Histogram h;
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&h, t] {
+      for (uint64_t i = 0; i < kPerThread; i++) {
+        h.Record(static_cast<uint64_t>(t) * 1000 + 1);
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(h.Snap().total, kThreads * kPerThread);
+}
+
+TEST(GaugeTest, IntegerAndDouble) {
+  Gauge g;
+  g.Set(42);
+  EXPECT_EQ(g.Value(), 42u);
+  EXPECT_FALSE(g.is_double());
+  g.SetDouble(3.25);
+  EXPECT_TRUE(g.is_double());
+  EXPECT_DOUBLE_EQ(g.DoubleValue(), 3.25);
+}
+
+TEST(RegistryTest, IdempotentRegistration) {
+  MetricRegistry reg;
+  Counter* a = reg.RegisterCounter("execs");
+  Counter* b = reg.RegisterCounter("execs");
+  EXPECT_EQ(a, b);
+  Gauge* g = reg.RegisterGauge("coverage");
+  EXPECT_EQ(g, reg.RegisterGauge("coverage"));
+  Histogram* h = reg.RegisterHistogram("lat");
+  EXPECT_EQ(h, reg.RegisterHistogram("lat"));
+  EXPECT_EQ(reg.Entries().size(), 3u);
+}
+
+TEST(RegistryTest, EntriesSortedAndReset) {
+  MetricRegistry reg;
+  reg.RegisterCounter("zzz")->Add(7);
+  reg.RegisterCounter("aaa")->Add(3);
+  reg.RegisterHistogram("mid")->Record(12);
+  const auto entries = reg.Entries();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].name, "aaa");
+  EXPECT_EQ(entries[1].name, "mid");
+  EXPECT_EQ(entries[2].name, "zzz");
+  reg.ResetValues();
+  EXPECT_EQ(reg.Entries()[0].counter->Value(), 0u);
+  EXPECT_EQ(reg.Entries()[1].histogram->Snap().total, 0u);
+}
+
+TEST(RegistryTest, DumpTextAndJson) {
+  MetricRegistry reg;
+  reg.RegisterCounter("execs")->Add(1234);
+  reg.RegisterGauge("rate")->SetDouble(56.5);
+  reg.RegisterHistogram("lat")->Record(100);
+  const std::string text = DumpText(reg);
+  EXPECT_NE(text.find("execs 1234"), std::string::npos);
+  EXPECT_NE(text.find("rate 56.500"), std::string::npos);
+  EXPECT_NE(text.find("lat total=1"), std::string::npos);
+  const std::string json = DumpJson(reg);
+  EXPECT_NE(json.find("\"execs\": 1234"), std::string::npos);
+  EXPECT_NE(json.find("\"rate\": 56.500"), std::string::npos);
+  EXPECT_NE(json.find("\"lat\""), std::string::npos);
+  EXPECT_NE(json.find("\"buckets\""), std::string::npos);
+}
+
+// Fixture that turns the profiler on and guarantees it is off again after.
+class ScopedPhaseTest : public ::testing::Test {
+ protected:
+  void SetUp() override { SetTelemetryEnabled(true); }
+  void TearDown() override {
+    SetTelemetryEnabled(false);
+    ASSERT_EQ(PhaseDepth(), 0u);
+  }
+};
+
+TEST_F(ScopedPhaseTest, RecordsIntoPhaseHistogram) {
+  const uint64_t before = PhaseHistogram(Phase::kMutate)->Snap().total;
+  {
+    ScopedPhase phase(Phase::kMutate);
+    EXPECT_EQ(PhaseDepth(), 1u);
+  }
+  EXPECT_EQ(PhaseDepth(), 0u);
+  EXPECT_EQ(PhaseHistogram(Phase::kMutate)->Snap().total, before + 1);
+}
+
+TEST_F(ScopedPhaseTest, NestingRecordsSelfTime) {
+  const uint64_t outer_before = PhaseHistogram(Phase::kGuestRun)->Snap().total;
+  const uint64_t inner_before = PhaseHistogram(Phase::kDirtyReset)->Snap().total;
+  {
+    ScopedPhase outer(Phase::kGuestRun);
+    {
+      ScopedPhase inner(Phase::kDirtyReset);
+      EXPECT_EQ(PhaseDepth(), 2u);
+    }
+    EXPECT_EQ(PhaseDepth(), 1u);
+  }
+  EXPECT_EQ(PhaseHistogram(Phase::kGuestRun)->Snap().total, outer_before + 1);
+  EXPECT_EQ(PhaseHistogram(Phase::kDirtyReset)->Snap().total, inner_before + 1);
+}
+
+TEST_F(ScopedPhaseTest, ReentrantSamePhase) {
+  const uint64_t before = PhaseHistogram(Phase::kNetemu)->Snap().total;
+  {
+    ScopedPhase a(Phase::kNetemu);
+    ScopedPhase b(Phase::kNetemu);
+    ScopedPhase c(Phase::kNetemu);
+    EXPECT_EQ(PhaseDepth(), 3u);
+  }
+  EXPECT_EQ(PhaseHistogram(Phase::kNetemu)->Snap().total, before + 3);
+}
+
+TEST_F(ScopedPhaseTest, DeepNestingIsDroppedNotCorrupted) {
+  // 40 levels exceeds the 32-frame stack; the excess scopes drop their
+  // samples but the stack must unwind back to zero.
+  std::vector<std::unique_ptr<ScopedPhase>> scopes;
+  for (int i = 0; i < 40; i++) {
+    scopes.push_back(std::make_unique<ScopedPhase>(Phase::kVerify));
+  }
+  EXPECT_EQ(PhaseDepth(), 32u);
+  scopes.clear();
+  EXPECT_EQ(PhaseDepth(), 0u);
+}
+
+TEST(DisabledTest, ScopedPhaseIsInertWhenDisabled) {
+  SetTelemetryEnabled(false);
+  const uint64_t before = PhaseHistogram(Phase::kAudit)->Snap().total;
+  {
+    ScopedPhase phase(Phase::kAudit);
+    EXPECT_EQ(PhaseDepth(), 0u);
+  }
+  EXPECT_EQ(PhaseHistogram(Phase::kAudit)->Snap().total, before);
+}
+
+TEST(PhaseNameTest, AllPhasesNamed) {
+  for (size_t i = 0; i < kPhaseCount; i++) {
+    const char* name = PhaseName(static_cast<Phase>(i));
+    EXPECT_STRNE(name, "?") << i;
+    EXPECT_GT(strlen(name), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace telemetry
+}  // namespace nyx
