@@ -1,5 +1,9 @@
 // Figure 6: throughput of creating/loading incremental snapshots with n
-// dirty pages, Nyx-Net vs AGAMOTTO, on two VM sizes.
+// dirty pages, Nyx-Net vs AGAMOTTO, on two VM sizes — plus two sweeps the
+// paper's KVM setup could not ask: the same snapshot workload under every
+// available dirty-tracking backend (mprotect vs uffd-WP vs soft-dirty,
+// DESIGN.md §12), and the depth-k snapshot tree against the classic
+// root+incremental pair on a staged message sequence.
 //
 // This is a genuine wall-clock microbenchmark of the two snapshot
 // implementations (src/vm vs src/agamotto): real mmap/mprotect/memfd-CoW
@@ -53,10 +57,12 @@ struct Sample {
   double restore_us = 0;
 };
 
-Sample BenchNyx(size_t vm_pages, size_t dirty, size_t reps) {
+Sample BenchNyx(size_t vm_pages, size_t dirty, size_t reps,
+                TrackingMode mode = TrackingMode::kMprotect) {
   VmConfig cfg;
   cfg.mem_pages = vm_pages;
   cfg.disk_sectors = 16;
+  cfg.tracking = mode;
   Vm vm(cfg);
   vm.TakeRootSnapshot();
   Sample s;
@@ -98,6 +104,52 @@ Sample BenchAgamotto(size_t vm_pages, size_t dirty, size_t reps) {
   s.create_us /= static_cast<double>(reps);
   s.restore_us /= static_cast<double>(reps);
   return s;
+}
+
+// Depth-k tree vs classic pair on a staged message sequence: `stages`
+// protocol stages each dirty `stage_pages` fresh pages; the tree snapshots
+// the first `depth` stage boundaries (exactly what the engine's auto-push
+// does at packet boundaries). Per iteration the bench returns to the
+// deepest state: restore to the deepest snapshot, then re-apply the
+// un-snapshotted stages by rewriting their pages — a *floor* on replay cost,
+// since real re-execution also runs the target. Larger depth => fewer
+// replayed stages and less dirt for the next restore to revert.
+double BenchTree(size_t vm_pages, size_t stages, size_t depth, size_t stage_pages,
+                 size_t tail, size_t reps) {
+  VmConfig cfg;
+  cfg.mem_pages = vm_pages;
+  cfg.disk_sectors = 16;
+  cfg.snapshot_depth = depth;
+  Vm vm(cfg);
+  vm.TakeRootSnapshot();
+
+  auto write_stage = [&](size_t s, uint8_t value) {
+    for (size_t i = 0; i < stage_pages; i++) {
+      vm.mem().base()[((s * stage_pages + i) % vm_pages) * kPageSize] = value;
+    }
+  };
+  for (size_t s = 0; s < stages; s++) {
+    write_stage(s, static_cast<uint8_t>(s + 1));
+    if (s < depth) {
+      vm.PushSnapshot();
+    }
+  }
+
+  double total = 0;
+  for (size_t r = 0; r < reps; r++) {
+    // Suffix dirt on top of the deepest state (the fuzzed tail packet).
+    for (size_t i = 0; i < tail; i++) {
+      vm.mem().base()[((stages * stage_pages + i) % vm_pages) * kPageSize] =
+          static_cast<uint8_t>(r + 1);
+    }
+    const auto t0 = Clock::now();
+    vm.RestoreTo(depth);
+    for (size_t s = depth; s < stages; s++) {
+      write_stage(s, static_cast<uint8_t>(s + 1));  // replay floor
+    }
+    total += MicrosSince(t0);
+  }
+  return total / static_cast<double>(reps);
 }
 
 // Page-granular write protection splits the guest mapping into up to two
@@ -191,6 +243,100 @@ int main() {
       return 1;
     }
   }
+  // Backend head-to-head: the same create/restore sweep under every
+  // available dirty-tracking backend. Unavailable backends are reported, not
+  // silently dropped. One phase-breakdown section per VM size per backend.
+  const TrackingMode all_modes[] = {TrackingMode::kMprotect, TrackingMode::kUffd,
+                                    TrackingMode::kSoftDirty};
+  printf("Backend head-to-head: Nyx create/load under each dirty-tracking backend\n");
+  for (size_t mb : vm_mbs) {
+    const size_t pages = mb * 1024 * 1024 / kPageSize;
+    TextTable table({"dirty pages", "mprotect create us", "mprotect load us",
+                     "uffd create us", "uffd load us", "softdirty create us",
+                     "softdirty load us"});
+    // sample[mode][dirty index]; run grouped by backend so each backend's
+    // phase latencies land in their own section.
+    std::vector<std::vector<Sample>> samples(3);
+    for (size_t m = 0; m < 3; m++) {
+      const TrackingMode mode = all_modes[m];
+      if (!TrackingModeAvailable(mode)) {
+        continue;
+      }
+      telemetry::MetricRegistry::Global().ResetValues();
+      for (size_t dirty : dirty_counts) {
+        Sample s;
+        const bool runnable =
+            dirty <= pages * 3 / 4 &&
+            (mode != TrackingMode::kMprotect || dirty * 2 + 1024 <= 65000 ||
+             EnsureMapCount(dirty * 3));
+        if (runnable) {
+          const size_t reps = dirty <= 1000 ? 100 : (dirty <= 10000 ? 20 : 5);
+          fprintf(stderr, "[fig6] vm=%zuMB dirty=%zu backend=%s...\n", mb, dirty,
+                  TrackingModeName(mode));
+          s = BenchNyx(pages, dirty, reps, mode);
+        } else {
+          s.create_us = s.restore_us = -1;
+        }
+        samples[m].push_back(s);
+      }
+      if (!UpdatePhaseBreakdown(phase_out,
+                                "fig6-" + std::to_string(mb) + "mb-" +
+                                    TrackingModeName(mode),
+                                PhaseBreakdownSection())) {
+        telemetry::SetTelemetryEnabled(was_enabled);
+        return 1;
+      }
+    }
+    for (size_t d = 0; d < sizeof(dirty_counts) / sizeof(dirty_counts[0]); d++) {
+      std::vector<std::string> row = {std::to_string(dirty_counts[d])};
+      for (size_t m = 0; m < 3; m++) {
+        if (samples[m].empty()) {
+          row.push_back("(unavailable)");
+          row.push_back("-");
+        } else if (samples[m][d].create_us < 0) {
+          row.push_back("-");
+          row.push_back("-");
+        } else {
+          row.push_back(Fmt(samples[m][d].create_us));
+          row.push_back(Fmt(samples[m][d].restore_us));
+        }
+      }
+      table.AddRow(row);
+    }
+    printf("VM size: %zu MB (%zu pages)\n", mb, pages);
+    table.Print();
+    printf("\n");
+  }
+
+  // Depth-k tree vs the classic pair: 8 protocol stages x 512 pages, the
+  // tree snapshotting the first k stage boundaries. depth=1 IS the classic
+  // root+incremental pair; deeper trees replay fewer stages per iteration
+  // and revert less dirt per restore.
+  {
+    const size_t tree_pages = 64 * 1024 * 1024 / kPageSize;  // 64 MB VM
+    const size_t kStages = 8, kStagePages = 512, kTail = 64, kReps = 50;
+    printf("Snapshot tree: time back to the deepest of %zu stages (%zu pages/stage)\n",
+           kStages, kStagePages);
+    TextTable table({"tree depth", "per-iteration us", "speedup vs depth 1"});
+    double depth1_us = 0;
+    for (size_t depth : {1, 2, 4, 8}) {
+      telemetry::MetricRegistry::Global().ResetValues();
+      fprintf(stderr, "[fig6] tree depth=%zu...\n", depth);
+      const double us = BenchTree(tree_pages, kStages, depth, kStagePages, kTail, kReps);
+      if (!UpdatePhaseBreakdown(phase_out, "fig6-tree-depth" + std::to_string(depth),
+                                PhaseBreakdownSection())) {
+        telemetry::SetTelemetryEnabled(was_enabled);
+        return 1;
+      }
+      if (depth == 1) {
+        depth1_us = us;
+      }
+      table.AddRow({std::to_string(depth), Fmt(us), Fmt(depth1_us / us, 1) + "x"});
+    }
+    table.Print();
+    printf("\n");
+  }
+
   telemetry::SetTelemetryEnabled(was_enabled);
   telemetry::MetricRegistry::Global().ResetValues();
   fprintf(stderr, "[fig6] phase breakdown -> %s\n", phase_out.c_str());

@@ -1,9 +1,9 @@
 #include "src/agamotto/agamotto.h"
 
 #include <string.h>
-#include <sys/mman.h>
 
 #include <algorithm>
+#include <vector>
 
 namespace nyx {
 
@@ -107,6 +107,9 @@ int AgamottoCheckpointManager::CreateCheckpoint() {
   Node node;
   node.id = next_id_++;
   node.parent = parent_id;
+  // Passive backends publish dirty info only on sync; fault-driven ones
+  // treat this as a no-op.
+  mem_.SyncDirty();
   // The defining cost: scan the whole bitmap to discover dirty pages.
   mem_.tracker().ForEachDirtyByBitmapWalk([&](uint32_t page) {
     auto copy = std::make_unique<uint8_t[]>(kPageSize);
@@ -136,17 +139,10 @@ bool AgamottoCheckpointManager::RestoreCheckpoint(int id) {
   if (id != -1 && nodes_.count(id) == 0) {
     return false;
   }
+  mem_.SyncDirty();
   auto restore_page = [&](uint32_t page) {
-    const uint8_t* src = ResolvePage(id, page);
-    uint8_t* dst = mem_.base() + static_cast<size_t>(page) * kPageSize;
-    if (!mem_.tracker().IsDirty(page) && mem_.mode() == TrackingMode::kMprotect) {
-      // Page is still write-protected; toggle around the copy.
-      mprotect(dst, kPageSize, PROT_READ | PROT_WRITE);
-      memcpy(dst, src, kPageSize);
-      mprotect(dst, kPageSize, PROT_READ);
-    } else {
-      memcpy(dst, src, kPageSize);
-    }
+    memcpy(mem_.base() + static_cast<size_t>(page) * kPageSize, ResolvePage(id, page),
+           kPageSize);
   };
 
   // Pages in the old and new lineages' deltas may differ between the two
@@ -164,15 +160,25 @@ bool AgamottoCheckpointManager::RestoreCheckpoint(int id) {
       cur = it->second.parent;
     }
   }
+  // Open the still-protected lineage pages in one coalesced pass (dirty ones
+  // are already writable), copy everything, then seal opened+dirty together
+  // — replacing the old protection-toggle pair around each single copy.
+  std::vector<uint32_t> to_open;
+  to_open.reserve(lineage_pages.size());
   for (const auto& [page, unused] : lineage_pages) {
     if (!mem_.tracker().IsDirty(page)) {
-      restore_page(page);
+      to_open.push_back(page);
     }
+  }
+  std::sort(to_open.begin(), to_open.end());
+  mem_.OpenForRestore(to_open.data(), to_open.size());
+  for (const uint32_t page : to_open) {
+    restore_page(page);
   }
 
   // Another full bitmap walk to find freshly dirtied pages to revert.
   mem_.tracker().ForEachDirtyByBitmapWalk(restore_page);
-  mem_.ReArmDirtyPages();
+  mem_.SealAfterRestore();
   current_node_ = id;
   if (id != -1) {
     Touch(id);

@@ -24,6 +24,18 @@
 //   NYX_TRACE_RING  per-thread trace ring capacity in events (default 65536)
 //   NYX_PHASE_OUT   output path override for BENCH_phase_breakdown.json
 //                   (table3 / fig6 phase-breakdown passes)
+//   NYX_TRACKER     dirty-tracking backend for guest memory: "mprotect"
+//                   (SIGSEGV write-protection faults, default), "uffd"
+//                   (userfaultfd write-protect mode), "softdirty"
+//                   (/proc/self/pagemap soft-dirty bits) or "software"
+//                   (explicit accessors only). Unavailable backends fall
+//                   back to mprotect with one warning (DESIGN.md §12)
+//   NYX_DIRTY_RING  capacity of the simulated hardware dirty ring (positive
+//                   pages per ring-full VM exit, default 512)
+//   NYX_SNAPSHOT_DEPTH  maximum depth of the VM snapshot tree (positive,
+//                   default 1 = the classic root+incremental pair); depths
+//                   >1 let the engine push extra snapshots at packet
+//                   boundaries so restores revert only a suffix of pages
 
 #ifndef SRC_COMMON_ENV_H_
 #define SRC_COMMON_ENV_H_
@@ -57,6 +69,9 @@ double Wall(double def);       // NYX_WALL
 bool LockDebug(bool def);      // NYX_LOCK_DEBUG (overrides `def` both ways)
 bool Audit();                  // NYX_AUDIT
 std::string TracePath();       // NYX_TRACE ("" when unset)
+std::string Tracker();         // NYX_TRACKER ("" when unset)
+size_t DirtyRing(size_t def);  // NYX_DIRTY_RING
+size_t SnapshotDepth(size_t def);  // NYX_SNAPSHOT_DEPTH
 
 }  // namespace env
 }  // namespace nyx

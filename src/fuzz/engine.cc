@@ -153,6 +153,7 @@ ExecResult NyxEngine::Run(const Program& input, CoverageMap& cov) {
 
   // Audit mode (NYX_AUDIT=1): run the program, replay it down the identical
   // path, and compare end states. See src/fuzz/audit.h for the oracle.
+  const std::vector<ChainLink> pre_chain = chain_;
   ExecResult result_a = RunInternal(input, cov);
   {
     // Everything past the primary execution is audit overhead:
@@ -163,14 +164,15 @@ ExecResult NyxEngine::Run(const Program& input, CoverageMap& cov) {
     telemetry::ScopedPhase phase(telemetry::Phase::kAudit);
     const StateFingerprint fp_a = CaptureFingerprint(cov, result_a);
 
-    // Force the replay down run A's exact path: if A started from the root
-    // it may have created an incremental snapshot mid-run, and the replay
-    // must not shortcut through it. (If A itself resumed from the
-    // incremental, the replay reuses it — nothing invalidated it in
-    // between.)
-    if (!result_a.used_incremental) {
-      inc_hash_valid_ = false;
-    }
+    // Force the replay down run A's exact path: A may have pushed new
+    // snapshots mid-run (the marker, or packet-boundary auto-pushes that
+    // extend the chain past A's own match), and the replay must compute
+    // the same chain match A did rather than shortcut through links A
+    // just recorded. Restoring the pre-A chain is sufficient: A only
+    // pushed *deeper* than its match, so every slot the restored chain
+    // can match is still valid, the first hash mismatch falls at the same
+    // depth, and B re-pushes the same snapshots from identical state.
+    chain_ = pre_chain;
     CoverageMap audit_cov;
     ExecResult result_b = RunInternal(input, audit_cov);
     const StateFingerprint fp_b = CaptureFingerprint(audit_cov, result_b);
@@ -204,9 +206,25 @@ ExecResult NyxEngine::RunInternal(const Program& input, CoverageMap& cov) {
   size_t start_op = 0;
   {
     telemetry::ScopedPhase phase(telemetry::Phase::kSnapshotRestore);
-    if (marker.has_value() && vm_->has_incremental() && inc_hash_valid_ &&
-        inc_prefix_hash_ == prefix_hash) {
-      vm_->RestoreIncremental();
+    // Deepest chain link whose recorded prefix the new input shares. Links
+    // match in order; the first mismatch caps the depth (anything deeper
+    // was captured past a diverging op). The VM bounds the search to its
+    // valid-slot prefix.
+    size_t match = 0;
+    if (marker.has_value()) {
+      size_t limit = chain_.size() < vm_->max_valid_depth() ? chain_.size()
+                                                            : vm_->max_valid_depth();
+      for (size_t d = 1; d <= limit; d++) {
+        const ChainLink& link = chain_[d - 1];
+        if (link.ops_hashed > input.ops.size() ||
+            input.OpsHash(link.ops_hashed) != link.hash) {
+          break;
+        }
+        match = d;
+      }
+    }
+    if (match > 0) {
+      vm_->RestoreTo(match);
       RestoreInterpState(vm_->current_aux());
       start_op = resume_op_;
       result.used_incremental = true;
@@ -214,7 +232,7 @@ ExecResult NyxEngine::RunInternal(const Program& input, CoverageMap& cov) {
       vm_->RestoreRoot();
       RestoreInterpState(vm_->current_aux());
       start_op = 0;
-      inc_hash_valid_ = false;
+      chain_.clear();
     }
   }
 
@@ -228,10 +246,18 @@ ExecResult NyxEngine::RunInternal(const Program& input, CoverageMap& cov) {
   for (size_t i = start_op; i < input.ops.size() && !ctx.crash().crashed; i++) {
     const Op& op = input.ops[i];
     if (op.is_snapshot()) {
+      if (vm_->cur_depth() != 0) {
+        // Malformed input with a second marker (Validate rejects these, but
+        // the engine must not abort on one): ignore it.
+        continue;
+      }
       telemetry::ScopedPhase phase(telemetry::Phase::kSnapshotRestore);
-      inc_prefix_hash_ = prefix_hash;
-      inc_hash_valid_ = true;
       vm_->CreateIncremental(SerializeInterpState(static_cast<uint32_t>(i + 1)));
+      // The link hash covers the marker op itself, so a later match implies
+      // the candidate input also carries the marker at this position and
+      // resuming at i+1 skips exactly the executed prefix.
+      chain_.clear();
+      chain_.push_back({input.OpsHash(i + 1), static_cast<uint32_t>(i + 1)});
       result.created_incremental = true;
       continue;
     }
@@ -263,6 +289,18 @@ ExecResult NyxEngine::RunInternal(const Program& input, CoverageMap& cov) {
           result.packets_delivered++;
           clock_.Advance(config_.cost.per_byte_ns * op.data.size());
           GuardedStep(*target_, ctx);
+          // Deepen the snapshot chain at packet boundaries once the marker
+          // established depth 1 — the next related input resumes past this
+          // packet instead of replaying it. Crashed states are never worth
+          // resuming from.
+          if (vm_->cur_depth() >= 1 && vm_->cur_depth() < config_.vm.snapshot_depth &&
+              !ctx.crash().crashed) {
+            const size_t d =
+                vm_->PushSnapshot(SerializeInterpState(static_cast<uint32_t>(i + 1)));
+            chain_.resize(d - 1);
+            chain_.push_back({input.OpsHash(i + 1), static_cast<uint32_t>(i + 1)});
+            result.created_incremental = true;
+          }
         }
         break;
       }
@@ -315,7 +353,7 @@ StateFingerprint NyxEngine::CaptureFingerprint(const CoverageMap& cov,
 
 void NyxEngine::DropIncremental() {
   vm_->DropIncremental();
-  inc_hash_valid_ = false;
+  chain_.clear();
 }
 
 std::vector<Bytes> NyxEngine::LastResponses() const {

@@ -8,13 +8,15 @@
 //   * ops are interpreted in order: connection ops queue connections,
 //     packet ops deliver one packet and let the target run until it blocks,
 //     close ops signal peer EOF;
-//   * the snapshot marker op triggers creation of the single incremental
+//   * the snapshot marker op triggers creation of the depth-1 incremental
 //     snapshot (with the interpreter + netemu state riding along in the
-//     snapshot's aux blob);
-//   * if the input's prefix (ops before the marker) hashes identically to
-//     the prefix the current incremental snapshot was created from, the
-//     prefix is skipped entirely: the VM restores to the incremental
-//     snapshot and execution resumes at the op after the marker.
+//     snapshot's aux blob); when VmConfig::snapshot_depth allows, further
+//     snapshots are pushed automatically at later packet boundaries,
+//     growing a linear chain of resume points;
+//   * each chain link records the ops-hash of the input prefix it resumed
+//     past. If the next input shares a prefix with the chain, the engine
+//     restores to the *deepest* matching link and resumes at the op after
+//     it — long shared message sequences pay only for their unshared tail.
 //
 // After the run the VM is left dirty; the next Run() restores as needed.
 
@@ -115,8 +117,15 @@ class NyxEngine {
   uint32_t resume_op_ = 0;
   size_t connection_ops_seen_ = 0;
 
-  uint64_t inc_prefix_hash_ = 0;
-  bool inc_hash_valid_ = false;
+  // One entry per tree snapshot depth: link d (index d-1) was captured
+  // after executing ops [0, ops_hashed) whose hash was `hash`. The chain
+  // mirrors the VM's valid-slot prefix; restores match the deepest link
+  // whose prefix the new input shares.
+  struct ChainLink {
+    uint64_t hash;
+    uint32_t ops_hashed;
+  };
+  std::vector<ChainLink> chain_;
   uint64_t execs_ = 0;
 };
 

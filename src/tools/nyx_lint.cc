@@ -35,6 +35,12 @@
 //                   NYX_EXEC_EPHEMERAL (re-initialized every exec). State
 //                   with neither annotation survives a snapshot restore
 //                   unrestored — the classic irreproducible-execution bug.
+//   raw-mprotect    mprotect / uffd write-protect ioctls outside the
+//                   dirty-backend layer (src/vm/dirty_backend.{h,cc}). All
+//                   page-protection changes flow through the DirtyBackend
+//                   interface so every backend sees a consistent view of
+//                   which pages are armed; one-off protection changes that
+//                   are not dirty tracking use nyx::RawProtect.
 //   include-path    quoted project includes must use the full path from the
 //                   repository root ("src/...").
 //   local-warnings  -Wall/-Wextra/-Wno-* belong in the top-level
@@ -206,6 +212,8 @@ void LintSourceLines(const std::string& rel, const std::vector<std::string>& lin
   const bool metrics_impl = StartsWith(rel, "src/common/telemetry.") ||
                             StartsWith(rel, "src/common/trace.") || self;
   const bool snapshot_dirs = InSnapshotDirs(rel);
+  // The backend layer is built out of the raw protection syscalls it wraps.
+  const bool backend_impl = StartsWith(rel, "src/vm/dirty_backend") || self;
 
   // Countdown of lines during which a NYX_SNAPSHOT_STATE/NYX_EXEC_EPHEMERAL
   // annotation still covers a following declaration (annotation line itself
@@ -250,6 +258,15 @@ void LintSourceLines(const std::string& rel, const std::vector<std::string>& lin
       Report(rel, lineno, "raw-time",
              "wall-clock reads are banned in fuzzing logic; use the virtual clock "
              "(src/common/vclock.h) so executions replay deterministically");
+    }
+
+    if (!backend_impl &&
+        (HasBareCall(code, "mprotect(") || code.find("userfaultfd") != std::string::npos ||
+         code.find("UFFDIO_") != std::string::npos)) {
+      Report(rel, lineno, "raw-mprotect",
+             "page-protection changes are banned outside src/vm/dirty_backend.*; "
+             "go through the DirtyBackend interface (or nyx::RawProtect for "
+             "one-off non-tracking protection changes)");
     }
 
     if (!env_impl && code.find("getenv") != std::string::npos) {
@@ -418,6 +435,14 @@ int SelfTest() {
        {"std::atomic<int> g_enabled{-1};"}, "raw-metrics", 0},
       {"clock_gettime in telemetry impl", "src/common/telemetry.cc",
        {"clock_gettime(CLOCK_MONOTONIC, &ts);"}, "raw-time", 0},
+      {"raw mprotect in vm code", "src/vm/fixture.cc",
+       {"mprotect(base, kPageSize, PROT_READ);"}, "raw-mprotect", 1},
+      {"uffd ioctl outside backend", "src/fuzz/fixture.cc",
+       {"ioctl(fd, UFFDIO_WRITEPROTECT, &wp);"}, "raw-mprotect", 1},
+      {"mprotect in backend impl", "src/vm/dirty_backend.cc",
+       {"mprotect(base, kPageSize, PROT_READ);"}, "raw-mprotect", 0},
+      {"RawProtect is not mprotect", "src/vm/fixture.cc",
+       {"RawProtect(base, kPageSize, PROT_READ);"}, "raw-mprotect", 0},
   };
 
   int failures = 0;

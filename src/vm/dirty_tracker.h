@@ -16,6 +16,7 @@
 #define SRC_VM_DIRTY_TRACKER_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "src/common/telemetry.h"
@@ -25,7 +26,10 @@ namespace nyx {
 
 class DirtyTracker {
  public:
-  explicit DirtyTracker(size_t num_pages);
+  // `ring_capacity` is the simulated hardware dirty-ring size: one ring-full
+  // VM exit is counted per that many newly dirtied pages (VmConfig /
+  // NYX_DIRTY_RING; kDirtyRingCapacity is the compile-time default).
+  explicit DirtyTracker(size_t num_pages, size_t ring_capacity = kDirtyRingCapacity);
 
   DirtyTracker(const DirtyTracker&) = delete;
   DirtyTracker& operator=(const DirtyTracker&) = delete;
@@ -40,8 +44,10 @@ class DirtyTracker {
   const uint32_t* stack_data() const { return stack_.data(); }
   size_t stack_size() const { return stack_size_; }
 
-  // Copies the current dirty set (used when a snapshot wants to own it).
-  std::vector<uint32_t> DirtyPages() const;
+  // Zero-copy view of the dirty stack, in dirtying order. Valid until the
+  // next MarkDirty/Clear; snapshot capture and restores iterate this
+  // directly instead of copying the set.
+  std::span<const uint32_t> dirty() const { return {stack_.data(), stack_size_}; }
 
   // AGAMOTTO-style access: scan the whole one-byte-per-page bitmap. O(#pages).
   template <typename Fn>
@@ -59,15 +65,17 @@ class DirtyTracker {
 
   size_t num_pages() const { return bitmap_.size(); }
 
-  // Number of simulated ring-full VM exits (one per kDirtyRingCapacity newly
+  // Number of simulated ring-full VM exits (one per ring_capacity newly
   // dirtied pages), for the throughput statistics.
   uint64_t ring_exits() const { return ring_exits_; }
   uint64_t total_marks() const { return total_marks_; }
+  size_t ring_capacity() const { return ring_capacity_; }
 
  private:
   std::vector<uint8_t> bitmap_;  // 1 byte per page, like KVM's log.
   std::vector<uint32_t> stack_;  // preallocated to num_pages.
   size_t stack_size_ = 0;
+  size_t ring_capacity_;
   size_t ring_fill_ = 0;
   uint64_t ring_exits_ = 0;
   uint64_t total_marks_ = 0;

@@ -11,6 +11,7 @@
 #include <mutex>
 
 #include "src/common/check.h"
+#include "src/common/telemetry.h"
 #include "src/vm/state_registry.h"
 
 namespace nyx {
@@ -116,11 +117,17 @@ void SetUnresolvedFaultHook(UnresolvedFaultHook hook) {
   g_unresolved_hook.store(hook, std::memory_order_release);
 }
 
-GuestMemory::GuestMemory(size_t num_pages, TrackingMode mode)
-    : num_pages_(num_pages), mode_(mode), tracker_(num_pages) {
+GuestMemory::GuestMemory(size_t num_pages, TrackingMode mode, size_t dirty_ring_capacity)
+    : num_pages_(num_pages),
+      requested_mode_(mode),
+      mode_(mode),
+      tracker_(num_pages, dirty_ring_capacity),
+      opened_(num_pages, 0) {
   // One extra PROT_NONE guard page so a target running off the end of guest
   // memory faults immediately and deterministically instead of silently
-  // reading whatever mapping happens to be adjacent.
+  // reading whatever mapping happens to be adjacent. The guard page is never
+  // part of dirty tracking, so it is protected via the raw call, and the
+  // backend is attached to the tracked range only.
   void* p = mmap(nullptr, size_bytes() + kPageSize, PROT_READ | PROT_WRITE,
                  MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
   if (p == MAP_FAILED) {
@@ -128,70 +135,73 @@ GuestMemory::GuestMemory(size_t num_pages, TrackingMode mode)
     abort();
   }
   base_ = static_cast<uint8_t*>(p);
-  if (mprotect(base_ + size_bytes(), kPageSize, PROT_NONE) != 0) {
-    perror("mprotect guard page");
-    abort();
-  }
-  if (mode_ == TrackingMode::kMprotect) {
+  RawProtect(base_ + size_bytes(), kPageSize, PROT_NONE);
+  backend_ = CreateDirtyBackend(mode, base_, num_pages_, &tracker_, &protect_calls_, &mode_);
+  if (backend_->wants_segv_handler()) {
     InstallHandlerOnce();
     RegisterRegion(this);
+    registered_ = true;
     // Bind the region to this thread (see thread_checker_ in the header).
     NYX_DCHECK(thread_checker_.CalledOnValidThread());
   }
 }
 
 GuestMemory::~GuestMemory() {
-  if (mode_ == TrackingMode::kMprotect) {
+  if (registered_) {
     UnregisterRegion(this);
   }
+  // The backend (and any monitor thread watching the mapping) must be gone
+  // before the mapping itself.
+  backend_.reset();
   munmap(base_, size_bytes() + kPageSize);
 }
 
-void GuestMemory::Protect(uint32_t first_page, size_t count, int prot) {
-  if (count == 0) {
-    return;
-  }
-  if (mprotect(base_ + static_cast<size_t>(first_page) * kPageSize, count * kPageSize, prot) !=
-      0) {
-    perror("mprotect");
-    abort();
-  }
-  protect_calls_.fetch_add(1, std::memory_order_relaxed);
-}
-
 void GuestMemory::ArmTracking() {
-  NYX_DCHECK(mode_ != TrackingMode::kMprotect || thread_checker_.CalledOnValidThread());
+  NYX_DCHECK(!backend_->wants_segv_handler() || thread_checker_.CalledOnValidThread());
   tracker_.Clear();
   armed_ = true;
-  if (mode_ == TrackingMode::kMprotect) {
-    Protect(0, num_pages_, PROT_READ);
-  }
+  opened_count_ = 0;
+  backend_->Arm();
 }
 
 void GuestMemory::DisarmTracking() {
   armed_ = false;
-  if (mode_ == TrackingMode::kMprotect) {
-    Protect(0, num_pages_, PROT_READ | PROT_WRITE);
+  backend_->Disarm();
+}
+
+void GuestMemory::SyncDirty() {
+  if (!backend_->needs_sync()) {
+    return;
   }
+  telemetry::ScopedPhase phase(telemetry::Phase::kDirtySync);
+  backend_->Sync();
+}
+
+void GuestMemory::OpenForRestore(const uint32_t* pages, size_t n) {
+  const size_t start = opened_count_;
+  for (size_t i = 0; i < n; i++) {
+    if (!tracker_.IsDirty(pages[i])) {
+      NYX_DCHECK_LT(opened_count_, opened_.size());
+      opened_[opened_count_++] = pages[i];
+    }
+  }
+  backend_->OpenPages(opened_.data() + start, opened_count_ - start);
+}
+
+void GuestMemory::SealAfterRestore() {
+  NYX_DCHECK(!backend_->wants_segv_handler() || thread_checker_.CalledOnValidThread());
+  backend_->ReArmPages(tracker_.stack_data(), tracker_.stack_size());
+  if (opened_count_ > 0) {
+    backend_->ReArmPages(opened_.data(), opened_count_);
+    opened_count_ = 0;
+  }
+  tracker_.Clear();
+  armed_ = true;
 }
 
 void GuestMemory::ReArmDirtyPages() {
-  NYX_DCHECK(mode_ != TrackingMode::kMprotect || thread_checker_.CalledOnValidThread());
-  if (mode_ == TrackingMode::kMprotect) {
-    // Coalesce runs of consecutive dirty pages into single mprotect calls.
-    const uint32_t* stack = tracker_.stack_data();
-    const size_t n = tracker_.stack_size();
-    size_t i = 0;
-    while (i < n) {
-      uint32_t start = stack[i];
-      size_t run = 1;
-      while (i + run < n && stack[i + run] == start + run) {
-        run++;
-      }
-      Protect(start, run, PROT_READ);
-      i += run;
-    }
-  }
+  NYX_DCHECK(!backend_->wants_segv_handler() || thread_checker_.CalledOnValidThread());
+  backend_->ReArmPages(tracker_.stack_data(), tracker_.stack_size());
   tracker_.Clear();
   armed_ = true;
 }
@@ -222,26 +232,12 @@ void GuestMemory::Memset(uint64_t guest_offset, uint8_t value, size_t len) {
 }
 
 bool GuestMemory::HandleFault(uintptr_t addr) {
-  if (!armed_ || mode_ != TrackingMode::kMprotect) {
+  if (!armed_) {
     return false;
   }
-  const uint32_t page = PageOf(addr - reinterpret_cast<uintptr_t>(base_));
   // Contains() excludes the guard page, so a resolvable fault is in range.
-  NYX_DCHECK_LT(page, num_pages_);
-  if (tracker_.IsDirty(page)) {
-    // The page is already writable; this fault is a genuine bug (e.g. a wild
-    // write the handler cannot resolve).
-    return false;
-  }
-  tracker_.MarkDirty(page);
-  // Re-enable writes for this single page. mprotect is async-signal-safe in
-  // practice on Linux (it is a plain syscall).
-  if (mprotect(base_ + static_cast<size_t>(page) * kPageSize, kPageSize,
-               PROT_READ | PROT_WRITE) != 0) {
-    return false;
-  }
-  protect_calls_.fetch_add(1, std::memory_order_relaxed);
-  return true;
+  NYX_DCHECK_LT(PageOf(addr - reinterpret_cast<uintptr_t>(base_)), num_pages_);
+  return backend_->HandleFault(addr);
 }
 
 }  // namespace nyx

@@ -1,15 +1,24 @@
 // Guest physical memory with hardware-style dirty-page logging.
 //
 // The paper relies on KVM's hardware-assisted dirty logging: the CPU traps
-// the first write to each page and reports it to the hypervisor. We reproduce
-// the same mechanism in userspace: guest RAM is an anonymous mmap region that
-// is write-protected (PROT_READ) whenever tracking is armed. The first write
-// to a page raises SIGSEGV; our handler records the page in the DirtyTracker
-// and re-enables writes for that page. Subsequent writes to the page are
-// full speed — exactly the cost profile of the hardware mechanism.
+// the first write to each page and reports it to the hypervisor. We
+// reproduce the signal in userspace behind a pluggable DirtyBackend
+// (src/vm/dirty_backend.h, DESIGN.md §12): write-protection faults
+// (mprotect/SIGSEGV or userfaultfd-WP) or passive soft-dirty harvesting.
+// Whatever the backend, every first write per page lands in the same
+// preallocated DirtyTracker stack, so restore cost stays O(#dirty).
 //
 // A software-tracking mode (explicit Write()/Memset() calls) exists for unit
-// tests that want to exercise tracker logic without signals.
+// tests that want to exercise tracker logic without kernel machinery.
+//
+// Restore protocol (used by Vm and the Agamotto manager):
+//   SyncDirty();                    // publish passive backends' dirty info
+//   <read tracker, decide pages>
+//   OpenForRestore(pages, n);       // make protected pages writable,
+//   <memcpy snapshot content in>    //   without polluting the dirty log
+//   SealAfterRestore();             // re-protect opened+dirty, clear, re-arm
+// The old per-page mprotect toggle pair around each copy is gone: opening
+// and sealing coalesce runs of pages into single syscalls.
 
 #ifndef SRC_VM_GUEST_MEMORY_H_
 #define SRC_VM_GUEST_MEMORY_H_
@@ -17,17 +26,14 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 
 #include "src/common/sync.h"
+#include "src/vm/dirty_backend.h"
 #include "src/vm/dirty_tracker.h"
 #include "src/vm/page.h"
 
 namespace nyx {
-
-enum class TrackingMode {
-  kMprotect,  // real write-protection faults (default)
-  kSoftware,  // dirty marks only via the explicit accessors
-};
 
 // Last-resort hook consulted when a SIGSEGV cannot be resolved as a
 // dirty-tracking fault (e.g. a target bug walked off guest memory). If the
@@ -39,7 +45,13 @@ void SetUnresolvedFaultHook(UnresolvedFaultHook hook);
 
 class GuestMemory {
  public:
-  GuestMemory(size_t num_pages, TrackingMode mode = TrackingMode::kMprotect);
+  // `mode` is the *requested* backend; when its kernel feature is missing
+  // the region falls back to mprotect (one warning per mode per process)
+  // and mode() reports what actually runs. The default stays compile-time
+  // kMprotect — NYX_TRACKER is resolved only by VmConfig, so unit tests of
+  // one specific backend are immune to the environment.
+  GuestMemory(size_t num_pages, TrackingMode mode = TrackingMode::kMprotect,
+              size_t dirty_ring_capacity = kDirtyRingCapacity);
   ~GuestMemory();
 
   GuestMemory(const GuestMemory&) = delete;
@@ -49,7 +61,9 @@ class GuestMemory {
   const uint8_t* base() const { return base_; }
   size_t size_bytes() const { return num_pages_ * kPageSize; }
   size_t num_pages() const { return num_pages_; }
+  // The backend actually running (after any fallback).
   TrackingMode mode() const { return mode_; }
+  TrackingMode requested_mode() const { return requested_mode_; }
 
   // Write-protects the whole region and clears the dirty set. From this point
   // every first write per page is recorded.
@@ -60,8 +74,24 @@ class GuestMemory {
 
   bool armed() const { return armed_; }
 
-  // Re-protects exactly the currently dirty pages (cheap re-arm used after a
-  // snapshot restore: only pages that were made writable need mprotect).
+  // Drains backend-internal dirty state into the tracker. Required before
+  // reading the tracker (and implicitly before Open/Seal/ReArm) for passive
+  // backends; a cheap no-op for fault-driven ones.
+  void SyncDirty();
+
+  // Makes still-protected pages writable without marking them dirty; the
+  // restore path writes snapshot content through this window. Pages already
+  // dirty (hence writable) are skipped. May be called repeatedly before the
+  // closing SealAfterRestore().
+  void OpenForRestore(const uint32_t* pages, size_t n);
+
+  // Re-protects everything OpenForRestore opened plus the currently dirty
+  // pages, clears the tracker and re-arms. Completes the restore protocol.
+  void SealAfterRestore();
+
+  // Re-protects exactly the currently dirty pages and clears the tracker
+  // (cheap re-arm after a capture, when nothing was opened). Callers that
+  // read the tracker first must SyncDirty() before this on passive backends.
   void ReArmDirtyPages();
 
   DirtyTracker& tracker() { return tracker_; }
@@ -87,22 +117,28 @@ class GuestMemory {
            addr < reinterpret_cast<uintptr_t>(base_) + size_bytes();
   }
 
-  // mprotect syscalls issued, for the overhead statistics.
+  // Protection-change syscalls issued (mprotect calls, uffd range ioctls or
+  // clear_refs resets depending on the backend), for overhead statistics.
   uint64_t protect_calls() const { return protect_calls_.load(std::memory_order_relaxed); }
 
  private:
-  void Protect(uint32_t first_page, size_t count, int prot);
-
   uint8_t* base_ = nullptr;
   size_t num_pages_;
-  TrackingMode mode_;
+  TrackingMode requested_mode_;
+  TrackingMode mode_;  // effective, after fallback
   bool armed_ = false;
+  bool registered_ = false;  // in the SIGSEGV region registry
   DirtyTracker tracker_;
   // Atomic because HandleFault bumps it from inside the SIGSEGV handler;
   // a plain field lets the compiler cache reads across the faulting writes.
   std::atomic<uint64_t> protect_calls_{0};
-  // A region with mprotect tracking must live its whole life on the thread
-  // that constructed it (the SIGSEGV handler only resolves faults for
+  std::unique_ptr<DirtyBackend> backend_;
+  // Pages opened (made writable while clean) since the last seal,
+  // preallocated so restores never allocate.
+  std::vector<uint32_t> opened_;
+  size_t opened_count_ = 0;
+  // A region with fault-driven tracking must live its whole life on the
+  // thread that constructed it (the SIGSEGV handler only resolves faults for
   // regions owned by the faulting thread — DESIGN.md §8.1). Debug builds
   // check that at every arm/disarm boundary instead of trusting the comment.
   ThreadChecker thread_checker_;

@@ -33,11 +33,9 @@ RootSnapshot::RootSnapshot(const GuestMemory& mem, const DeviceState& devices,
     abort();
   }
   memcpy(w, mem.base(), size_bytes_);
-  // Keep a read-only view for restores; drop the writable one.
-  if (mprotect(w, size_bytes_, PROT_READ) != 0) {
-    perror("mprotect root snapshot");
-    abort();
-  }
+  // Keep a read-only view for restores; drop the writable one. Sealing the
+  // view is not dirty tracking, so it goes through the sanctioned raw call.
+  RawProtect(w, size_bytes_, PROT_READ);
   view_ = static_cast<const uint8_t*>(w);
 }
 
@@ -53,6 +51,7 @@ RootSnapshot::~RootSnapshot() {
 IncrementalSnapshot::IncrementalSnapshot(const RootSnapshot& root)
     : root_(root),
       size_bytes_(root.size_bytes()),
+      in_delta_(root.size_bytes() / kPageSize, 0),
       in_mirror_(root.size_bytes() / kPageSize, 0),
       devices_(root.devices()) {
   void* m = mmap(nullptr, size_bytes_, PROT_READ | PROT_WRITE, MAP_PRIVATE, root.memfd(), 0);
@@ -90,36 +89,39 @@ void IncrementalSnapshot::ReMirror() {
 void IncrementalSnapshot::Capture(const GuestMemory& mem, const DeviceState& devices,
                                   const BlockDevice& disk) {
   captures_++;
+  // The previous capture's delta membership is void either way below.
+  for (uint32_t p : base_pages_) {
+    in_delta_[p] = 0;
+  }
   if (captures_ % kReMirrorInterval == 0) {
     ReMirror();
     base_pages_.clear();
   }
 
-  const uint32_t* stack = mem.tracker().stack_data();
-  const size_t n = mem.tracker().stack_size();
+  const std::span<const uint32_t> dirty = mem.tracker().dirty();
 
   // Revert pages captured previously but not dirtied this time: overwrite the
   // (already private) mirror page with root content. Reusing the existing
   // private copy avoids a page-table change.
   if (!base_pages_.empty()) {
     // Membership mask for the new dirty set.
-    for (size_t i = 0; i < n; i++) {
-      in_mirror_[stack[i]] |= 2;
+    for (uint32_t p : dirty) {
+      in_mirror_[p] |= 2;
     }
     for (uint32_t p : base_pages_) {
       if ((in_mirror_[p] & 2) == 0 && (in_mirror_[p] & 1) != 0) {
         memcpy(mirror_ + static_cast<size_t>(p) * kPageSize, root_.PagePtr(p), kPageSize);
       }
     }
-    for (size_t i = 0; i < n; i++) {
-      in_mirror_[stack[i]] &= 1;
+    for (uint32_t p : dirty) {
+      in_mirror_[p] &= 1;
     }
   }
 
-  base_pages_.assign(stack, stack + n);
-  for (size_t i = 0; i < n; i++) {
-    const uint32_t p = stack[i];
+  base_pages_.assign(dirty.begin(), dirty.end());
+  for (const uint32_t p : dirty) {
     NYX_DCHECK_LT(static_cast<size_t>(p), in_mirror_.size());
+    in_delta_[p] = 1;
     if ((in_mirror_[p] & 1) == 0) {
       in_mirror_[p] |= 1;
       private_page_count_++;

@@ -75,9 +75,15 @@ class IncrementalSnapshot {
   bool valid() const { return valid_; }
   void Invalidate() { valid_ = false; }
 
-  // Pages dirtied between the root snapshot and this capture. A later root
-  // restore must revert these in addition to the current dirty stack.
+  // Pages dirtied between the parent snapshot and this capture (the delta
+  // this capture stores). A later restore past this snapshot must revert
+  // these in addition to the current dirty stack.
   const std::vector<uint32_t>& base_pages() const { return base_pages_; }
+
+  // True when `page` is in this capture's delta, i.e. PagePtr(page) holds
+  // content captured here rather than inherited root content. The snapshot
+  // tree's lineage resolution (Vm::RestoreTo) walks ancestors with this.
+  bool has_page(uint32_t page) const { return in_delta_[page] != 0; }
 
   const uint8_t* PagePtr(uint32_t page) const {
     return mirror_ + static_cast<size_t>(page) * kPageSize;
@@ -99,6 +105,7 @@ class IncrementalSnapshot {
   size_t size_bytes_ = 0;
   bool valid_ = false;
   std::vector<uint32_t> base_pages_;
+  std::vector<uint8_t> in_delta_;   // page -> in base_pages_ of the last capture
   std::vector<uint8_t> in_mirror_;  // page -> has a private copy in the mirror
   size_t private_page_count_ = 0;
   uint64_t captures_ = 0;

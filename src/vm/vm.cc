@@ -1,7 +1,6 @@
 #include "src/vm/vm.h"
 
 #include <string.h>
-#include <sys/mman.h>
 
 #include "src/common/check.h"
 #include "src/common/telemetry.h"
@@ -9,7 +8,11 @@
 namespace nyx {
 
 Vm::Vm(const VmConfig& config)
-    : config_(config), mem_(config.mem_pages, config.tracking), disk_(config.disk_sectors) {
+    : config_(config),
+      mem_(config.mem_pages, config.tracking, config.dirty_ring_capacity),
+      disk_(config.disk_sectors),
+      visited_(config.mem_pages, 0),
+      revert_(config.mem_pages, 0) {
   // A small standard device complement; targets may add more before the root
   // snapshot is taken.
   devices_.AddDevice("serial", 64);
@@ -22,8 +25,9 @@ void Vm::TakeRootSnapshot(Bytes aux) {
   root_ = std::make_unique<RootSnapshot>(mem_, devices_, disk_);
   root_aux_ = std::move(aux);
   current_aux_ = root_aux_;
-  inc_.reset();
-  inc_base_live_ = false;
+  // Old mirrors map the previous root's memfd; the whole tree goes away.
+  slots_.clear();
+  cur_depth_ = 0;
   disk_.ClearDirty();
   mem_.ArmTracking();
 }
@@ -40,113 +44,160 @@ void Vm::RestoreDevices(const DeviceState& saved) {
   }
 }
 
-void Vm::RestoreRoot() {
-  NYX_CHECK(root_ != nullptr) << "RestoreRoot before TakeRootSnapshot";
+size_t Vm::max_valid_depth() const {
+  // Validity is a contiguous prefix by construction: pushes invalidate
+  // everything deeper, drops and root restores invalidate everything.
+  size_t d = 0;
+  while (d < slots_.size() && slots_[d].snap != nullptr && slots_[d].snap->valid()) {
+    d++;
+  }
+  return d;
+}
+
+const uint8_t* Vm::ResolvePage(size_t depth, uint32_t page) const {
+  // Deepest slot at or above `depth` whose delta captured the page wins;
+  // pages no slot captured still hold root content at that depth.
+  for (size_t e = depth; e >= 1; e--) {
+    const auto& snap = slots_[e - 1].snap;
+    if (snap != nullptr && snap->has_page(page)) {
+      return snap->PagePtr(page);
+    }
+  }
+  return root_->PagePtr(page);
+}
+
+void Vm::RestoreTo(size_t depth) {
+  NYX_CHECK(root_ != nullptr) << "RestoreTo before TakeRootSnapshot";
+  NYX_CHECK(depth == 0 || has_snapshot_at(depth))
+      << "RestoreTo(" << depth << ") without a valid snapshot at that depth";
   // Page copies and re-arming are the dirty-reset cost the paper's stack
   // optimization targets; the scope nests inside the engine's
   // snapshot-restore phase, so self-time splits them cleanly.
   telemetry::ScopedPhase phase(telemetry::Phase::kDirtyReset);
-  const uint32_t* stack = mem_.tracker().stack_data();
-  const size_t n = mem_.tracker().stack_size();
-  uint64_t restored = 0;
+  mem_.SyncDirty();
 
-  // Pages captured by the incremental snapshot are dirty relative to root but
-  // are no longer in the tracker (it was cleared when the incremental
-  // snapshot was created); revert them first. Keyed on inc_base_live_, NOT
-  // has_incremental(): DropIncremental invalidates the snapshot without
-  // cleaning guest memory, and the stale pages still need reverting here.
-  // (Found by the divergence auditor: replays of post-drop executions
-  // started from different guest state than the original run.)
-  if (inc_ != nullptr && inc_base_live_) {
-    for (uint32_t p : inc_->base_pages()) {
-      if (!mem_.tracker().IsDirty(p)) {
-        // These pages were re-protected when the incremental snapshot was
-        // taken; toggle protection around the copy without polluting the
-        // dirty log.
-        uint8_t* dst = mem_.base() + static_cast<size_t>(p) * kPageSize;
-        if (mem_.mode() == TrackingMode::kMprotect) {
-          mprotect(dst, kPageSize, PROT_READ | PROT_WRITE);
-        }
-        memcpy(dst, root_->PagePtr(p), kPageSize);
-        if (mem_.mode() == TrackingMode::kMprotect) {
-          mprotect(dst, kPageSize, PROT_READ);
-        }
-        restored++;
+  const size_t lo = depth < cur_depth_ ? depth : cur_depth_;
+  const size_t hi = depth < cur_depth_ ? cur_depth_ : depth;
+
+  // Revert set: current dirt plus the deltas of slots (lo, hi] — the
+  // unshared suffix between the current state and the target. Deltas of
+  // slots <= lo are common ancestry and stay untouched; that is the entire
+  // point of the tree. Invalidated slots' deltas still count (memory may
+  // hold their content), which is why slots are retained after
+  // invalidation. Deduplicated via the preallocated visited bitmap.
+  size_t n = 0;
+  for (const uint32_t p : mem_.tracker().dirty()) {
+    if (visited_[p] == 0) {
+      visited_[p] = 1;
+      revert_[n++] = p;
+    }
+  }
+  for (size_t e = lo + 1; e <= hi; e++) {
+    const auto& snap = slots_[e - 1].snap;
+    if (snap == nullptr) {
+      continue;
+    }
+    for (const uint32_t p : snap->base_pages()) {
+      if (visited_[p] == 0) {
+        visited_[p] = 1;
+        revert_[n++] = p;
       }
     }
   }
 
+  // Open still-protected pages once (coalesced), copy, seal once — instead
+  // of a protection-toggle pair around every single page copy.
+  mem_.OpenForRestore(revert_.data(), n);
   for (size_t i = 0; i < n; i++) {
-    const uint32_t p = stack[i];
-    memcpy(mem_.base() + static_cast<size_t>(p) * kPageSize, root_->PagePtr(p), kPageSize);
-    restored++;
+    const uint32_t p = revert_[i];
+    visited_[p] = 0;
+    memcpy(mem_.base() + static_cast<size_t>(p) * kPageSize, ResolvePage(depth, p), kPageSize);
   }
-  mem_.ReArmDirtyPages();
-  inc_base_live_ = false;  // memory is exactly root again
+  mem_.SealAfterRestore();
+  cur_depth_ = depth;
 
-  // The incremental snapshot describes a state we just discarded.
-  if (inc_ != nullptr) {
-    inc_->Invalidate();
+  if (depth == 0) {
+    disk_.RestoreFromRoot(root_->disk());
+    RestoreDevices(root_->devices());
+    current_aux_ = root_aux_;
+    stats_.root_restores++;
+  } else {
+    const TreeSlot& slot = slots_[depth - 1];
+    disk_.RestoreFromIncremental(slot.snap->disk(), root_->disk());
+    RestoreDevices(slot.snap->devices());
+    current_aux_ = slot.aux;
+    stats_.incremental_restores++;
+    if (depth >= 2) {
+      stats_.deep_restores++;
+    }
   }
 
-  disk_.RestoreFromRoot(root_->disk());
-  RestoreDevices(root_->devices());
-  current_aux_ = root_aux_;
-
-  stats_.root_restores++;
-  stats_.pages_restored += restored;
-  if (cost_ != nullptr) {
-    Charge(cost_->snapshot_restore_fixed_ns + restored * cost_->snapshot_page_copy_ns);
-  }
-}
-
-void Vm::CreateIncremental(Bytes aux) {
-  telemetry::ScopedPhase phase(telemetry::Phase::kDirtyReset);
-  if (inc_ == nullptr) {
-    inc_ = std::make_unique<IncrementalSnapshot>(*root_);
-  }
-  const size_t dirty = mem_.tracker().stack_size();
-  inc_->Capture(mem_, devices_, disk_);
-  mem_.ReArmDirtyPages();
-  inc_base_live_ = true;
-  inc_aux_ = std::move(aux);
-  current_aux_ = inc_aux_;
-
-  stats_.incremental_creates++;
-  stats_.pages_captured += dirty;
-  if (cost_ != nullptr) {
-    Charge(dirty * cost_->incremental_create_page_ns + cost_->device_reset_fast_ns);
-  }
-}
-
-void Vm::RestoreIncremental() {
-  NYX_CHECK(has_incremental()) << "RestoreIncremental without a valid incremental snapshot";
-  telemetry::ScopedPhase phase(telemetry::Phase::kDirtyReset);
-  const uint32_t* stack = mem_.tracker().stack_data();
-  const size_t n = mem_.tracker().stack_size();
-  // The mirror is a complete image of the VM at capture time (CoW of the
-  // root plus the overwritten dirty pages), so there is no per-page decision
-  // about which snapshot to read from.
-  for (size_t i = 0; i < n; i++) {
-    const uint32_t p = stack[i];
-    memcpy(mem_.base() + static_cast<size_t>(p) * kPageSize, inc_->PagePtr(p), kPageSize);
-  }
-  mem_.ReArmDirtyPages();
-
-  disk_.RestoreFromIncremental(inc_->disk(), root_->disk());
-  RestoreDevices(inc_->devices());
-  current_aux_ = inc_aux_;
-
-  stats_.incremental_restores++;
   stats_.pages_restored += n;
   if (cost_ != nullptr) {
     Charge(cost_->snapshot_restore_fixed_ns + n * cost_->snapshot_page_copy_ns);
   }
 }
 
+void Vm::RestoreRoot() {
+  RestoreTo(0);
+  // The scheduled input changed: every slot describes descendants of states
+  // just discarded. Invalidation does not clean guest memory — it is root
+  // again already — but retained deltas keep later restores correct if a
+  // slot is recaptured.
+  for (TreeSlot& slot : slots_) {
+    if (slot.snap != nullptr) {
+      slot.snap->Invalidate();
+    }
+  }
+}
+
+size_t Vm::PushSnapshot(Bytes aux) {
+  NYX_CHECK(root_ != nullptr) << "PushSnapshot before TakeRootSnapshot";
+  const size_t depth = cur_depth_ + 1;
+  NYX_CHECK(depth <= config_.snapshot_depth)
+      << "PushSnapshot beyond snapshot_depth " << config_.snapshot_depth;
+  telemetry::ScopedPhase phase(telemetry::Phase::kDirtyReset);
+  mem_.SyncDirty();
+
+  if (slots_.size() < depth) {
+    slots_.resize(depth);
+  }
+  TreeSlot& slot = slots_[depth - 1];
+  if (slot.snap == nullptr) {
+    slot.snap = std::make_unique<IncrementalSnapshot>(*root_);
+  }
+  const size_t dirty = mem_.tracker().stack_size();
+  slot.snap->Capture(mem_, devices_, disk_);
+  // Deeper slots described descendants of the state this capture replaced.
+  for (size_t e = depth; e < slots_.size(); e++) {
+    if (slots_[e].snap != nullptr) {
+      slots_[e].snap->Invalidate();
+    }
+  }
+  mem_.ReArmDirtyPages();
+  cur_depth_ = depth;
+  slot.aux = std::move(aux);
+  current_aux_ = slot.aux;
+
+  stats_.incremental_creates++;
+  stats_.pages_captured += dirty;
+  if (cost_ != nullptr) {
+    Charge(dirty * cost_->incremental_create_page_ns + cost_->device_reset_fast_ns);
+  }
+  return depth;
+}
+
+void Vm::CreateIncremental(Bytes aux) {
+  NYX_CHECK(cur_depth_ == 0)
+      << "CreateIncremental away from the root state; use PushSnapshot for deeper captures";
+  PushSnapshot(std::move(aux));
+}
+
 void Vm::DropIncremental() {
-  if (inc_ != nullptr) {
-    inc_->Invalidate();
+  for (TreeSlot& slot : slots_) {
+    if (slot.snap != nullptr) {
+      slot.snap->Invalidate();
+    }
   }
 }
 

@@ -92,14 +92,33 @@ TEST(DirtyTrackerTest, BitmapWalkMatchesStack) {
   EXPECT_EQ(via_stack, expected);
 }
 
-TEST(DirtyTrackerTest, DirtyPagesCopy) {
+TEST(DirtyTrackerTest, DirtySpanViewsStack) {
   DirtyTracker t(16);
   t.MarkDirty(4);
   t.MarkDirty(2);
-  std::vector<uint32_t> pages = t.DirtyPages();
+  std::span<const uint32_t> pages = t.dirty();
   ASSERT_EQ(pages.size(), 2u);
   EXPECT_EQ(pages[0], 4u);
   EXPECT_EQ(pages[1], 2u);
+  // Zero-copy: the span aliases the stack storage itself.
+  EXPECT_EQ(pages.data(), t.stack_data());
+  t.Clear();
+  EXPECT_TRUE(t.dirty().empty());
+}
+
+TEST(DirtyTrackerTest, ConfigurableRingCapacity) {
+  DirtyTracker t(256, 8);
+  EXPECT_EQ(t.ring_capacity(), 8u);
+  for (uint32_t p = 0; p < 7; p++) {
+    t.MarkDirty(p);
+  }
+  EXPECT_EQ(t.ring_exits(), 0u);
+  t.MarkDirty(7);
+  EXPECT_EQ(t.ring_exits(), 1u);
+  for (uint32_t p = 8; p < 24; p++) {
+    t.MarkDirty(p);
+  }
+  EXPECT_EQ(t.ring_exits(), 3u);
 }
 
 // Property: after any interleaving of marks and clears, bitmap and stack
