@@ -10,7 +10,13 @@
 // start, and the series begins after seed coverage — so curves do not start
 // at 0. Default scale: NYX_RUNS=2 medians, NYX_VTIME=120 virtual seconds,
 // NYX_FIG5_TARGETS (default: a 2-target subset; "all" for every target).
+//
+// A second pass runs the fault-injection ablation ("No Peer, no Cry"):
+// Nyx-Net-balanced with and without FuzzerConfig::fault_injection on the
+// same targets, summarized to BENCH_fault_ablation.json (override:
+// NYX_BENCH_OUT) — the with/without coverage delta is the headline number.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -82,5 +88,71 @@ int main() {
     const TimeSeries median = TimeSeries::PointwiseMedian(series, vtime, vtime / 60.0);
     fputs(median.ToCsv(labels[c]).c_str(), stdout);
   }
+
+  // ---- Fault-injection ablation ----
+  // Same targets, Nyx-Net-balanced only, fault mutations off vs on. The
+  // fault dimension exists to reach error-handling code plain traffic never
+  // exercises, so the expectation is coverage(on) >= coverage(off).
+  const std::vector<std::string> ablation_targets = TargetSelection();
+  std::vector<CampaignSpec> fconfigs;
+  for (const std::string& target : ablation_targets) {
+    for (bool faults : {false, true}) {
+      CampaignSpec cs;
+      cs.target = target;
+      cs.fuzzer = FuzzerKind::kNyxBalanced;
+      cs.limits.vtime_seconds = vtime;
+      cs.limits.wall_seconds = 3.0;
+      cs.fault_injection = faults;
+      fconfigs.push_back(cs);
+    }
+  }
+  fprintf(stderr, "[fig5] fault ablation: %zu campaigns...\n", fconfigs.size() * runs);
+  const std::vector<std::vector<CampaignResult>> fgrid = RunCampaignGrid(fconfigs, runs);
+
+  auto median_branches = [](const std::vector<CampaignResult>& results) {
+    std::vector<double> cov;
+    for (const auto& r : results) {
+      cov.push_back(static_cast<double>(r.branch_coverage));
+    }
+    return Median(cov);
+  };
+
+  const std::string out_path = env::StringOr("NYX_BENCH_OUT", "BENCH_fault_ablation.json");
+  FILE* out = fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    fprintf(stderr, "[fig5] could not write %s\n", out_path.c_str());
+    return 1;
+  }
+  fprintf(out, "{\n");
+  fprintf(out, "  \"bench\": \"fig5_fault_ablation\",\n");
+  fprintf(out, "  \"fuzzer\": \"Nyx-Net-balanced\",\n");
+  fprintf(out, "  \"runs\": %zu,\n", runs);
+  fprintf(out, "  \"vtime_seconds\": %.1f,\n", vtime);
+  fprintf(out, "  \"targets\": {\n");
+  for (size_t t = 0; t < ablation_targets.size(); t++) {
+    const std::vector<CampaignResult>& off = fgrid[t * 2];
+    const std::vector<CampaignResult>& on = fgrid[t * 2 + 1];
+    const double cov_off = off.empty() ? 0.0 : median_branches(off);
+    const double cov_on = on.empty() ? 0.0 : median_branches(on);
+    uint64_t faults = 0;
+    uint64_t faulted_bytes = 0;
+    for (const auto& r : on) {
+      faults += r.faults_injected;
+      faulted_bytes += r.faulted_bytes;
+    }
+    fprintf(out,
+            "    \"%s\": {\"branches_no_faults\": %.1f, \"branches_with_faults\": %.1f, "
+            "\"delta\": %.1f, \"faults_injected\": %llu, \"faulted_bytes\": %llu}%s\n",
+            ablation_targets[t].c_str(), cov_off, cov_on, cov_on - cov_off,
+            static_cast<unsigned long long>(faults),
+            static_cast<unsigned long long>(faulted_bytes),
+            t + 1 < ablation_targets.size() ? "," : "");
+    fprintf(stderr, "[fig5] %s: %.0f branches without faults, %.0f with (delta %+.0f)\n",
+            ablation_targets[t].c_str(), cov_off, cov_on, cov_on - cov_off);
+  }
+  fprintf(out, "  }\n");
+  fprintf(out, "}\n");
+  fclose(out);
+  fprintf(stderr, "[fig5] wrote %s\n", out_path.c_str());
   return 0;
 }

@@ -223,6 +223,11 @@ ExecResult BaselineFuzzer::RunOneExec(const Program& input, CoverageMap& cov) {
         case NodeSemantic::kCustom:
           GuardedStep(*target_, ctx);
           break;
+        case NodeSemantic::kFault:
+          // Baselines model stock AFLNet/desock setups, which have no fault
+          // injection; their mutators never emit fault ops, and any riding
+          // along in a shared corpus are inert here.
+          break;
       }
     }
     // Tear down this test case's connections so a persistent server does not

@@ -315,6 +315,18 @@ ExecResult NyxEngine::RunInternal(const Program& input, CoverageMap& cov) {
       case NodeSemantic::kCustom:
         GuardedStep(*target_, ctx);
         break;
+      case NodeSemantic::kFault: {
+        // Queue the plan; the fault fires inside the target's own
+        // Recv/Send/... calls on a later step. No GuardedStep here — the
+        // op only arms state, it delivers nothing to react to.
+        const int conn = ResolveConn(op);
+        if (net_.ValidConn(conn)) {
+          if (auto plan = FaultPlan::Decode(op.data)) {
+            net_.QueueFault(conn, *plan);
+          }
+        }
+        break;
+      }
     }
   }
 

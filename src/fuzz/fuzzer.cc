@@ -14,7 +14,8 @@ NyxFuzzer::NyxFuzzer(const EngineConfig& engine_config, TargetFactory factory, c
       config_(config),
       engine_(engine_config, factory, spec),
       corpus_(&spec_),
-      mutator_(spec, config.seed ^ 0x6d757461746f72ull),
+      mutator_(spec, config.seed ^ 0x6d757461746f72ull, /*dictionary=*/true,
+               config.fault_injection),
       policy_(config.policy, config.seed ^ 0x706f6c696379ull),
       rng_(config.seed) {}
 
@@ -226,6 +227,8 @@ CampaignResult NyxFuzzer::Run(const CampaignLimits& limits) {
   result.incremental_restores = engine_.vm_stats().incremental_restores;
   result.root_restores = engine_.vm_stats().root_restores;
   result.contract_soft_failures = GetThreadContractCounters().soft_failures - soft_at_start;
+  result.faults_injected = engine_.net().faults_injected();
+  result.faulted_bytes = engine_.net().faulted_bytes();
   if (engine_.auditor() != nullptr) {
     result.pages_audited = engine_.auditor()->stats().pages_audited;
     result.audit_divergences = engine_.auditor()->stats().divergences;

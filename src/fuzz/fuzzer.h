@@ -54,6 +54,10 @@ struct CampaignResult {
   // the auditor is enabled.
   uint64_t pages_audited = 0;
   uint64_t audit_divergences = 0;
+  // Deterministic fault injection (FuzzerConfig::fault_injection): total
+  // fault applications and input bytes they dropped (src/netemu/netemu.h).
+  uint64_t faults_injected = 0;
+  uint64_t faulted_bytes = 0;
   TimeSeries coverage_over_time;  // (vtime seconds, branch coverage)
   TimeSeries execs_over_time;     // (vtime seconds, cumulative execs)
   std::map<uint32_t, CrashRecord> crashes;
@@ -77,6 +81,9 @@ struct FuzzerConfig {
   CorpusFrontier* frontier = nullptr;
   size_t shard = 0;
   uint64_t sync_every_schedules = 4;
+  // Let the mutator insert/mutate/delete NodeSemantic::kFault ops so
+  // campaigns explore target error-handling paths ("No Peer, no Cry").
+  bool fault_injection = false;
 };
 
 class NyxFuzzer {

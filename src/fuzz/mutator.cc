@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/check.h"
+#include "src/spec/fault_plan.h"
 #include "src/spec/verify.h"
 
 namespace nyx {
@@ -206,6 +207,75 @@ bool Mutator::StructureMutation(Program& program, const std::vector<const Progra
   return false;
 }
 
+bool Mutator::FaultMutation(Program& program, size_t first_mutable_op) {
+  const std::vector<int> fault_nodes = spec_.NodesWithSemantic(NodeSemantic::kFault);
+  if (fault_nodes.empty()) {
+    return false;
+  }
+  std::vector<size_t> fault_ops;
+  for (size_t i = first_mutable_op; i < program.ops.size(); i++) {
+    const Op& op = program.ops[i];
+    if (!op.is_snapshot() && op.node_type < spec_.node_type_count() &&
+        spec_.node_type(op.node_type).semantic == NodeSemantic::kFault) {
+      fault_ops.push_back(i);
+    }
+  }
+  // Kind-aware random plan: args that make sense for the kind (a byte cap
+  // for short reads/writes, milliseconds for timeouts) reach interesting
+  // target branches far faster than uniform 16-bit noise.
+  auto random_plan = [&]() {
+    FaultPlan plan;
+    plan.kind = static_cast<FaultKind>(rng_.Below(kFaultKindCount));
+    plan.count = static_cast<uint8_t>(1 + rng_.Below(kMaxFaultBurst));
+    switch (plan.kind) {
+      case FaultKind::kShortRead:
+      case FaultKind::kShortWrite:
+        plan.arg = static_cast<uint16_t>(1 + rng_.Below(64));
+        break;
+      case FaultKind::kTimeout:
+        // Short waits: what matters is *that* the timeout path runs, not how
+        // long it waits — large arguments just burn the campaign's virtual
+        // time budget (a 999ms plan costs 1/60th of a default campaign).
+        plan.arg = static_cast<uint16_t>(1 + rng_.Below(10));
+        break;
+      default:
+        plan.arg = 0;
+    }
+    return plan;
+  };
+  switch (rng_.Below(3)) {
+    case 0: {  // insert a fault op (Repair rebinds the connection operand)
+      Op op;
+      op.node_type = static_cast<uint8_t>(fault_nodes[rng_.Below(fault_nodes.size())]);
+      const NodeTypeDef& node = spec_.node_type(op.node_type);
+      op.args.assign(node.borrows.size() + node.consumes.size(), 0);
+      op.data = random_plan().Encode();
+      const size_t lo = std::max(first_mutable_op, static_cast<size_t>(1));
+      if (program.ops.size() + 1 < lo) {
+        return false;
+      }
+      const size_t at = lo + rng_.Below(program.ops.size() + 1 - lo);
+      program.ops.insert(program.ops.begin() + static_cast<long>(at), std::move(op));
+      return true;
+    }
+    case 1: {  // re-plan an existing fault op
+      if (fault_ops.empty()) {
+        return false;
+      }
+      program.ops[fault_ops[rng_.Below(fault_ops.size())]].data = random_plan().Encode();
+      return true;
+    }
+    default: {  // delete a fault op
+      if (fault_ops.empty()) {
+        return false;
+      }
+      program.ops.erase(program.ops.begin() +
+                        static_cast<long>(fault_ops[rng_.Below(fault_ops.size())]));
+      return true;
+    }
+  }
+}
+
 void Mutator::Mutate(Program& program, const std::vector<const Program*>& corpus_donors,
                      size_t first_mutable_op) {
   program.StripSnapshotMarkers();
@@ -224,6 +294,12 @@ void Mutator::Mutate(Program& program, const std::vector<const Program*>& corpus
         HavocBytes(program.ops[packets[rng_.Below(packets.size())]].data);
         continue;
       }
+    }
+    // With the fault-injection knob on, a slice of the structural budget
+    // goes to fault-plan edits; the packet-structure distribution is
+    // untouched otherwise.
+    if (faults_ && rng_.Chance(1, 4) && FaultMutation(program, first_mutable_op)) {
+      continue;
     }
     StructureMutation(program, corpus_donors, first_mutable_op);
   }

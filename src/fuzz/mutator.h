@@ -28,8 +28,11 @@ class Mutator {
  public:
   // `dictionary` enables the protocol-token alphabet (Nyx-Net's spec-aware
   // mutators know about separators; plain AFLNet-style havoc does not).
-  Mutator(const Spec& spec, uint64_t seed, bool dictionary = true)
-      : spec_(spec), rng_(seed), dictionary_(dictionary) {}
+  // `faults` lets the structural mutator insert/mutate/delete fault-plan ops
+  // (FuzzerConfig::fault_injection); off, existing fault ops are left alone
+  // but no new ones appear.
+  Mutator(const Spec& spec, uint64_t seed, bool dictionary = true, bool faults = false)
+      : spec_(spec), rng_(seed), dictionary_(dictionary), faults_(faults) {}
 
   // Applies 1..n stacked mutations to `program`, never touching ops before
   // `first_mutable_op`. `corpus_donors` provides splice material (may be
@@ -43,10 +46,12 @@ class Mutator {
   void HavocBytes(Bytes& data);
   bool StructureMutation(Program& program, const std::vector<const Program*>& donors,
                          size_t first_mutable_op);
+  bool FaultMutation(Program& program, size_t first_mutable_op);
 
   const Spec& spec_;
   Rng rng_;
   bool dictionary_;
+  bool faults_;
 };
 
 }  // namespace nyx

@@ -166,6 +166,12 @@ void PopulateCampaignRegistry(telemetry::MetricRegistry& reg, const CampaignResu
   // oracle. Any nonzero divergence count is a determinism bug.
   reg.RegisterCounter("pages_audited")->Add(result.pages_audited);
   reg.RegisterCounter("divergences")->Add(result.audit_divergences);
+  // Deterministic fault injection (zeros unless the campaign ran with the
+  // fault_injection knob): applications fired and input bytes they dropped.
+  // faulted_bytes is split out so throughput numbers stay honest about
+  // bytes the target never saw.
+  reg.RegisterCounter("faults_injected")->Add(result.faults_injected);
+  reg.RegisterCounter("faulted_bytes")->Add(result.faulted_bytes);
   // Process-wide lock traffic (common/sync.h): how often any annotated
   // mutex was taken and how often the taker had to block. A contended
   // count creeping toward the acquisition count means the frontier sync
@@ -183,7 +189,8 @@ std::string RenderStatsText(const telemetry::MetricRegistry& reg) {
       "execs",         "vtime_seconds", "execs_per_vsec", "branch_coverage",
       "edge_coverage", "corpus_size",   "crashes",        "root_restores",
       "inc_creates",   "inc_restores",  "contract_soft",  "contract_hard",
-      "pages_audited", "divergences",   "lock_acquired",  "lock_contended",
+      "pages_audited", "divergences",   "faults_injected", "faulted_bytes",
+      "lock_acquired", "lock_contended",
   };
   const std::vector<telemetry::MetricRegistry::Entry> entries = reg.Entries();
   std::ostringstream os;

@@ -79,6 +79,7 @@ CampaignOutcome RunWith(const Spec& spec, TargetFactory factory,
     FuzzerConfig fcfg;
     fcfg.policy = NyxPolicyFor(cs.fuzzer);
     fcfg.seed = cs.seed;
+    fcfg.fault_injection = cs.fault_injection;
     NyxFuzzer fuzzer(engine_cfg, factory, spec, fcfg);
     for (const Program& s : seeds) {
       fuzzer.AddSeed(s);

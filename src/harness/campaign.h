@@ -38,6 +38,9 @@ struct CampaignSpec {
   uint64_t seed = 1;
   bool asan = false;
   size_t vm_pages = 1024;  // 4 MiB guest
+  // Deterministic fault injection (FuzzerConfig::fault_injection). Nyx kinds
+  // only; baselines model stock tools and ignore it.
+  bool fault_injection = false;
 };
 
 struct CampaignOutcome {

@@ -1,0 +1,39 @@
+// The one errno table. NetEmu speaks raw-syscall style: negative errno
+// values, matching what the LD_PRELOAD hooks would forward from the guest's
+// libc. Every errno-style constant the emulator can return lives here —
+// nyx_lint bans bare negative-errno literals outside src/netemu/, so callers
+// compare against these names and logs go through ErrName().
+
+#ifndef SRC_NETEMU_ERRNO_TABLE_H_
+#define SRC_NETEMU_ERRNO_TABLE_H_
+
+namespace nyx {
+
+inline constexpr int kErrIntr = -4;        // EINTR: interrupted by signal
+inline constexpr int kErrBadf = -9;        // EBADF: bad file descriptor
+inline constexpr int kErrAgain = -11;      // EAGAIN: would block
+inline constexpr int kErrInval = -22;      // EINVAL
+inline constexpr int kErrMfile = -24;      // EMFILE: fd table full
+inline constexpr int kErrPipe = -32;       // EPIPE: write after shutdown
+inline constexpr int kErrConnReset = -104; // ECONNRESET: peer reset
+inline constexpr int kErrNotConn = -107;   // ENOTCONN
+inline constexpr int kErrTimedOut = -110;  // ETIMEDOUT
+
+inline const char* ErrName(int err) {
+  switch (err) {
+    case kErrIntr:      return "EINTR";
+    case kErrBadf:      return "EBADF";
+    case kErrAgain:     return "EAGAIN";
+    case kErrInval:     return "EINVAL";
+    case kErrMfile:     return "EMFILE";
+    case kErrPipe:      return "EPIPE";
+    case kErrConnReset: return "ECONNRESET";
+    case kErrNotConn:   return "ENOTCONN";
+    case kErrTimedOut:  return "ETIMEDOUT";
+    default:            return err < 0 ? "E?" : "OK";
+  }
+}
+
+}  // namespace nyx
+
+#endif  // SRC_NETEMU_ERRNO_TABLE_H_

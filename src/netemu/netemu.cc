@@ -1,6 +1,8 @@
 #include "src/netemu/netemu.h"
 
+#include <algorithm>
 #include <cstring>
+#include <string>
 
 #include "src/common/check.h"
 
@@ -15,8 +17,57 @@ NetEmu::NetEmu(Config config)
       packets_counter_(
           telemetry::MetricRegistry::Global().RegisterCounter("netemu.packets_delivered")),
       bytes_counter_(telemetry::MetricRegistry::Global().RegisterCounter("netemu.bytes_delivered")) {
+  for (size_t k = 0; k < kFaultKindCount; k++) {
+    fault_counters_[k] = telemetry::MetricRegistry::Global().RegisterCounter(
+        std::string("netemu.faults_injected.") + FaultKindName(static_cast<FaultKind>(k)));
+  }
   sockets_.reserve(config_.max_sockets);
   fds_.reserve(config_.max_fds);
+}
+
+std::optional<FaultPlan> NetEmu::TakeFault(Sock& s, std::initializer_list<FaultKind> kinds) {
+  if (s.faults.empty()) {
+    return std::nullopt;
+  }
+  FaultEntry& front = s.faults.front();
+  bool applies = false;
+  for (FaultKind k : kinds) {
+    if (front.plan.kind == k) {
+      applies = true;
+      break;
+    }
+  }
+  if (!applies) {
+    return std::nullopt;
+  }
+  const FaultPlan plan = front.plan;
+  // One-shot kinds retire the whole entry (a connection dies once); burst
+  // kinds count down one application per matching call.
+  const bool one_shot =
+      plan.kind == FaultKind::kConnReset || plan.kind == FaultKind::kPeerClose;
+  if (one_shot || --front.remaining == 0) {
+    s.faults.pop_front();
+  }
+  faults_injected_++;
+  fault_counters_[static_cast<size_t>(plan.kind)]->Add(1);
+  return plan;
+}
+
+void NetEmu::ResetSock(Sock& s) {
+  // Queued-but-unread fuzz input dies with the connection; account for it
+  // separately so throughput numbers stay honest (ISSUE satellite).
+  size_t dropped = 0;
+  for (const Bytes& pkt : s.rx) {
+    dropped += pkt.size();
+  }
+  if (!s.rx.empty() && s.rx_front_consumed < s.rx.front().size()) {
+    dropped -= s.rx_front_consumed;
+  }
+  faulted_bytes_ += dropped;
+  s.rx.clear();
+  s.rx_front_consumed = 0;
+  s.reset = true;
+  s.peer_closed = true;
 }
 
 int NetEmu::AllocSocket() {
@@ -71,6 +122,7 @@ void NetEmu::DropSocketRef(int sock) {
     s.tx.clear();
     s.pending_accept.clear();
     s.epoll_watch.clear();
+    s.faults.clear();
   }
 }
 
@@ -129,6 +181,24 @@ int NetEmu::Accept(int fd) {
     blocked_on_input_ = true;
     return kErrAgain;
   }
+  // The connection at the head of the backlog may carry a fault: the peer
+  // can abort (RST while queued) or the accept itself can be interrupted.
+  if (auto f = TakeFault(sockets_[s->pending_accept.front()],
+                         {FaultKind::kConnReset, FaultKind::kIntr, FaultKind::kEagain})) {
+    switch (f->kind) {
+      case FaultKind::kConnReset: {
+        const int aborted = s->pending_accept.front();
+        s->pending_accept.pop_front();
+        ResetSock(sockets_[aborted]);
+        DropSocketRef(aborted);
+        return kErrConnReset;
+      }
+      case FaultKind::kIntr:
+        return kErrIntr;
+      default:
+        return kErrAgain;
+    }
+  }
   blocked_on_input_ = false;
   const int conn = s->pending_accept.front();
   s->pending_accept.pop_front();
@@ -148,6 +218,19 @@ int NetEmu::Connect(int fd, uint16_t port) {
   if (s == nullptr) {
     return kErrBadf;
   }
+  if (auto f = TakeFault(*s, {FaultKind::kTimeout, FaultKind::kConnReset, FaultKind::kIntr})) {
+    switch (f->kind) {
+      case FaultKind::kTimeout:
+        if (clock_ != nullptr) {
+          clock_->Advance(static_cast<uint64_t>(f->arg) * 1000000ull);
+        }
+        return kErrTimedOut;
+      case FaultKind::kConnReset:
+        return kErrConnReset;
+      default:
+        return kErrIntr;
+    }
+  }
   s->port = port;
   s->attack_surface = true;
   client_conns_.push_back(fds_[fd].sock);
@@ -162,6 +245,35 @@ int NetEmu::Recv(int fd, void* buf, size_t len) {
   }
   if (s->kind == SockKind::kListener) {
     return kErrInval;
+  }
+  if (auto f = TakeFault(*s, {FaultKind::kShortRead, FaultKind::kEagain, FaultKind::kIntr,
+                              FaultKind::kConnReset, FaultKind::kPeerClose,
+                              FaultKind::kTimeout})) {
+    switch (f->kind) {
+      case FaultKind::kShortRead:
+        // Cap this read; the normal path below serves at most `arg` bytes.
+        len = std::min(len, static_cast<size_t>(f->arg > 0 ? f->arg : 1));
+        break;
+      case FaultKind::kEagain:
+        // Spurious would-block despite queued data. Not a real blocking
+        // point, so blocked_on_input_ stays untouched.
+        return kErrAgain;
+      case FaultKind::kIntr:
+        return kErrIntr;
+      case FaultKind::kConnReset:
+        ResetSock(*s);
+        return kErrConnReset;
+      case FaultKind::kPeerClose:
+        // FIN mid-message: queued data stays readable, EOF once drained —
+        // exactly the half-closed stream a real kernel presents.
+        s->peer_closed = true;
+        break;
+      default:  // kTimeout
+        if (clock_ != nullptr) {
+          clock_->Advance(static_cast<uint64_t>(f->arg) * 1000000ull);
+        }
+        return kErrTimedOut;
+    }
   }
   if (s->rx.empty()) {
     if (s->peer_closed || s->shut_down) {
@@ -235,8 +347,27 @@ int NetEmu::Send(int fd, const void* data, size_t len) {
   if (s->kind == SockKind::kListener) {
     return kErrInval;
   }
-  if (s->shut_down) {
-    return kErrNotConn;
+  // Error-path consistency (matching a real kernel): writing after our own
+  // shutdown or after the connection was reset is EPIPE — the reset itself
+  // was reported exactly once as ECONNRESET. Writing after a plain peer FIN
+  // (peer_closed) still succeeds: TCP lets the first post-FIN send through.
+  if (s->shut_down || s->reset) {
+    return kErrPipe;
+  }
+  if (auto f = TakeFault(*s, {FaultKind::kShortWrite, FaultKind::kEagain, FaultKind::kIntr,
+                              FaultKind::kConnReset})) {
+    switch (f->kind) {
+      case FaultKind::kShortWrite:
+        len = std::min(len, static_cast<size_t>(f->arg > 0 ? f->arg : 1));
+        break;
+      case FaultKind::kEagain:
+        return kErrAgain;
+      case FaultKind::kIntr:
+        return kErrIntr;
+      default:  // kConnReset
+        ResetSock(*s);
+        return kErrConnReset;
+    }
   }
   const uint8_t* p = static_cast<const uint8_t*>(data);
   s->tx.emplace_back(p, p + len);
@@ -307,6 +438,24 @@ int NetEmu::Poll(std::vector<PollRequest>& reqs) {
   for (PollRequest& r : reqs) {
     r.readable = false;
     r.writable = false;
+  }
+  // A queued timeout fault expires the whole poll: nothing reports ready
+  // even if data is queued, and the virtual clock jumps by the plan's arg
+  // milliseconds. Not a real blocking point, so blocked_on_input_ is not
+  // set. First matching fd in request order wins, deterministically.
+  for (PollRequest& r : reqs) {
+    Sock* s = SockForFd(r.fd);
+    if (s == nullptr) {
+      continue;
+    }
+    if (auto f = TakeFault(*s, {FaultKind::kTimeout})) {
+      if (clock_ != nullptr) {
+        clock_->Advance(static_cast<uint64_t>(f->arg) * 1000000ull);
+      }
+      return 0;
+    }
+  }
+  for (PollRequest& r : reqs) {
     Sock* s = SockForFd(r.fd);
     if (s == nullptr) {
       continue;
@@ -380,6 +529,19 @@ int NetEmu::EpollWait(int epfd, std::vector<int>& ready_fds) {
   Sock* ep = SockForFd(epfd);
   if (ep == nullptr || !ep->epoll_instance) {
     return kErrBadf;
+  }
+  // Same timeout-fault semantics as Poll().
+  for (const auto& [fd, want_read] : ep->epoll_watch) {
+    Sock* s = SockForFd(fd);
+    if (s == nullptr) {
+      continue;
+    }
+    if (auto f = TakeFault(*s, {FaultKind::kTimeout})) {
+      if (clock_ != nullptr) {
+        clock_->Advance(static_cast<uint64_t>(f->arg) * 1000000ull);
+      }
+      return 0;
+    }
   }
   bool any_attack_surface = false;
   for (const auto& [fd, want_read] : ep->epoll_watch) {
@@ -470,7 +632,23 @@ bool NetEmu::DeliverPacket(int conn, Bytes data) {
   }
   packets_counter_->Add(1);
   bytes_counter_->Add(data.size());
+  if (sockets_[conn].reset) {
+    // A reset connection drops deliveries on the floor, like a kernel
+    // discarding segments for a dead socket. The bytes count as delivered
+    // (the fuzzer spent them) and as faulted (the target never saw them).
+    faulted_bytes_ += data.size();
+    return true;
+  }
   sockets_[conn].rx.push_back(std::move(data));
+  return true;
+}
+
+bool NetEmu::QueueFault(int conn, const FaultPlan& plan) {
+  telemetry::ScopedPhase phase(telemetry::Phase::kNetemu);
+  if (!NYX_EXPECT(ValidConn(conn)) || !plan.Valid()) {
+    return false;
+  }
+  sockets_[conn].faults.push_back(FaultEntry{plan, plan.count});
   return true;
 }
 
@@ -498,14 +676,19 @@ size_t NetEmu::UndeliveredBytes() const {
     for (const Bytes& pkt : s.rx) {
       n += pkt.size();
     }
-    n -= s.rx.empty() ? 0 : (s.rx_front_consumed < s.rx.front().size() ? s.rx_front_consumed : 0);
+    // A partially read front packet: the consumed prefix is no longer
+    // "undelivered" (the pop-when-drained invariant keeps the offset
+    // strictly inside the front packet).
+    if (!s.rx.empty() && s.rx_front_consumed < s.rx.front().size()) {
+      n -= s.rx_front_consumed;
+    }
   }
   return n;
 }
 
 Bytes NetEmu::Serialize() const {
   Bytes out;
-  PutLe32(out, 0x4e455431);  // "NET1"
+  PutLe32(out, 0x4e455432);  // "NET2": v1 plus per-sock reset flag + fault queue
   PutLe32(out, static_cast<uint32_t>(sockets_.size()));
   for (const Sock& s : sockets_) {
     out.push_back(s.live ? 1 : 0);
@@ -536,6 +719,15 @@ Bytes NetEmu::Serialize() const {
     for (const auto& [fd, want_read] : s.epoll_watch) {
       PutLe32(out, static_cast<uint32_t>(fd));
       out.push_back(want_read ? 1 : 0);
+    }
+    out.push_back(s.reset ? 1 : 0);
+    // Fault queues are snapshot-relevant: a restore mid-burst must replay
+    // the remaining applications bit-identically (NYX_AUDIT relies on it).
+    PutLe32(out, static_cast<uint32_t>(s.faults.size()));
+    for (const FaultEntry& e : s.faults) {
+      out.push_back(static_cast<uint8_t>(e.plan.kind));
+      out.push_back(e.remaining);
+      PutLe16(out, e.plan.arg);
     }
   }
   PutLe32(out, static_cast<uint32_t>(fds_.size()));
@@ -581,7 +773,7 @@ bool NetEmu::Deserialize(const Bytes& blob) {
     return b;
   };
 
-  if (u32() != 0x4e455431) {
+  if (u32() != 0x4e455432) {
     return false;
   }
   const uint32_t nsock = u32();
@@ -619,6 +811,21 @@ bool NetEmu::Deserialize(const Bytes& blob) {
       const int fd = static_cast<int>(u32());
       const bool want_read = u8() != 0;
       s.epoll_watch.emplace_back(fd, want_read);
+    }
+    s.reset = u8() != 0;
+    const uint32_t nfault = u32();
+    for (uint32_t i = 0; i < nfault && off <= blob.size(); i++) {
+      // Clamp against fuzzed blobs: an out-of-range kind or burst must not
+      // become an out-of-range switch or an unbounded countdown.
+      FaultEntry e;
+      e.plan.kind = static_cast<FaultKind>(u8() % kFaultKindCount);
+      e.remaining = u8();
+      e.plan.arg = u16();
+      if (e.remaining == 0 || e.remaining > kMaxFaultBurst) {
+        continue;
+      }
+      e.plan.count = e.remaining;
+      s.faults.push_back(e);
     }
   }
   const uint32_t nfds = u32();

@@ -19,21 +19,17 @@
 
 #include <cstdint>
 #include <deque>
+#include <initializer_list>
 #include <optional>
 #include <vector>
 
 #include "src/common/bytes.h"
 #include "src/common/telemetry.h"
 #include "src/common/vclock.h"
+#include "src/netemu/errno_table.h"
+#include "src/spec/fault_plan.h"
 
 namespace nyx {
-
-// Errno-style results (negative values, like raw syscalls return).
-inline constexpr int kErrAgain = -11;   // EAGAIN: would block
-inline constexpr int kErrBadf = -9;     // EBADF: bad file descriptor
-inline constexpr int kErrInval = -22;   // EINVAL
-inline constexpr int kErrMfile = -24;   // EMFILE: fd table full
-inline constexpr int kErrNotConn = -107;
 
 enum class SockKind : uint8_t {
   kListener,
@@ -115,9 +111,17 @@ class NetEmu {
   // deliver straight to it. Returns a connection handle, or -1.
   int FindDgramSocket(uint16_t port) const;
   // Appends one packet to a connection's receive queue. The handle comes
-  // from QueueConnection() or from ClientConnections().
+  // from QueueConnection() or from ClientConnections(). Returns true when
+  // the bytes entered the emulator (a reset connection accepts-and-drops
+  // them into faulted_bytes(), like a kernel dropping onto a dead socket).
   bool DeliverPacket(int conn, Bytes data);
   void PeerClose(int conn);
+  // Queues one deterministic fault plan on a connection. Plans are strictly
+  // FIFO per socket: the front plan is consulted by the libc-shaped call it
+  // applies to and passes through calls it does not (a short-write queued
+  // before a short-read simply waits for the next Send). Driven by the
+  // NodeSemantic::kFault opcode; see src/spec/fault_plan.h.
+  bool QueueFault(int conn, const FaultPlan& plan);
   // Everything the target sent on this connection, packet boundaries as sent.
   const std::vector<Bytes>& Sent(int conn) const;
   // Connection handles created by the target via Connect().
@@ -132,6 +136,13 @@ class NetEmu {
 
   // Bytes of fuzz input still queued but never read by the target.
   size_t UndeliveredBytes() const;
+  // Bytes dropped by injected faults (connection resets discarding queued
+  // packets, deliveries onto reset sockets). Conservation invariant:
+  //   consumed + UndeliveredBytes() + faulted_bytes() == delivered.
+  uint64_t faulted_bytes() const { return faulted_bytes_; }
+  // Total fault applications (per-kind breakdown is in the metric registry
+  // under netemu.faults_injected.<kind>).
+  uint64_t faults_injected() const { return faults_injected_; }
 
   // ---- Snapshot support ----
   Bytes Serialize() const;
@@ -144,6 +155,13 @@ class NetEmu {
   }
 
  private:
+  // One queued fault application: the plan plus how many calls it still
+  // fires on (burst countdown). Snapshot-relevant, so it serializes.
+  struct FaultEntry {
+    FaultPlan plan;
+    uint8_t remaining = 0;
+  };
+
   struct Sock {
     bool live = false;
     SockKind kind = SockKind::kStream;
@@ -152,6 +170,7 @@ class NetEmu {
     bool attack_surface = false;
     bool peer_closed = false;
     bool shut_down = false;
+    bool reset = false;             // killed by a kConnReset fault
     int refcount = 0;
     std::deque<Bytes> rx;           // queued packets, boundaries preserved
     size_t rx_front_consumed = 0;   // partial read offset into rx.front()
@@ -159,6 +178,7 @@ class NetEmu {
     std::vector<Bytes> tx;
     bool epoll_instance = false;
     std::vector<std::pair<int, bool>> epoll_watch;  // (fd, want_read)
+    std::deque<FaultEntry> faults;  // FIFO fault queue (see QueueFault)
   };
 
   struct FdEntry {
@@ -172,6 +192,13 @@ class NetEmu {
   Sock* SockForFd(int fd);
   bool Readable(const Sock& s) const;
   void DropSocketRef(int sock);
+  // If the front of the socket's fault queue matches one of `kinds`,
+  // consumes one application (pops one-shot kinds whole) and returns the
+  // plan; otherwise leaves the queue untouched and returns nullopt.
+  std::optional<FaultPlan> TakeFault(Sock& s, std::initializer_list<FaultKind> kinds);
+  // kConnReset application: queued-but-unread rx bytes move to
+  // faulted_bytes_ and the socket goes dead-to-the-peer.
+  void ResetSock(Sock& s);
   void Charge() {
     calls_++;
     if (clock_ != nullptr) {
@@ -188,6 +215,10 @@ class NetEmu {
   bool blocked_on_input_ = false;
   bool consumed_input_ = false;
   uint64_t calls_ = 0;
+  // Observational (like calls_): deliberately NOT serialized, so audit
+  // fingerprints stay identical across replays that re-apply the faults.
+  uint64_t faults_injected_ = 0;
+  uint64_t faulted_bytes_ = 0;
   VirtualClock* clock_ = nullptr;
   const CostModel* cost_ = nullptr;
   // Registry counters, resolved once at construction; the per-call overhead
@@ -195,6 +226,7 @@ class NetEmu {
   telemetry::Counter* conns_queued_counter_;
   telemetry::Counter* packets_counter_;
   telemetry::Counter* bytes_counter_;
+  telemetry::Counter* fault_counters_[kFaultKindCount];
 };
 
 }  // namespace nyx

@@ -4,6 +4,7 @@
 
 #include "src/common/check.h"
 #include "src/common/hash.h"
+#include "src/spec/fault_plan.h"
 
 namespace nyx {
 
@@ -238,6 +239,30 @@ void Program::Repair(const Spec& spec) {
     }
     if (!ok) {
       continue;  // no live value of the required type: drop the op
+    }
+    // Scalar payloads have an exact wire width; havoc mutations and
+    // hand-edited seeds may leave the wrong byte count, so normalize here
+    // (zero-extend / truncate) to keep the verifier's post-condition.
+    switch (node.data) {
+      case DataKind::kU8:
+        op.data.resize(1, 0);
+        break;
+      case DataKind::kU16:
+        op.data.resize(2, 0);
+        break;
+      case DataKind::kU32:
+        op.data.resize(4, 0);
+        break;
+      case DataKind::kNone:
+        op.data.clear();
+        break;
+      case DataKind::kBytes:
+        break;
+    }
+    // Fault payloads additionally carry semantic range rules (valid kind,
+    // bounded burst); clamp them to the nearest well-formed plan.
+    if (node.semantic == NodeSemantic::kFault) {
+      op.data = FaultPlan::Sanitize(op.data).Encode();
     }
     arg = node.borrows.size();
     for (size_t c = 0; c < node.consumes.size(); c++) {

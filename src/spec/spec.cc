@@ -38,6 +38,8 @@ Spec Spec::GenericNetwork() {
                             DataKind::kNone});
   s.AddNodeType(
       NodeTypeDef{"pkt", NodeSemantic::kPacket, {}, {e_con}, {}, DataKind::kBytes});
+  s.AddNodeType(
+      NodeTypeDef{"fault", NodeSemantic::kFault, {}, {e_con}, {}, DataKind::kU32});
   return s;
 }
 
@@ -50,6 +52,8 @@ Spec Spec::MultiConnection() {
       NodeTypeDef{"pkt", NodeSemantic::kPacket, {}, {e_con}, {}, DataKind::kBytes});
   s.AddNodeType(
       NodeTypeDef{"close", NodeSemantic::kClose, {}, {}, {e_con}, DataKind::kNone});
+  s.AddNodeType(
+      NodeTypeDef{"fault", NodeSemantic::kFault, {}, {e_con}, {}, DataKind::kU32});
   return s;
 }
 

@@ -30,6 +30,7 @@ enum class NodeSemantic : uint8_t {
   kPacket,      // deliver one packet on a borrowed connection
   kClose,       // orderly close (consumes the connection)
   kCustom,      // target-defined
+  kFault,       // queue a deterministic fault plan on a borrowed connection
 };
 
 enum class DataKind : uint8_t {

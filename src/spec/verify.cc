@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "src/spec/fault_plan.h"
+
 namespace nyx {
 namespace spec {
 
@@ -179,6 +181,17 @@ void VerifyOps(const Program& program, const Spec& spec, const std::vector<size_
       CheckArgs(op, node, tracker, i, off, sink);
     }
     CheckData(op, node, i, off, sink);
+    // Fault plans get a semantic check on top of the width check: the kind
+    // must exist and the burst count must be bounded, or NetEmu's replay
+    // would have to guess (well-formedness is part of determinism here).
+    if (node.semantic == NodeSemantic::kFault && op.data.size() == 4 &&
+        !FaultPlan::Decode(op.data).has_value()) {
+      sink.Add(Rule::kFaultPlan, i, off,
+               "fault plan kind " + std::to_string(op.data[0]) + " / burst " +
+                   std::to_string(op.data[1]) + " out of range (kinds < " +
+                   std::to_string(kFaultKindCount) + ", burst 1.." +
+                   std::to_string(kMaxFaultBurst) + ")");
+    }
     // Produce outputs even after a diagnosed op so later value ids line up
     // with what the builder would have assigned.
     for (int edge : node.outputs) {
@@ -198,6 +211,7 @@ const char* RuleName(Rule rule) {
     case Rule::kUseAfterConsume: return "use-after-consume";
     case Rule::kDataOnDatalessNode: return "data-on-dataless-node";
     case Rule::kScalarDataWidth: return "scalar-data-width";
+    case Rule::kFaultPlan: return "fault-plan";
     case Rule::kOversizeData: return "oversize-data";
     case Rule::kTooManyOps: return "too-many-ops";
     case Rule::kDuplicateSnapshotMarker: return "duplicate-snapshot-marker";

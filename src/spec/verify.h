@@ -44,6 +44,7 @@ enum class Rule : uint8_t {
   kUseAfterConsume,         // affine violation: value already consumed
   kDataOnDatalessNode,      // payload bytes on a DataKind::kNone node
   kScalarDataWidth,         // kU8/kU16/kU32 payload with the wrong byte count
+  kFaultPlan,               // kFault payload decodes to an ill-formed plan
   kOversizeData,            // payload exceeds the wire-format limit
   kTooManyOps,              // program exceeds kMaxProgramOps
   kDuplicateSnapshotMarker, // more than one snapshot marker

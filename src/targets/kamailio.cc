@@ -78,6 +78,22 @@ class Kamailio final : public Target {
       }
       uint8_t pkt[1024];
       const int n = ctx.net().Recv(st->sock, pkt, sizeof(pkt));
+      if (n == kErrIntr) {
+        // Interrupted syscall: retry, as kamailio's udp_rcv_loop does.
+        ctx.Cov(kSite + 150);
+        continue;
+      }
+      if (n == kErrTimedOut) {
+        // Receive timeout: yield back to the scheduler.
+        ctx.Cov(kSite + 152);
+        return;
+      }
+      if (n == kErrConnReset) {
+        // ICMP port-unreachable surfaces as ECONNRESET on connected UDP
+        // sockets; the datagram is gone, keep serving.
+        ctx.Cov(kSite + 154);
+        continue;
+      }
       if (n <= 0) {
         return;
       }

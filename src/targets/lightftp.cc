@@ -98,6 +98,23 @@ class LightFtp final : public Target {
       if (n == kErrAgain) {
         return;
       }
+      if (n == kErrIntr) {
+        // Interrupted read: retry the recv, as the classic EINTR loop would.
+        ctx.Cov(kSite + 90);
+        continue;
+      }
+      if (n == kErrConnReset) {
+        // Client aborted: tear the session down and go back to accepting.
+        ctx.Cov(kSite + 92);
+        ctx.net().Close(st->conn);
+        st->conn = -1;
+        continue;
+      }
+      if (n == kErrTimedOut) {
+        // Idle timeout expired with no bytes: give the scheduler the turn.
+        ctx.Cov(kSite + 94);
+        return;
+      }
       if (n <= 0) {
         ctx.Cov(kSite + 1);
         ctx.net().Close(st->conn);
@@ -281,7 +298,12 @@ class LightFtp final : public Target {
       char content[64];
       const uint32_t n = f->size < sizeof(content) ? f->size : sizeof(content);
       ctx.disk().ReadBytes(f->disk_off, content, n);
-      ctx.net().Send(fd, content, n);
+      if (ctx.CovBranch(ctx.net().Send(fd, content, n) < static_cast<int>(n),
+                        kSite + 96)) {
+        // Transfer write failed or was cut short (EPIPE / short write).
+        Reply(ctx, fd, "426 Transfer aborted\r\n");
+        return;
+      }
       Reply(ctx, fd, "226 Transfer complete\r\n");
       return;
     }

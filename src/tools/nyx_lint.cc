@@ -21,6 +21,12 @@
 //   raw-env         getenv outside src/common/env.cc. Configuration comes
 //                   in through the typed accessors in src/common/env.h so
 //                   every knob is documented and greppable in one place.
+//   raw-errno       bare negative errno literals (-11, -104, ...) in src/
+//                   outside src/netemu/. The emulator's errno surface is
+//                   centralized in src/netemu/errno_table.h; callers compare
+//                   against kErrAgain/kErrConnReset/... and log through
+//                   ErrName() so a renumbering can never silently skew a
+//                   target's error handling.
 //   raw-metrics     static-duration std::atomic<integer> declarations
 //                   outside the telemetry layer itself. Loose atomic
 //                   counters never reach stats.txt / metrics.json; register
@@ -167,6 +173,56 @@ bool DeclaresMutableStatic(const std::string& code) {
   return false;
 }
 
+// ---- raw-errno rule ------------------------------------------------------
+
+// Every errno value the emulator can return (src/netemu/errno_table.h),
+// longest literal first so "-11" never fires inside "-110".
+constexpr const char* kErrnoLiterals[] = {"-110", "-107", "-104", "-32", "-24",
+                                          "-22",  "-11",  "-9",   "-4"};
+
+// True when `code` uses one of the errno values as a bare literal: the minus
+// sign in unary position (after =, (, comma, comparison, return/case, ...)
+// directly followed by the digits. Binary arithmetic like `len - 4` and
+// longer numbers like -115 stay out of scope.
+bool HasBareErrnoLiteral(const std::string& code) {
+  for (const char* lit : kErrnoLiterals) {
+    const size_t n = std::string(lit).size();
+    size_t pos = 0;
+    while ((pos = code.find(lit, pos)) != std::string::npos) {
+      const size_t after = pos + n;
+      if (after < code.size() && (IsIdentChar(code[after]) || code[after] == '.')) {
+        pos = after;  // part of a longer number or a float
+        continue;
+      }
+      size_t i = pos;
+      while (i > 0 && (code[i - 1] == ' ' || code[i - 1] == '\t')) {
+        i--;
+      }
+      if (i == 0) {
+        return true;  // the literal opens the line
+      }
+      const char prev = code[i - 1];
+      if (prev == '=' || prev == '(' || prev == ',' || prev == '<' || prev == '>' ||
+          prev == '!' || prev == '{' || prev == ';' || prev == '?' || prev == ':' ||
+          prev == '&' || prev == '|') {
+        return true;
+      }
+      if (IsIdentChar(prev)) {
+        size_t start = i;
+        while (start > 0 && IsIdentChar(code[start - 1])) {
+          start--;
+        }
+        const std::string token = code.substr(start, i - start);
+        if (token == "return" || token == "case") {
+          return true;
+        }
+      }
+      pos = after;
+    }
+  }
+  return false;
+}
+
 // ---- raw-metrics rule ----------------------------------------------------
 
 // True if the line declares a std::atomic over an integer type — the shape
@@ -214,6 +270,11 @@ void LintSourceLines(const std::string& rel, const std::vector<std::string>& lin
   const bool snapshot_dirs = InSnapshotDirs(rel);
   // The backend layer is built out of the raw protection syscalls it wraps.
   const bool backend_impl = StartsWith(rel, "src/vm/dirty_backend") || self;
+  // The errno table itself (and the rest of src/netemu/, which implements
+  // the libc surface) defines the literals; everything else in src/ names
+  // them. Tests and benches compare via the constants too, but are not
+  // linted for it — assertions on raw values there are deliberate.
+  const bool errno_impl = StartsWith(rel, "src/netemu/") || !StartsWith(rel, "src/") || self;
 
   // Countdown of lines during which a NYX_SNAPSHOT_STATE/NYX_EXEC_EPHEMERAL
   // annotation still covers a following declaration (annotation line itself
@@ -273,6 +334,13 @@ void LintSourceLines(const std::string& rel, const std::vector<std::string>& lin
       Report(rel, lineno, "raw-env",
              "getenv is banned outside src/common/env.cc; add a typed accessor "
              "to src/common/env.h");
+    }
+
+    if (!errno_impl && HasBareErrnoLiteral(code)) {
+      Report(rel, lineno, "raw-errno",
+             "bare negative errno literals are banned outside src/netemu/; "
+             "compare against the named constants in src/netemu/errno_table.h "
+             "(kErrAgain, kErrConnReset, ...) and log through ErrName()");
     }
 
     if (!metrics_impl) {
@@ -443,6 +511,20 @@ int SelfTest() {
        {"mprotect(base, kPageSize, PROT_READ);"}, "raw-mprotect", 0},
       {"RawProtect is not mprotect", "src/vm/fixture.cc",
        {"RawProtect(base, kPageSize, PROT_READ);"}, "raw-mprotect", 0},
+      {"bare errno comparison", "src/targets/fixture.cc",
+       {"if (n == -104) {"}, "raw-errno", 1},
+      {"bare errno return", "src/fuzz/fixture.cc",
+       {"return -110;"}, "raw-errno", 1},
+      {"errno literal in netemu is the table", "src/netemu/fixture.h",
+       {"inline constexpr int kErrConnReset = -104;"}, "raw-errno", 0},
+      {"binary minus is not errno", "src/fuzz/fixture.cc",
+       {"const size_t rest = len - 4;"}, "raw-errno", 0},
+      {"longer negative number is not errno", "src/fuzz/fixture.cc",
+       {"int x = -115;"}, "raw-errno", 0},
+      {"named errno constant is fine", "src/targets/fixture.cc",
+       {"if (n == kErrConnReset) {"}, "raw-errno", 0},
+      {"errno literal in tests is deliberate", "tests/fixture.cc",
+       {"EXPECT_EQ(n, -104);"}, "raw-errno", 0},
   };
 
   int failures = 0;

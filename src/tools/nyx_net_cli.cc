@@ -6,8 +6,9 @@
 //       List the available fuzz targets and their seeded bugs.
 //   nyx-net fuzz --target NAME [--policy none|balanced|aggressive|aflnet|
 //       aflnet-no-state|aflnwe|desock|ijon] [--vtime SECONDS] [--wall SECONDS]
-//       [--seed N] [--asan] [--workdir DIR] [--resume]
+//       [--seed N] [--asan] [--workdir DIR] [--resume] [--faults]
 //       Run a campaign; persists queue/crashes/stats into the workdir.
+//       --faults enables deterministic fault injection (Nyx policies only).
 //   nyx-net pcap --target NAME --pcap FILE [--port P]
 //       [--split crlf|len16|len32|segment] [--workdir DIR]
 //       Convert a capture into bytecode seeds (section 4.4).
@@ -93,7 +94,7 @@ int CmdTargets() {
       snprintf(buf, sizeof(buf), "%08x ", id);
       crashes += buf;
     }
-    table.AddRow({reg.name, spec.node_type_count() == 2 ? "generic" : "multi-connection",
+    table.AddRow({reg.name, spec.FindNodeType("close").has_value() ? "multi-connection" : "generic",
                   std::to_string(reg.make_seeds(spec).size()),
                   reg.in_profuzzbench ? "yes" : "no", crashes.empty() ? "-" : crashes});
   }
@@ -138,6 +139,7 @@ int CmdFuzz(const Args& args) {
                   : kind == FuzzerKind::kNyxBalanced ? PolicyMode::kBalanced
                                                      : PolicyMode::kAggressive;
     fcfg.seed = engine_cfg.seed;
+    fcfg.fault_injection = args.Has("faults");
     NyxFuzzer fuzzer(engine_cfg, reg->factory, spec, fcfg);
     size_t seeds = 0;
     if (workdir.has_value() && args.Has("resume")) {
@@ -187,6 +189,11 @@ int CmdFuzz(const Args& args) {
   if (result.contract_soft_failures != 0) {
     printf("contracts:  %llu soft failure(s) — see workdir stats.txt\n",
            static_cast<unsigned long long>(result.contract_soft_failures));
+  }
+  if (result.faults_injected != 0) {
+    printf("faults:     %llu injected, %llu input bytes dropped\n",
+           static_cast<unsigned long long>(result.faults_injected),
+           static_cast<unsigned long long>(result.faulted_bytes));
   }
   printf("crashes:    %zu\n", result.crashes.size());
   for (const auto& [id, rec] : result.crashes) {

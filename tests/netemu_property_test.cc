@@ -145,6 +145,131 @@ TEST_P(NetEmuPropertyTest, DeliveredBytesAreConserved) {
   }
 }
 
+TEST_P(NetEmuPropertyTest, DeliveredBytesAreConservedUnderFaults) {
+  // With random fault injection in the mix the ledger gains one more column:
+  // every delivered byte is consumed, still queued, or dropped by a fault
+  // (connection reset). The three must always sum to the deliveries.
+  Rng rng(GetParam());
+  NetEmu net;
+  int lfd = net.Socket(SockKind::kStream);
+  net.Bind(lfd, 80);
+  net.Listen(lfd, 8);
+
+  std::vector<int> conns;
+  std::vector<int> fds;
+  auto fresh_conn = [&]() {
+    int c = net.QueueConnection(80);
+    int fd = net.Accept(lfd);
+    if (c >= 0 && fd >= 0) {
+      conns.push_back(c);
+      fds.push_back(fd);
+    }
+  };
+  fresh_conn();
+  ASSERT_FALSE(fds.empty());
+
+  size_t delivered = 0;
+  size_t consumed = 0;
+  for (int step = 0; step < 500; step++) {
+    switch (rng.Below(5)) {
+      case 0:
+        if (conns.size() < 6) {
+          fresh_conn();
+        }
+        break;
+      case 1: {
+        const uint64_t n = 1 + rng.Below(64);
+        if (net.DeliverPacket(rng.Choice(conns), Bytes(n, 0xcd))) {
+          delivered += n;
+        }
+        break;
+      }
+      case 2: {
+        uint8_t buf[48];
+        const int r = net.Recv(rng.Choice(fds), buf, rng.Below(sizeof(buf)) + 1);
+        if (r > 0) {
+          consumed += static_cast<size_t>(r);
+        }
+        break;
+      }
+      case 3:
+        net.Send(rng.Choice(fds), "reply", 5);
+        break;
+      case 4: {
+        FaultPlan plan;
+        plan.kind = static_cast<FaultKind>(rng.Below(kFaultKindCount));
+        plan.count = static_cast<uint8_t>(1 + rng.Below(kMaxFaultBurst));
+        plan.arg = static_cast<uint16_t>(rng.Below(64));
+        net.QueueFault(rng.Choice(conns), plan);
+        break;
+      }
+    }
+    ASSERT_EQ(consumed + net.UndeliveredBytes() + net.faulted_bytes(), delivered)
+        << "step " << step;
+  }
+}
+
+TEST_P(NetEmuPropertyTest, SnapshotMidBurstEqualsUninterrupted) {
+  // Core determinism property for fault replay: running a faulted operation
+  // sequence straight through must be indistinguishable from serializing the
+  // emulator mid-burst and finishing on a restored copy. Drives the same
+  // random tail on both instances and compares every return value and byte.
+  Rng setup_rng(GetParam());
+  NetEmu original;
+  int lfd = original.Socket(SockKind::kStream);
+  original.Bind(lfd, 80);
+  original.Listen(lfd, 8);
+  const int conn = original.QueueConnection(80);
+  const int cfd = original.Accept(lfd);
+  ASSERT_GE(cfd, 0);
+
+  // Arm a pile of faults and burn a random prefix of them so the snapshot
+  // lands mid-burst, then top up rx so the tail has bytes to fight over.
+  for (int i = 0; i < 8; i++) {
+    FaultPlan plan;
+    plan.kind = static_cast<FaultKind>(setup_rng.Below(kFaultKindCount));
+    plan.count = static_cast<uint8_t>(1 + setup_rng.Below(kMaxFaultBurst));
+    plan.arg = static_cast<uint16_t>(1 + setup_rng.Below(16));
+    original.QueueFault(conn, plan);
+  }
+  original.DeliverPacket(conn, Bytes(64, 0x5a));
+  const uint64_t prefix = setup_rng.Below(6);
+  for (uint64_t i = 0; i < prefix; i++) {
+    uint8_t buf[8];
+    original.Recv(cfd, buf, sizeof(buf));
+  }
+  original.DeliverPacket(conn, Bytes(32, 0xa5));
+
+  NetEmu restored;
+  ASSERT_TRUE(restored.Deserialize(original.Serialize()));
+  // faulted_bytes is an observational counter (deliberately not serialized,
+  // like calls()), so compare per-instance deltas from here on.
+  const uint64_t base_orig = original.faulted_bytes();
+  const uint64_t base_rest = restored.faulted_bytes();
+
+  Rng tail_rng(GetParam() ^ 0x7461696cull);
+  for (int step = 0; step < 60; step++) {
+    if (tail_rng.Chance(1, 4)) {
+      const Bytes pkt(1 + tail_rng.Below(16), 0x33);
+      ASSERT_EQ(original.DeliverPacket(conn, pkt), restored.DeliverPacket(conn, pkt));
+      continue;
+    }
+    const size_t len = 1 + tail_rng.Below(24);
+    uint8_t a[32];
+    uint8_t b[32];
+    memset(a, 0, sizeof(a));
+    memset(b, 0, sizeof(b));
+    const int ra = original.Recv(cfd, a, len);
+    const int rb = restored.Recv(cfd, b, len);
+    ASSERT_EQ(ra, rb) << "step " << step;
+    if (ra > 0) {
+      ASSERT_EQ(0, memcmp(a, b, static_cast<size_t>(ra)));
+    }
+    ASSERT_EQ(original.faulted_bytes() - base_orig, restored.faulted_bytes() - base_rest)
+        << "step " << step;
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, NetEmuPropertyTest, ::testing::Values(1, 2, 3, 4, 5, 6));
 
 }  // namespace

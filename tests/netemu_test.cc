@@ -263,9 +263,22 @@ TEST(NetEmuTest, ClientConnectBecomesAttackSurface) {
 TEST(NetEmuTest, ShutdownStopsSendGivesEof) {
   ServerSetup s;
   EXPECT_EQ(s.net.Shutdown(s.conn_fd), 0);
-  EXPECT_EQ(s.net.Send(s.conn_fd, "x", 1), kErrNotConn);
+  // Writing after our own shutdown is EPIPE, matching a real kernel (it was
+  // ENOTCONN before the error-path audit).
+  EXPECT_EQ(s.net.Send(s.conn_fd, "x", 1), kErrPipe);
   char buf[1];
   EXPECT_EQ(s.net.Recv(s.conn_fd, buf, 1), 0);
+}
+
+TEST(NetEmuTest, SendAfterPeerFinStillSucceeds) {
+  // Error-path consistency: a peer FIN half-closes the stream. The target
+  // can still send (TCP delivers post-FIN data to the peer's socket until
+  // it resets); only shutdown/reset make Send fail.
+  ServerSetup s;
+  s.net.PeerClose(s.conn);
+  EXPECT_EQ(s.net.Send(s.conn_fd, "late", 4), 4);
+  char buf[4];
+  EXPECT_EQ(s.net.Recv(s.conn_fd, buf, 4), 0);  // EOF after FIN, rx empty
 }
 
 TEST(NetEmuTest, FdExhaustion) {
@@ -371,6 +384,212 @@ TEST(NetEmuTest, ClockCharges) {
   net.Bind(fd, 1);
   EXPECT_EQ(clock.now_ns(), 2 * cost.emulated_call_ns);
   EXPECT_EQ(net.calls(), 2u);
+}
+
+// ---- deterministic fault injection ---------------------------------------
+
+TEST(NetEmuFaultTest, ErrNameCoversTheTable) {
+  EXPECT_STREQ(ErrName(kErrAgain), "EAGAIN");
+  EXPECT_STREQ(ErrName(kErrConnReset), "ECONNRESET");
+  EXPECT_STREQ(ErrName(kErrPipe), "EPIPE");
+  EXPECT_STREQ(ErrName(kErrIntr), "EINTR");
+  EXPECT_STREQ(ErrName(kErrTimedOut), "ETIMEDOUT");
+  EXPECT_STREQ(ErrName(0), "OK");
+  EXPECT_STREQ(ErrName(-12345), "E?");
+}
+
+TEST(NetEmuFaultTest, ShortReadCapsBurstThenNormal) {
+  ServerSetup s;
+  s.net.DeliverPacket(s.conn, ToBytes("ABCDEFGH"));
+  ASSERT_TRUE(s.net.QueueFault(s.conn, FaultPlan{FaultKind::kShortRead, 2, 3}));
+  char buf[8];
+  // Two faulted calls serve at most 3 bytes each, then the cap is gone.
+  EXPECT_EQ(s.net.Recv(s.conn_fd, buf, 8), 3);
+  EXPECT_EQ(0, memcmp(buf, "ABC", 3));
+  EXPECT_EQ(s.net.Recv(s.conn_fd, buf, 8), 3);
+  EXPECT_EQ(0, memcmp(buf, "DEF", 3));
+  EXPECT_EQ(s.net.Recv(s.conn_fd, buf, 8), 2);
+  EXPECT_EQ(0, memcmp(buf, "GH", 2));
+  EXPECT_EQ(s.net.faults_injected(), 2u);
+}
+
+TEST(NetEmuFaultTest, EagainAndIntrBurstsPassThenClear) {
+  ServerSetup s;
+  s.net.DeliverPacket(s.conn, ToBytes("DATA"));
+  ASSERT_TRUE(s.net.QueueFault(s.conn, FaultPlan{FaultKind::kEagain, 2, 0}));
+  ASSERT_TRUE(s.net.QueueFault(s.conn, FaultPlan{FaultKind::kIntr, 1, 0}));
+  char buf[4];
+  EXPECT_EQ(s.net.Recv(s.conn_fd, buf, 4), kErrAgain);
+  EXPECT_EQ(s.net.Recv(s.conn_fd, buf, 4), kErrAgain);
+  EXPECT_EQ(s.net.Recv(s.conn_fd, buf, 4), kErrIntr);
+  EXPECT_EQ(s.net.Recv(s.conn_fd, buf, 4), 4);
+  EXPECT_EQ(s.net.faults_injected(), 3u);
+}
+
+TEST(NetEmuFaultTest, ConnResetDropsRxThenSendIsPipe) {
+  ServerSetup s;
+  s.net.DeliverPacket(s.conn, ToBytes("NEVER-READ"));
+  ASSERT_TRUE(s.net.QueueFault(s.conn, FaultPlan{FaultKind::kConnReset, 1, 0}));
+  char buf[8];
+  EXPECT_EQ(s.net.Recv(s.conn_fd, buf, 8), kErrConnReset);
+  // The reset is reported exactly once; afterwards reads are EOF and writes
+  // are EPIPE, and the queued bytes moved to faulted_bytes.
+  EXPECT_EQ(s.net.Recv(s.conn_fd, buf, 8), 0);
+  EXPECT_EQ(s.net.Send(s.conn_fd, "x", 1), kErrPipe);
+  EXPECT_EQ(s.net.faulted_bytes(), 10u);
+  EXPECT_EQ(s.net.UndeliveredBytes(), 0u);
+}
+
+TEST(NetEmuFaultTest, DeliverToResetConnIsCountedFaulted) {
+  ServerSetup s;
+  ASSERT_TRUE(s.net.QueueFault(s.conn, FaultPlan{FaultKind::kConnReset, 1, 0}));
+  char buf[1];
+  EXPECT_EQ(s.net.Recv(s.conn_fd, buf, 1), kErrConnReset);
+  EXPECT_TRUE(s.net.DeliverPacket(s.conn, ToBytes("DROPPED")));
+  EXPECT_EQ(s.net.faulted_bytes(), 7u);
+  EXPECT_EQ(s.net.UndeliveredBytes(), 0u);
+  EXPECT_EQ(s.net.Recv(s.conn_fd, buf, 1), 0);  // still EOF, nothing queued
+}
+
+TEST(NetEmuFaultTest, PeerCloseMidMessageKeepsDataReadable) {
+  ServerSetup s;
+  s.net.DeliverPacket(s.conn, ToBytes("TAIL"));
+  ASSERT_TRUE(s.net.QueueFault(s.conn, FaultPlan{FaultKind::kPeerClose, 1, 0}));
+  char buf[4];
+  // The FIN arrives, but queued data drains first — then EOF.
+  EXPECT_EQ(s.net.Recv(s.conn_fd, buf, 4), 4);
+  EXPECT_EQ(0, memcmp(buf, "TAIL", 4));
+  EXPECT_EQ(s.net.Recv(s.conn_fd, buf, 4), 0);
+  EXPECT_EQ(s.net.faulted_bytes(), 0u);  // nothing dropped
+}
+
+TEST(NetEmuFaultTest, ShortWriteCapsSend) {
+  ServerSetup s;
+  ASSERT_TRUE(s.net.QueueFault(s.conn, FaultPlan{FaultKind::kShortWrite, 1, 2}));
+  EXPECT_EQ(s.net.Send(s.conn_fd, "LONG-REPLY", 10), 2);
+  ASSERT_EQ(s.net.Sent(s.conn).size(), 1u);
+  EXPECT_EQ(s.net.Sent(s.conn)[0].size(), 2u);  // only the accepted prefix
+  EXPECT_EQ(s.net.Send(s.conn_fd, "OK", 2), 2);
+}
+
+TEST(NetEmuFaultTest, TimeoutAdvancesClockAndExpiresPoll) {
+  ServerSetup s;
+  VirtualClock clock;
+  CostModel cost;
+  s.net.AttachClock(&clock, &cost);
+  s.net.DeliverPacket(s.conn, ToBytes("READY"));
+  ASSERT_TRUE(s.net.QueueFault(s.conn, FaultPlan{FaultKind::kTimeout, 1, 250}));
+  std::vector<PollRequest> reqs(1);
+  reqs[0].fd = s.conn_fd;
+  reqs[0].want_read = true;
+  const uint64_t before = clock.now_ns();
+  // Data is queued, but the timeout fault expires the poll anyway.
+  EXPECT_EQ(s.net.Poll(reqs), 0);
+  EXPECT_FALSE(reqs[0].readable);
+  EXPECT_GE(clock.now_ns() - before, 250ull * 1000000ull);
+  EXPECT_FALSE(s.net.blocked_on_input());
+  // The fault is spent: the next poll sees the data.
+  EXPECT_EQ(s.net.Poll(reqs), 1);
+  EXPECT_TRUE(reqs[0].readable);
+}
+
+TEST(NetEmuFaultTest, TimeoutExpiresEpollWait) {
+  ServerSetup s;
+  s.net.DeliverPacket(s.conn, ToBytes("READY"));
+  int ep = s.net.EpollCreate();
+  ASSERT_EQ(s.net.EpollCtlAdd(ep, s.conn_fd, true), 0);
+  ASSERT_TRUE(s.net.QueueFault(s.conn, FaultPlan{FaultKind::kTimeout, 1, 1}));
+  std::vector<int> ready;
+  EXPECT_EQ(s.net.EpollWait(ep, ready), 0);
+  EXPECT_EQ(s.net.EpollWait(ep, ready), 1);
+  ASSERT_EQ(ready.size(), 1u);
+  EXPECT_EQ(ready[0], s.conn_fd);
+}
+
+TEST(NetEmuFaultTest, AcceptSeesBacklogConnAbort) {
+  NetEmu net;
+  int listener = net.Socket(SockKind::kStream);
+  net.Bind(listener, 8080);
+  net.Listen(listener, 16);
+  const int conn = net.QueueConnection(8080);
+  ASSERT_GE(conn, 0);
+  net.DeliverPacket(conn, ToBytes("EARLY"));
+  ASSERT_TRUE(net.QueueFault(conn, FaultPlan{FaultKind::kConnReset, 1, 0}));
+  // The queued connection aborts while sitting in the backlog; its early
+  // data is accounted as faulted and the slot is gone.
+  EXPECT_EQ(net.Accept(listener), kErrConnReset);
+  EXPECT_EQ(net.faulted_bytes(), 5u);
+  EXPECT_FALSE(net.ValidConn(conn));
+  EXPECT_EQ(net.Accept(listener), kErrAgain);  // backlog is empty again
+}
+
+TEST(NetEmuFaultTest, ConnectTimeoutFault) {
+  NetEmu net;
+  int fd = net.Socket(SockKind::kStream);
+  // Queue the fault directly on the socket before the connect attempt. The
+  // fd maps straight onto its socket index here (first allocation).
+  ASSERT_TRUE(net.QueueFault(0, FaultPlan{FaultKind::kTimeout, 1, 30000}));
+  EXPECT_EQ(net.Connect(fd, 443), kErrTimedOut);
+  EXPECT_TRUE(net.ClientConnections().empty());
+  EXPECT_EQ(net.Connect(fd, 443), 0);  // retry succeeds
+  EXPECT_EQ(net.ClientConnections().size(), 1u);
+}
+
+TEST(NetEmuFaultTest, QueueFaultRejectsInvalidPlanAndConn) {
+  ServerSetup s;
+  FaultPlan bad_kind{static_cast<FaultKind>(99), 1, 0};
+  EXPECT_FALSE(s.net.QueueFault(s.conn, bad_kind));
+  FaultPlan bad_burst{FaultKind::kEagain, 0, 0};
+  EXPECT_FALSE(s.net.QueueFault(s.conn, bad_burst));
+  FaultPlan over_burst{FaultKind::kEagain, static_cast<uint8_t>(kMaxFaultBurst + 1), 0};
+  EXPECT_FALSE(s.net.QueueFault(s.conn, over_burst));
+  EXPECT_FALSE(s.net.QueueFault(-1, FaultPlan{FaultKind::kEagain, 1, 0}));
+  EXPECT_EQ(s.net.faults_injected(), 0u);
+}
+
+TEST(NetEmuFaultTest, FaultQueueIsStrictFifo) {
+  // A front short-write waits for a Send; it does not leak into Recv.
+  ServerSetup s;
+  s.net.DeliverPacket(s.conn, ToBytes("ABCDEFGH"));
+  ASSERT_TRUE(s.net.QueueFault(s.conn, FaultPlan{FaultKind::kShortWrite, 1, 1}));
+  ASSERT_TRUE(s.net.QueueFault(s.conn, FaultPlan{FaultKind::kShortRead, 1, 2}));
+  char buf[8];
+  // Recv ignores the queued short-write (front of queue) — full read.
+  EXPECT_EQ(s.net.Recv(s.conn_fd, buf, 8), 8);
+  // Send consumes the short-write; the short-read now fronts the queue.
+  EXPECT_EQ(s.net.Send(s.conn_fd, "XY", 2), 1);
+  s.net.DeliverPacket(s.conn, ToBytes("WXYZ"));
+  EXPECT_EQ(s.net.Recv(s.conn_fd, buf, 8), 2);
+}
+
+TEST(NetEmuFaultTest, FaultQueueSurvivesSerializeMidBurst) {
+  ServerSetup s;
+  s.net.DeliverPacket(s.conn, ToBytes("ABCDEF"));
+  ASSERT_TRUE(s.net.QueueFault(s.conn, FaultPlan{FaultKind::kEagain, 3, 0}));
+  char buf[8];
+  EXPECT_EQ(s.net.Recv(s.conn_fd, buf, 8), kErrAgain);  // burn 1 of 3
+
+  Bytes blob = s.net.Serialize();
+  NetEmu restored;
+  ASSERT_TRUE(restored.Deserialize(blob));
+  // Both instances replay the remaining two applications identically.
+  for (NetEmu* net : {&s.net, &restored}) {
+    EXPECT_EQ(net->Recv(s.conn_fd, buf, 8), kErrAgain);
+    EXPECT_EQ(net->Recv(s.conn_fd, buf, 8), kErrAgain);
+    EXPECT_EQ(net->Recv(s.conn_fd, buf, 8), 6);
+  }
+}
+
+TEST(NetEmuFaultTest, ResetFlagSurvivesSerialize) {
+  ServerSetup s;
+  ASSERT_TRUE(s.net.QueueFault(s.conn, FaultPlan{FaultKind::kConnReset, 1, 0}));
+  char buf[1];
+  EXPECT_EQ(s.net.Recv(s.conn_fd, buf, 1), kErrConnReset);
+  Bytes blob = s.net.Serialize();
+  NetEmu restored;
+  ASSERT_TRUE(restored.Deserialize(blob));
+  EXPECT_EQ(restored.Send(s.conn_fd, "x", 1), kErrPipe);
+  EXPECT_EQ(restored.Recv(s.conn_fd, buf, 1), 0);
 }
 
 }  // namespace

@@ -15,11 +15,25 @@ namespace {
 TEST(SpecTest, GenericNetworkShape) {
   Spec s = Spec::GenericNetwork();
   EXPECT_EQ(s.edge_type_count(), 1u);
-  EXPECT_EQ(s.node_type_count(), 2u);
+  EXPECT_EQ(s.node_type_count(), 3u);
   ASSERT_TRUE(s.FindNodeType("connection").has_value());
   ASSERT_TRUE(s.FindNodeType("pkt").has_value());
   EXPECT_FALSE(s.FindNodeType("close").has_value());
   EXPECT_EQ(s.NodesWithSemantic(NodeSemantic::kPacket).size(), 1u);
+}
+
+TEST(SpecTest, FaultNodeShape) {
+  for (const Spec& s : {Spec::GenericNetwork(), Spec::MultiConnection()}) {
+    ASSERT_TRUE(s.FindNodeType("fault").has_value());
+    const NodeTypeDef& fault = s.node_type(*s.FindNodeType("fault"));
+    EXPECT_EQ(fault.semantic, NodeSemantic::kFault);
+    // Borrows (not consumes) the connection: a faulted connection can still
+    // carry later packet/close ops.
+    EXPECT_EQ(fault.borrows.size(), 1u);
+    EXPECT_TRUE(fault.consumes.empty());
+    EXPECT_TRUE(fault.outputs.empty());
+    EXPECT_EQ(fault.data, DataKind::kU32);
+  }
 }
 
 TEST(SpecTest, MultiConnectionHasClose) {
