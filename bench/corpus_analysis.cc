@@ -1,0 +1,188 @@
+// Corpus-analysis benchmark (ISSUE 10): measures what the bytecode dataflow
+// analyzer actually buys on real campaigns.
+//
+// For each target (lightftp, kamailio) one Nyx-Net-balanced campaign with
+// fault injection runs to completion, then the final corpus is dissected:
+//
+//  * semantic-dedup hit rate — coverage-novel programs Corpus::Add rejected
+//    because a NormalHash-equal entry was already queued, relative to all
+//    queue-add attempts that got that far;
+//  * dead-op share — statically provably-dead ops across the corpus, and
+//    the byte shrink from canonicalizing every entry;
+//  * trimming cost — TrimProgram probe executions in analysis order vs the
+//    naive afl-tmin-style reverse sweep over the same entries, plus the
+//    op/byte deltas the (identical) trims achieve.
+//
+// Output: BENCH_corpus_analysis.json (override: NYX_BENCH_OUT). Scale knobs:
+// NYX_VTIME (default 120 virtual seconds), NYX_TRIM_ENTRIES (default 12).
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/common/env.h"
+#include "src/fuzz/fuzzer.h"
+#include "src/fuzz/trim.h"
+#include "src/harness/campaign.h"
+#include "src/spec/analyze.h"
+#include "src/targets/registry.h"
+
+namespace nyx {
+namespace {
+
+struct TargetReport {
+  std::string name;
+  uint64_t semantic_dupes = 0;
+  size_t corpus_entries = 0;
+  size_t corpus_ops = 0;
+  size_t dead_ops = 0;
+  size_t corpus_bytes = 0;
+  size_t canonical_bytes = 0;
+  size_t trim_entries = 0;
+  size_t probe_execs_analysis = 0;
+  size_t probe_execs_naive = 0;
+  size_t trim_ops_before = 0;
+  size_t trim_ops_after = 0;
+  size_t trim_bytes_before = 0;
+  size_t trim_bytes_after = 0;
+};
+
+TargetReport MeasureTarget(const std::string& name, double vtime) {
+  auto reg = FindTarget(name);
+  TargetReport rep;
+  rep.name = name;
+
+  const Spec spec = reg->make_spec();
+  EngineConfig engine_cfg;
+  engine_cfg.vm.mem_pages = 1024;
+  engine_cfg.seed = 1;
+  FuzzerConfig fcfg;
+  fcfg.policy = PolicyMode::kBalanced;
+  fcfg.fault_injection = true;
+  fcfg.seed = 1;
+  NyxFuzzer fuzzer(engine_cfg, reg->factory, spec, fcfg);
+  for (Program& p : reg->make_seeds(spec)) {
+    fuzzer.AddSeed(std::move(p));
+  }
+  CampaignLimits limits;
+  limits.vtime_seconds = vtime;
+  limits.wall_seconds = 600.0;
+  const CampaignResult result = fuzzer.Run(limits);
+
+  rep.semantic_dupes = result.semantic_dupes;
+  rep.corpus_entries = fuzzer.corpus().size();
+
+  // Static dissection of the final queue.
+  for (size_t i = 0; i < fuzzer.corpus().size(); i++) {
+    const Program& p = fuzzer.corpus().entry(i).program;
+    const spec::Analysis a = spec::Analyze(p, spec);
+    rep.corpus_ops += p.ops.size();
+    rep.dead_ops += a.provably_dead;
+    rep.corpus_bytes += p.Serialize().size();
+    rep.canonical_bytes += spec::Canonicalize(p, spec).Serialize().size();
+  }
+
+  // Trim cost comparison over the N largest entries (trimming exists for
+  // bloated entries; seeds are already near-minimal), both orders against
+  // the same engine. Analysis order must reach a program no larger than
+  // naive order does (both accept only fingerprint-preserving removals),
+  // the question is how many probe executions each burns to get there.
+  std::vector<size_t> by_size(fuzzer.corpus().size());
+  for (size_t i = 0; i < by_size.size(); i++) {
+    by_size[i] = i;
+  }
+  std::sort(by_size.begin(), by_size.end(), [&](size_t a, size_t b) {
+    return fuzzer.corpus().entry(a).program.ops.size() >
+           fuzzer.corpus().entry(b).program.ops.size();
+  });
+  rep.trim_entries = std::min<size_t>(env::SizeOr("NYX_TRIM_ENTRIES", 12),
+                                      fuzzer.corpus().size());
+  for (size_t i = 0; i < rep.trim_entries; i++) {
+    const Program& p = fuzzer.corpus().entry(by_size[i]).program;
+    TrimOptions analysis_opts;
+    analysis_opts.analysis_order = true;
+    TrimStats sa;
+    const Program ta = TrimProgram(fuzzer.engine(), spec, p, analysis_opts, &sa);
+    TrimOptions naive_opts;
+    naive_opts.analysis_order = false;
+    TrimStats sn;
+    TrimProgram(fuzzer.engine(), spec, p, naive_opts, &sn);
+
+    rep.probe_execs_analysis += sa.probe_execs;
+    rep.probe_execs_naive += sn.probe_execs;
+    rep.trim_ops_before += sa.ops_before;
+    rep.trim_ops_after += sa.ops_after;
+    rep.trim_bytes_before += sa.bytes_before;
+    rep.trim_bytes_after += sa.bytes_after;
+    (void)ta;
+  }
+  return rep;
+}
+
+}  // namespace
+}  // namespace nyx
+
+int main() {
+  using namespace nyx;
+  const double vtime = EvalVtime(120);
+  const std::vector<std::string> targets = {"lightftp", "kamailio"};
+
+  std::vector<TargetReport> reports;
+  for (const std::string& t : targets) {
+    fprintf(stderr, "[corpus_analysis] %s: %.0f virtual seconds...\n", t.c_str(), vtime);
+    reports.push_back(MeasureTarget(t, vtime));
+    const TargetReport& r = reports.back();
+    fprintf(stderr,
+            "[corpus_analysis] %s: %zu entries, %llu semantic dupes, %zu/%zu dead ops, "
+            "trim probes %zu (analysis) vs %zu (naive)\n",
+            t.c_str(), r.corpus_entries, static_cast<unsigned long long>(r.semantic_dupes),
+            r.dead_ops, r.corpus_ops, r.probe_execs_analysis, r.probe_execs_naive);
+  }
+
+  const std::string out_path = env::StringOr("NYX_BENCH_OUT", "BENCH_corpus_analysis.json");
+  FILE* out = fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    fprintf(stderr, "[corpus_analysis] could not write %s\n", out_path.c_str());
+    return 1;
+  }
+  fprintf(out, "{\n");
+  fprintf(out, "  \"bench\": \"corpus_analysis\",\n");
+  fprintf(out, "  \"fuzzer\": \"Nyx-Net-balanced+faults\",\n");
+  fprintf(out, "  \"vtime_seconds\": %.1f,\n", vtime);
+  fprintf(out, "  \"targets\": {\n");
+  for (size_t i = 0; i < reports.size(); i++) {
+    const TargetReport& r = reports[i];
+    const double adds = static_cast<double>(r.semantic_dupes + r.corpus_entries);
+    const double hit_rate = adds > 0 ? static_cast<double>(r.semantic_dupes) / adds : 0.0;
+    const double dead_pct =
+        r.corpus_ops > 0 ? 100.0 * static_cast<double>(r.dead_ops) /
+                               static_cast<double>(r.corpus_ops)
+                         : 0.0;
+    fprintf(out, "    \"%s\": {\n", r.name.c_str());
+    fprintf(out, "      \"corpus_entries\": %zu,\n", r.corpus_entries);
+    fprintf(out, "      \"semantic_dupes_rejected\": %llu,\n",
+            static_cast<unsigned long long>(r.semantic_dupes));
+    fprintf(out, "      \"semantic_dedup_hit_rate\": %.4f,\n", hit_rate);
+    fprintf(out, "      \"corpus_ops\": %zu,\n", r.corpus_ops);
+    fprintf(out, "      \"provably_dead_ops\": %zu,\n", r.dead_ops);
+    fprintf(out, "      \"dead_op_pct\": %.2f,\n", dead_pct);
+    fprintf(out, "      \"corpus_bytes\": %zu,\n", r.corpus_bytes);
+    fprintf(out, "      \"canonical_bytes\": %zu,\n", r.canonical_bytes);
+    fprintf(out, "      \"trim\": {\n");
+    fprintf(out, "        \"entries\": %zu,\n", r.trim_entries);
+    fprintf(out, "        \"probe_execs_analysis\": %zu,\n", r.probe_execs_analysis);
+    fprintf(out, "        \"probe_execs_naive\": %zu,\n", r.probe_execs_naive);
+    fprintf(out, "        \"ops_before\": %zu,\n", r.trim_ops_before);
+    fprintf(out, "        \"ops_after\": %zu,\n", r.trim_ops_after);
+    fprintf(out, "        \"bytes_before\": %zu,\n", r.trim_bytes_before);
+    fprintf(out, "        \"bytes_after\": %zu\n", r.trim_bytes_after);
+    fprintf(out, "      }\n");
+    fprintf(out, "    }%s\n", i + 1 < reports.size() ? "," : "");
+  }
+  fprintf(out, "  }\n");
+  fprintf(out, "}\n");
+  fclose(out);
+  fprintf(stderr, "[corpus_analysis] wrote %s\n", out_path.c_str());
+  return 0;
+}

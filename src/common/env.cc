@@ -60,6 +60,7 @@ std::string TracePath() { return StringOr("NYX_TRACE", ""); }
 std::string Tracker() { return StringOr("NYX_TRACKER", ""); }
 size_t DirtyRing(size_t def) { return SizeOr("NYX_DIRTY_RING", def); }
 size_t SnapshotDepth(size_t def) { return SizeOr("NYX_SNAPSHOT_DEPTH", def); }
+bool AnalyzeCheck() { return Flag("NYX_ANALYZE_CHECK"); }
 
 }  // namespace env
 }  // namespace nyx

@@ -36,6 +36,11 @@
 //                   default 1 = the classic root+incremental pair); depths
 //                   >1 let the engine push extra snapshots at packet
 //                   boundaries so restores revert only a suffix of pages
+//   NYX_ANALYZE_CHECK  differential soundness oracle for the bytecode
+//                   analyzer (flag): every corpus admission re-executes the
+//                   canonicalized program against the original with pinned
+//                   RNG and aborts on any guest-observable divergence
+//                   (src/spec/analyze.h, DESIGN.md §14)
 
 #ifndef SRC_COMMON_ENV_H_
 #define SRC_COMMON_ENV_H_
@@ -72,6 +77,7 @@ std::string TracePath();       // NYX_TRACE ("" when unset)
 std::string Tracker();         // NYX_TRACKER ("" when unset)
 size_t DirtyRing(size_t def);  // NYX_DIRTY_RING
 size_t SnapshotDepth(size_t def);  // NYX_SNAPSHOT_DEPTH
+bool AnalyzeCheck();           // NYX_ANALYZE_CHECK
 
 }  // namespace env
 }  // namespace nyx

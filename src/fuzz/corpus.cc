@@ -3,6 +3,7 @@
 #include "src/common/check.h"
 #include "src/common/log.h"
 #include "src/common/telemetry.h"
+#include "src/spec/analyze.h"
 #include "src/spec/verify.h"
 
 namespace nyx {
@@ -15,6 +16,14 @@ bool Corpus::Add(Program program, uint64_t vtime_ns, size_t packet_count, double
     const spec::Result verdict = spec::Verify(program, *spec_);
     if (!NYX_EXPECT(verdict.ok())) {
       NYX_LOG_WARN << "corpus rejected ill-formed program: " << verdict.Summary();
+      return false;
+    }
+    // Second dedup key: semantic identity. The fuzzer only calls Add for
+    // inputs with new *merged* coverage, but dead-op padding or ignored
+    // fault-arg twiddles can still ride in on a genuinely-new trace's
+    // coattails via frontier import or racing shards.
+    if (!normal_seen_.insert(spec::NormalHash(program, *spec_)).second) {
+      semantic_dupes_++;
       return false;
     }
   }

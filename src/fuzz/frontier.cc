@@ -2,11 +2,12 @@
 
 #include "src/common/check.h"
 #include "src/common/telemetry.h"
+#include "src/spec/analyze.h"
 
 namespace nyx {
 
-CorpusFrontier::CorpusFrontier(size_t shards)
-    : shards_(shards), active_(shards), staged_(shards), next_(shards, 0) {
+CorpusFrontier::CorpusFrontier(size_t shards, const Spec* spec)
+    : shards_(shards), active_(shards), staged_(shards), next_(shards, 0), spec_(spec) {
   NYX_CHECK(shards > 0);
 }
 
@@ -14,11 +15,19 @@ void CorpusFrontier::FlipLocked() {
   for (size_t s = 0; s < shards_; s++) {
     for (Entry& e : staged_[s]) {
       // Dedup across the whole campaign; iterating in shard order makes the
-      // surviving copy (and its origin) independent of arrival order.
+      // surviving copy (and its origin) independent of arrival order. The
+      // semantic key catches programs that differ only in dead ops or
+      // normalized fault args (spec/analyze.h) — both checks must pass for
+      // the entry to publish.
       const uint64_t h = e.program.OpsHash(e.program.ops.size());
-      if (seen_.insert(h).second) {
-        log_.push_back(std::move(e));
+      if (!seen_.insert(h).second) {
+        continue;
       }
+      if (spec_ != nullptr &&
+          !seen_normal_.insert(spec::NormalHash(e.program, *spec_)).second) {
+        continue;
+      }
+      log_.push_back(std::move(e));
     }
     staged_[s].clear();
   }

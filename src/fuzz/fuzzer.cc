@@ -5,6 +5,7 @@
 #include "src/common/check.h"
 #include "src/common/telemetry.h"
 #include "src/fuzz/frontier.h"
+#include "src/spec/analyze.h"
 
 namespace nyx {
 
@@ -63,6 +64,20 @@ bool NyxFuzzer::RunOne(const Program& input, CampaignResult& result) {
   return new_bits && !exec.crash.crashed;
 }
 
+void NyxFuzzer::MaybeAnalyzeCheck(const Program& input, CampaignResult& result) {
+  if (!config_.analyze_check) {
+    return;
+  }
+  const Program canon = spec::Canonicalize(input, spec_);
+  if (canon.OpsHash(canon.ops.size()) == input.OpsHash(input.ops.size())) {
+    return;  // identity rewrite: nothing to verify
+  }
+  std::string why;
+  const bool equivalent = engine_.CheckRewriteEquivalence(input, canon, &why);
+  NYX_CHECK(equivalent) << "NYX_ANALYZE_CHECK: canonical rewrite diverged: " << why;
+  result.analyze_checks++;
+}
+
 CampaignResult NyxFuzzer::Run(const CampaignLimits& limits) {
   CampaignResult result;
   // Per-thread delta, not the process-global counter: concurrent campaigns
@@ -118,6 +133,7 @@ CampaignResult NyxFuzzer::Run(const CampaignLimits& limits) {
       record_coverage();
     }
     corpus_.SetVtime(i, last_exec_vtime_);
+    MaybeAnalyzeCheck(corpus_.entry(i).program, result);
   }
   record_coverage();
 
@@ -173,6 +189,7 @@ CampaignResult NyxFuzzer::Run(const CampaignLimits& limits) {
       if (interesting) {
         found_since_last_schedule = true;
         mutated.StripSnapshotMarkers();
+        MaybeAnalyzeCheck(mutated, result);
         const size_t packets = mutated.PacketOpIndices(spec_).size();
         if (corpus_.Add(std::move(mutated), last_exec_vtime_, packets, vnow()) &&
             config_.frontier != nullptr) {
@@ -204,6 +221,7 @@ CampaignResult NyxFuzzer::Run(const CampaignLimits& limits) {
         }
         if (RunOne(imp.program, result)) {
           found_since_last_schedule = true;
+          MaybeAnalyzeCheck(imp.program, result);
           const size_t packets = imp.program.PacketOpIndices(spec_).size();
           corpus_.Add(std::move(imp.program), last_exec_vtime_, packets, vnow());
           record_coverage();
@@ -229,6 +247,7 @@ CampaignResult NyxFuzzer::Run(const CampaignLimits& limits) {
   result.contract_soft_failures = GetThreadContractCounters().soft_failures - soft_at_start;
   result.faults_injected = engine_.net().faults_injected();
   result.faulted_bytes = engine_.net().faulted_bytes();
+  result.semantic_dupes = corpus_.semantic_dupes();
   if (engine_.auditor() != nullptr) {
     result.pages_audited = engine_.auditor()->stats().pages_audited;
     result.audit_divergences = engine_.auditor()->stats().divergences;

@@ -58,6 +58,10 @@ struct CampaignResult {
   // fault applications and input bytes they dropped (src/netemu/netemu.h).
   uint64_t faults_injected = 0;
   uint64_t faulted_bytes = 0;
+  // Semantic-dedup rejections (Corpus::semantic_dupes) and differential
+  // analyzer checks performed (FuzzerConfig::analyze_check).
+  uint64_t semantic_dupes = 0;
+  uint64_t analyze_checks = 0;
   TimeSeries coverage_over_time;  // (vtime seconds, branch coverage)
   TimeSeries execs_over_time;     // (vtime seconds, cumulative execs)
   std::map<uint32_t, CrashRecord> crashes;
@@ -84,6 +88,11 @@ struct FuzzerConfig {
   // Let the mutator insert/mutate/delete NodeSemantic::kFault ops so
   // campaigns explore target error-handling paths ("No Peer, no Cry").
   bool fault_injection = false;
+  // Differential soundness oracle (NYX_ANALYZE_CHECK): for every input that
+  // enters the corpus, re-execute its canonical form against the original
+  // with pinned RNG and abort on any guest-observable divergence. Debug
+  // oracle — each check costs two extra executions.
+  bool analyze_check = env::AnalyzeCheck();
 };
 
 class NyxFuzzer {
@@ -103,6 +112,10 @@ class NyxFuzzer {
   // Executes one input, folds in coverage/crash bookkeeping. Returns whether
   // it produced new coverage.
   bool RunOne(const Program& input, CampaignResult& result);
+
+  // FuzzerConfig::analyze_check hook: differentially verifies the analyzer's
+  // canonical rewrite of `input` (no-op when the rewrite is the identity).
+  void MaybeAnalyzeCheck(const Program& input, CampaignResult& result);
 
   const Spec& spec_;
   FuzzerConfig config_;

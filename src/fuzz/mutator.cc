@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/check.h"
+#include "src/spec/analyze.h"
 #include "src/spec/fault_plan.h"
 #include "src/spec/verify.h"
 
@@ -200,11 +201,30 @@ bool Mutator::StructureMutation(Program& program, const std::vector<const Progra
         return false;
       }
       const size_t at = lo + rng_.Below(program.ops.size() + 1 - lo);
+      BindArgsLive(source, program, at);
       program.ops.insert(program.ops.begin() + static_cast<long>(at), std::move(source));
       return true;
     }
   }
   return false;
+}
+
+void Mutator::BindArgsLive(Op& op, const Program& program, size_t at) {
+  if (op.is_snapshot() || op.node_type >= spec_.node_type_count()) {
+    return;
+  }
+  const NodeTypeDef& node = spec_.node_type(op.node_type);
+  if (op.args.size() != node.borrows.size() + node.consumes.size()) {
+    return;  // malformed donor op: let Repair deal with it
+  }
+  for (size_t p = 0; p < op.args.size(); p++) {
+    const int edge = p < node.borrows.size() ? node.borrows[p]
+                                             : node.consumes[p - node.borrows.size()];
+    const std::vector<uint16_t> live = spec::LiveValuesAt(program, spec_, at, edge);
+    if (!live.empty()) {
+      op.args[p] = live[rng_.Below(live.size())];
+    }
+  }
 }
 
 bool Mutator::FaultMutation(Program& program, size_t first_mutable_op) {
@@ -238,13 +258,17 @@ bool Mutator::FaultMutation(Program& program, size_t first_mutable_op) {
         // time budget (a 999ms plan costs 1/60th of a default campaign).
         plan.arg = static_cast<uint16_t>(1 + rng_.Below(10));
         break;
-      default:
-        plan.arg = 0;
+      case FaultKind::kEagain:
+      case FaultKind::kIntr:
+      case FaultKind::kConnReset:
+      case FaultKind::kPeerClose:
+        plan.arg = 0;  // netemu ignores the arg for these kinds
+        break;
     }
     return plan;
   };
   switch (rng_.Below(3)) {
-    case 0: {  // insert a fault op (Repair rebinds the connection operand)
+    case 0: {  // insert a fault op, bound to a live connection
       Op op;
       op.node_type = static_cast<uint8_t>(fault_nodes[rng_.Below(fault_nodes.size())]);
       const NodeTypeDef& node = spec_.node_type(op.node_type);
@@ -255,6 +279,7 @@ bool Mutator::FaultMutation(Program& program, size_t first_mutable_op) {
         return false;
       }
       const size_t at = lo + rng_.Below(program.ops.size() + 1 - lo);
+      BindArgsLive(op, program, at);
       program.ops.insert(program.ops.begin() + static_cast<long>(at), std::move(op));
       return true;
     }

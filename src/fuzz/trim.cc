@@ -1,0 +1,182 @@
+#include "src/fuzz/trim.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/common/hash.h"
+#include "src/spec/analyze.h"
+
+namespace nyx {
+namespace {
+
+// The trim oracle's notion of "same behaviour": coverage and observable
+// outcome, nothing else. Deliberately narrower than the full audit
+// fingerprint — trimming is allowed to drop packets and connections as long
+// as the trace and outcome are identical under pinned RNG.
+struct CovFingerprint {
+  uint64_t edge_hash = 0;
+  uint64_t site_hash = 0;
+  bool crashed = false;
+  uint32_t crash_id = 0;
+  uint64_t ijon_max = 0;
+
+  bool operator==(const CovFingerprint& o) const {
+    return edge_hash == o.edge_hash && site_hash == o.site_hash && crashed == o.crashed &&
+           crash_id == o.crash_id && ijon_max == o.ijon_max;
+  }
+};
+
+CovFingerprint Probe(NyxEngine& engine, const Program& p, uint64_t pin, CoverageMap& cov,
+                     TrimStats& stats) {
+  cov.Reset();
+  const ExecResult r = engine.RunPinned(p, pin, cov);
+  stats.probe_execs++;
+  CovFingerprint fp;
+  fp.edge_hash = Fnv1a64(cov.map().data(), cov.map().size());
+  fp.site_hash = Fnv1a64(cov.sites_hit().data(), cov.sites_hit().size());
+  fp.crashed = r.crash.crashed;
+  fp.crash_id = r.crash.crash_id;
+  fp.ijon_max = r.ijon_max;
+  return fp;
+}
+
+// Candidate probe order for one pass. Analysis order: (provably) dead fault
+// ops first, then the speculative candidates the lattice flagged, then
+// payload ops from the tail inward, closes, and connections last (removing
+// a connection usually drags its whole cone along — most likely to fail,
+// so probed last). Naive order: reverse op index, the afl-tmin baseline.
+std::vector<size_t> OrderedCandidates(const Program& p, const spec::Analysis& a,
+                                      const Spec& spec, bool analysis_order) {
+  std::vector<size_t> order;
+  if (!analysis_order) {
+    for (size_t i = p.ops.size(); i-- > 0;) {
+      if (!a.ops[i].is_marker) order.push_back(i);
+    }
+    return order;
+  }
+  std::vector<size_t> dead;
+  std::vector<size_t> speculative;
+  std::vector<size_t> payload;
+  std::vector<size_t> closes;
+  std::vector<size_t> conns;
+  for (size_t i = 0; i < p.ops.size(); i++) {
+    if (a.ops[i].is_marker) continue;
+    if (a.ops[i].provably_dead) {
+      dead.push_back(i);
+      continue;
+    }
+    if (a.ops[i].trim_candidate) {
+      speculative.push_back(i);
+      continue;
+    }
+    const Op& op = p.ops[i];
+    if (op.node_type >= spec.node_type_count()) {
+      payload.push_back(i);
+      continue;
+    }
+    switch (spec.node_type(op.node_type).semantic) {
+      case NodeSemantic::kClose:
+        closes.push_back(i);
+        break;
+      case NodeSemantic::kConnection:
+        conns.push_back(i);
+        break;
+      case NodeSemantic::kPacket:
+      case NodeSemantic::kCustom:
+      case NodeSemantic::kFault:
+        payload.push_back(i);
+        break;
+    }
+  }
+  std::reverse(payload.begin(), payload.end());
+  order.insert(order.end(), dead.begin(), dead.end());
+  order.insert(order.end(), speculative.begin(), speculative.end());
+  order.insert(order.end(), payload.begin(), payload.end());
+  order.insert(order.end(), closes.begin(), closes.end());
+  order.insert(order.end(), conns.begin(), conns.end());
+  return order;
+}
+
+}  // namespace
+
+Program TrimProgram(NyxEngine& engine, const Spec& spec, const Program& input,
+                    const TrimOptions& options, TrimStats* stats) {
+  TrimStats st;
+  Program p = input;
+  p.StripSnapshotMarkers();
+  st.ops_before = p.ops.size();
+  st.bytes_before = p.Serialize().size();
+
+  const uint64_t pin = InputRngHash(p);
+  const uint64_t divergences_before =
+      engine.auditor() != nullptr ? engine.auditor()->stats().divergences : 0;
+
+  CoverageMap cov;
+  const CovFingerprint reference = Probe(engine, p, pin, cov, st);
+
+  // Batch pre-probe (analysis order only): the analyzer's whole dead +
+  // speculative set in one shot. When it lands — the common case, since
+  // provably-dead ops always survive removal — every flagged op costs one
+  // probe total instead of one each.
+  if (options.analysis_order) {
+    const spec::Analysis a = spec::Analyze(p, spec);
+    std::vector<size_t> batch;
+    for (size_t i = 0; i < p.ops.size(); i++) {
+      if (!a.ops[i].provably_dead && !a.ops[i].trim_candidate) continue;
+      const std::vector<size_t> cone = spec::RemovalCone(a, p, spec, i);
+      batch.insert(batch.end(), cone.begin(), cone.end());
+    }
+    if (!batch.empty()) {
+      std::optional<Program> candidate = spec::RemoveOps(p, spec, batch);
+      if (candidate.has_value() && Probe(engine, *candidate, pin, cov, st) == reference) {
+        p = std::move(*candidate);
+      }
+    }
+  }
+
+  for (size_t pass = 0; pass < options.max_passes; pass++) {
+    const spec::Analysis a = spec::Analyze(p, spec);
+    const std::vector<size_t> order = OrderedCandidates(p, a, spec, options.analysis_order);
+    // Accepted removals this pass, as indices into the pass-start program:
+    // analysis and cones stay valid for the survivors, so one analysis
+    // serves the whole sweep and removals are applied in one rewrite.
+    std::vector<bool> accepted(p.ops.size(), false);
+    std::vector<size_t> accepted_list;
+    bool changed = false;
+    for (size_t i : order) {
+      if (accepted[i]) continue;
+      std::vector<size_t> trial = accepted_list;
+      bool grew = false;
+      for (size_t c : spec::RemovalCone(a, p, spec, i)) {
+        if (!accepted[c]) {
+          trial.push_back(c);
+          grew = true;
+        }
+      }
+      if (!grew) continue;
+      std::optional<Program> candidate = spec::RemoveOps(p, spec, trial);
+      if (!candidate.has_value()) continue;
+      if (!(Probe(engine, *candidate, pin, cov, st) == reference)) continue;
+      accepted_list = std::move(trial);
+      for (size_t c : accepted_list) accepted[c] = true;
+      changed = true;
+    }
+    if (!accepted_list.empty()) {
+      std::optional<Program> next = spec::RemoveOps(p, spec, accepted_list);
+      if (next.has_value()) p = std::move(*next);
+    }
+    if (!changed) break;
+  }
+
+  st.ops_after = p.ops.size();
+  st.bytes_after = p.Serialize().size();
+  st.audit_divergences =
+      (engine.auditor() != nullptr ? engine.auditor()->stats().divergences : 0) -
+      divergences_before;
+  if (stats != nullptr) {
+    *stats = st;
+  }
+  return p;
+}
+
+}  // namespace nyx

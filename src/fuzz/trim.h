@@ -1,0 +1,63 @@
+// Analysis-guided corpus trimming (DESIGN.md §14).
+//
+// afl-tmin-shaped minimizer for bytecode programs: repeatedly remove ops,
+// keep a removal iff a pinned-RNG re-execution reproduces the original's
+// coverage fingerprint (edges, sites, crash outcome, IJON feedback). What
+// the static analyzer contributes is the *order*: removal candidates are
+// probed dead-first (provably-dead fault ops, then speculative candidates —
+// remaining faults, unused-connection cones — then packet payload in
+// reverse, closes, connections), and whole dependency cones are removed per
+// probe so every probe is a Validate-clean program without Repair's
+// semantics-changing rebinding. A naive mode (reverse program order, one op
+// at a time) exists purely as the baseline the bench compares probe-exec
+// counts against.
+//
+// All probes pin the per-exec RNG to the original input's hash
+// (NyxEngine::RunPinned), otherwise every rewrite would "differ" in
+// deterministic layout noise. When the engine runs with NYX_AUDIT=1 the
+// probes are audited executions, and TrimStats reports the divergence
+// delta — a trimmed corpus is only accepted by `nyx-net trim` when that
+// delta is zero (audit-clean oracle).
+
+#ifndef SRC_FUZZ_TRIM_H_
+#define SRC_FUZZ_TRIM_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/fuzz/engine.h"
+#include "src/spec/program.h"
+#include "src/spec/spec.h"
+
+namespace nyx {
+
+struct TrimOptions {
+  // Probe candidates in analysis order (dead-first, cones); false = naive
+  // afl-tmin baseline (reverse op order).
+  bool analysis_order = true;
+  // A pass sweeps every candidate once; passes repeat until a fixpoint or
+  // this cap (removals can unlock further removals, e.g. a connection whose
+  // last packet was just removed).
+  size_t max_passes = 8;
+};
+
+struct TrimStats {
+  size_t probe_execs = 0;  // engine executions spent (the bench headline)
+  size_t ops_before = 0;
+  size_t ops_after = 0;
+  size_t bytes_before = 0;  // serialized wire sizes
+  size_t bytes_after = 0;
+  // Auditor divergences recorded during trimming (0 unless the engine's
+  // NYX_AUDIT replay oracle fired; always 0 when auditing is off).
+  uint64_t audit_divergences = 0;
+};
+
+// Minimizes `input` against the coverage-fingerprint oracle. The returned
+// program is Validate-clean whenever the input was, and always reproduces
+// the input's pinned-RNG coverage fingerprint exactly.
+Program TrimProgram(NyxEngine& engine, const Spec& spec, const Program& input,
+                    const TrimOptions& options, TrimStats* stats);
+
+}  // namespace nyx
+
+#endif  // SRC_FUZZ_TRIM_H_

@@ -172,6 +172,11 @@ void PopulateCampaignRegistry(telemetry::MetricRegistry& reg, const CampaignResu
   // bytes the target never saw.
   reg.RegisterCounter("faults_injected")->Add(result.faults_injected);
   reg.RegisterCounter("faulted_bytes")->Add(result.faulted_bytes);
+  // Bytecode analyzer (src/spec/analyze.h): semantic duplicates the corpus
+  // rejected, and differential rewrite checks performed (nonzero only with
+  // NYX_ANALYZE_CHECK=1; every one that completed proved an equivalence).
+  reg.RegisterCounter("semantic_dupes")->Add(result.semantic_dupes);
+  reg.RegisterCounter("analyze_checks")->Add(result.analyze_checks);
   // Process-wide lock traffic (common/sync.h): how often any annotated
   // mutex was taken and how often the taker had to block. A contended
   // count creeping toward the acquisition count means the frontier sync
@@ -190,7 +195,7 @@ std::string RenderStatsText(const telemetry::MetricRegistry& reg) {
       "edge_coverage", "corpus_size",   "crashes",        "root_restores",
       "inc_creates",   "inc_restores",  "contract_soft",  "contract_hard",
       "pages_audited", "divergences",   "faults_injected", "faulted_bytes",
-      "lock_acquired", "lock_contended",
+      "semantic_dupes", "analyze_checks", "lock_acquired", "lock_contended",
   };
   const std::vector<telemetry::MetricRegistry::Entry> entries = reg.Entries();
   std::ostringstream os;

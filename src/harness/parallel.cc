@@ -122,7 +122,7 @@ ShardedOutcome RunShardedCampaign(const CampaignSpec& cs, size_t shards) {
   const Spec spec = reg->make_spec();
   const std::vector<Program> seeds = reg->make_seeds(spec);
 
-  CorpusFrontier frontier(shards);
+  CorpusFrontier frontier(shards, &spec);
   out.per_shard.resize(shards);
 
   // Dedicated threads, never a bounded pool: every shard must run

@@ -195,8 +195,13 @@ int NetEmu::Accept(int fd) {
       }
       case FaultKind::kIntr:
         return kErrIntr;
-      default:
+      case FaultKind::kEagain:
         return kErrAgain;
+      case FaultKind::kShortRead:
+      case FaultKind::kShortWrite:
+      case FaultKind::kPeerClose:
+      case FaultKind::kTimeout:
+        NYX_UNREACHABLE() << "kind outside TakeFault filter";
     }
   }
   blocked_on_input_ = false;
@@ -227,8 +232,13 @@ int NetEmu::Connect(int fd, uint16_t port) {
         return kErrTimedOut;
       case FaultKind::kConnReset:
         return kErrConnReset;
-      default:
+      case FaultKind::kIntr:
         return kErrIntr;
+      case FaultKind::kShortRead:
+      case FaultKind::kShortWrite:
+      case FaultKind::kEagain:
+      case FaultKind::kPeerClose:
+        NYX_UNREACHABLE() << "kind outside TakeFault filter";
     }
   }
   s->port = port;
@@ -268,11 +278,13 @@ int NetEmu::Recv(int fd, void* buf, size_t len) {
         // exactly the half-closed stream a real kernel presents.
         s->peer_closed = true;
         break;
-      default:  // kTimeout
+      case FaultKind::kTimeout:
         if (clock_ != nullptr) {
           clock_->Advance(static_cast<uint64_t>(f->arg) * 1000000ull);
         }
         return kErrTimedOut;
+      case FaultKind::kShortWrite:
+        NYX_UNREACHABLE() << "kind outside TakeFault filter";
     }
   }
   if (s->rx.empty()) {
@@ -364,9 +376,13 @@ int NetEmu::Send(int fd, const void* data, size_t len) {
         return kErrAgain;
       case FaultKind::kIntr:
         return kErrIntr;
-      default:  // kConnReset
+      case FaultKind::kConnReset:
         ResetSock(*s);
         return kErrConnReset;
+      case FaultKind::kShortRead:
+      case FaultKind::kPeerClose:
+      case FaultKind::kTimeout:
+        NYX_UNREACHABLE() << "kind outside TakeFault filter";
     }
   }
   const uint8_t* p = static_cast<const uint8_t*>(data);

@@ -1,0 +1,150 @@
+// Static dataflow analysis over bytecode programs (DESIGN.md §14).
+//
+// Program::Validate answers "can this run"; this layer answers "which parts
+// of it matter". A forward pass over the op sequence builds def/use chains on
+// the implicit value ids (values are produced densely in op order, so value
+// id == index into the analysis table), per-value liveness intervals, and a
+// per-connection state lattice {fresh, used, closed, reset} that folds in
+// kClose consumption and queued kFault plan effects.
+//
+// On top of the dataflow facts sit three rewrites, all verified dynamically
+// by the NYX_ANALYZE_CHECK differential oracle (src/fuzz/engine.h):
+//
+//  * dead-op detection — the *provable* set is deliberately narrow. In this
+//    engine every kConnection/kPacket/kClose/kCustom op steps the target
+//    (GuardedStep), which is always observable through coverage; only kFault
+//    arms netemu state without stepping. A kFault op is provably dead when
+//    its plan cannot decode (the engine skips it entirely) or when no later
+//    op steps the target (the armed plan is never consulted — its only
+//    residue is netemu fault-queue aux state, which no guest-visible read
+//    can observe). Everything broader the ISSUE-level intuition suggests
+//    (packets on never-again-used connections, plans shadowed by an armed
+//    reset, unused connection outputs) is *speculative*: classified here as
+//    trim candidates and validated per-removal by the trim oracle
+//    (src/fuzz/trim.h) instead of being claimed statically.
+//  * canonicalization — markers stripped, provably-dead ops elided, value
+//    ids renumbered densely over the survivors, and fault-plan args zeroed
+//    for the kinds whose arg netemu never reads (eagain/eintr/conn-reset/
+//    peer-close, see spec/fault_plan.h). Canonicalize is idempotent and
+//    preserves Validate-cleanliness.
+//  * NormalHash — the ops hash of the canonical form: a *semantic* dedup
+//    key used by Corpus::Add and the frontier import path alongside the
+//    syntactic wire hash, so dead-op-padded or ignored-arg-twiddled
+//    duplicates stop bloating stateful corpora (StateAFL's observation).
+//
+// LiveValuesAt is the mutator's arg-binding map: inserted ops pick a random
+// *live* value of the required edge type at the insertion point, instead of
+// inserting zeros and hoping Repair's latest-live rebinding lands somewhere
+// interesting.
+
+#ifndef SRC_SPEC_ANALYZE_H_
+#define SRC_SPEC_ANALYZE_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/spec/program.h"
+#include "src/spec/spec.h"
+
+namespace nyx {
+namespace spec {
+
+// Connection-state lattice, tracked per produced value. Transitions are
+// monotone down the program except kUsed (borrows keep a connection usable):
+//   kFresh --packet/custom borrow--> kUsed
+//   any    --kClose consume-------> kClosed   (affine: no further uses)
+//   any    --queued reset-kind fault--> kReset (a conn-reset/peer-close plan
+//                                       is armed; whether and when it fires
+//                                       depends on the target's syscalls)
+enum class ConnState : uint8_t {
+  kFresh,
+  kUsed,
+  kClosed,
+  kReset,
+};
+
+const char* ConnStateName(ConnState state);
+
+// Def/use record for one produced value. Value ids are implicit production
+// indices, so `values[id]` is the record for value id `id`.
+struct ValueInfo {
+  int edge_type = -1;
+  size_t def_op = 0;                     // op index that produced it
+  std::vector<size_t> uses;              // ops that borrow or consume it
+  std::optional<size_t> consumed_by;     // op that consumed it, if any
+  ConnState state = ConnState::kFresh;   // lattice state at end of program
+
+  bool unused() const { return uses.empty(); }
+  // Liveness interval end: the last op that touches the value (def_op when
+  // it is never used).
+  size_t last_use() const { return uses.empty() ? def_op : uses.back(); }
+};
+
+// Per-op classification.
+struct OpFacts {
+  bool is_marker = false;
+  // The engine runs the target for this op (GuardedStep): coverage and guest
+  // state may change, so the op is never statically removable.
+  bool steps_target = false;
+  // Elidable with no guest-observable effect (see header comment). Only
+  // kFault ops ever qualify.
+  bool provably_dead = false;
+  // Worth probing early during trimming: likely removable, but the claim
+  // needs the dynamic oracle (fault ops, unused-connection cones, closes on
+  // reset-armed connections).
+  bool trim_candidate = false;
+};
+
+struct Analysis {
+  std::vector<ValueInfo> values;  // indexed by value id
+  std::vector<OpFacts> ops;       // indexed by op index
+  size_t provably_dead = 0;
+  size_t trim_candidates = 0;
+
+  // Op indices flagged provably dead, in program order.
+  std::vector<size_t> ProvablyDeadOps() const;
+
+  // Value ids of `edge_type` live immediately before op `op_index`
+  // (`op_index == ops.size()` means end of program).
+  std::vector<uint16_t> LiveBefore(size_t op_index, int edge_type) const;
+};
+
+// Forward dataflow pass. Tolerates ill-formed programs (unknown opcodes,
+// dangling args are skipped), matching the engine's defensiveness — the
+// facts are only claimed for the ops the analysis could bind.
+Analysis Analyze(const Program& program, const Spec& spec);
+
+// The removal cone of `op`: the op itself plus every op transitively using
+// one of its output values. Removing a whole cone keeps the program
+// Validate-clean without Repair's semantics-changing rebinding. Returned in
+// ascending op order.
+std::vector<size_t> RemovalCone(const Analysis& analysis, const Program& program,
+                                const Spec& spec, size_t op);
+
+// Elides the ops in `remove` (any order, duplicates fine) and densely
+// renumbers the survivors' args. Returns nullopt when a kept op references
+// an elided op's output — the remove set was not a union of cones.
+std::optional<Program> RemoveOps(const Program& program, const Spec& spec,
+                                 const std::vector<size_t>& remove);
+
+// Normal form: markers stripped, provably-dead ops elided, dense value ids,
+// ignored fault-plan args zeroed. Idempotent: Canonicalize(Canonicalize(p))
+// == Canonicalize(p), and a Validate-clean input stays Validate-clean.
+Program Canonicalize(const Program& program, const Spec& spec);
+
+// Semantic dedup key: OpsHash of the canonical form. Two programs with equal
+// NormalHash are guest-equivalent modulo the per-exec RNG seeding (which is
+// keyed on the syntactic hash; NYX_ANALYZE_CHECK pins it when verifying).
+uint64_t NormalHash(const Program& program, const Spec& spec);
+
+// Live values of `edge_type` immediately before position `op_index` — the
+// mutator's insertion-point binding map. Convenience wrapper over Analyze
+// for one-shot queries.
+std::vector<uint16_t> LiveValuesAt(const Program& program, const Spec& spec, size_t op_index,
+                                   int edge_type);
+
+}  // namespace spec
+}  // namespace nyx
+
+#endif  // SRC_SPEC_ANALYZE_H_

@@ -14,19 +14,33 @@
 //       Convert a capture into bytecode seeds (section 4.4).
 //   nyx-net repro --target NAME --input FILE [--asan] [--seed N]
 //       Replay one input against the target and report the outcome.
+//   nyx-net trim --target NAME --input FILE [--out FILE] [--naive] [--seed N]
+//       Minimize one input while preserving its coverage fingerprint
+//       (analysis-guided by default; --naive for the afl-tmin-style order).
+//   nyx-net verify DIR --target NAME
+//       Batch-check every .nyx file in DIR: wire verification, analyzer
+//       facts, canonicalization idempotence, semantic duplicate groups.
+//       Exits nonzero if any file fails verification or idempotence.
 //   nyx-net mario --level 1-1 [--policy ...] [--wall SECONDS]
 //       Solve a Super Mario level (section 5.3).
 
+#include <dirent.h>
+
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <map>
 #include <string>
+#include <vector>
 
+#include "src/fuzz/trim.h"
 #include "src/fuzz/workdir.h"
 #include "src/harness/campaign.h"
 #include "src/harness/table.h"
 #include "src/mario/mario_target.h"
+#include "src/spec/analyze.h"
 #include "src/spec/pcap.h"
+#include "src/spec/verify.h"
 #include "src/targets/registry.h"
 
 namespace nyx {
@@ -66,7 +80,7 @@ Args ParseArgs(int argc, char** argv, int from) {
 
 int Usage() {
   fprintf(stderr,
-          "usage: nyx-net <targets|fuzz|pcap|repro|mario> [--help]\n"
+          "usage: nyx-net <targets|fuzz|pcap|repro|trim|verify|mario> [--help]\n"
           "run with a command and no arguments for that command's options\n");
   return 2;
 }
@@ -290,6 +304,139 @@ int CmdRepro(const Args& args) {
   return 0;
 }
 
+int CmdTrim(const Args& args) {
+  auto reg = FindTarget(args.Get("target"));
+  if (!reg.has_value()) {
+    fprintf(stderr, "unknown target '%s' (see 'nyx-net targets')\n", args.Get("target").c_str());
+    return 2;
+  }
+  const Spec spec = reg->make_spec();
+  auto program = Workdir::ReadProgram(args.Get("input"), spec);
+  if (!program.has_value()) {
+    fprintf(stderr, "cannot parse %s as a bytecode program\n", args.Get("input").c_str());
+    return 2;
+  }
+  EngineConfig engine_cfg;
+  engine_cfg.vm.mem_pages = 1024;
+  engine_cfg.seed = args.GetU64("seed", 1);
+  NyxEngine engine(engine_cfg, reg->factory, spec);
+  engine.Boot();
+
+  TrimOptions opts;
+  opts.analysis_order = !args.Has("naive");
+  TrimStats stats;
+  const Program trimmed = TrimProgram(engine, spec, *program, opts, &stats);
+
+  printf("trim (%s order):\n", opts.analysis_order ? "analysis" : "naive");
+  printf("  ops:         %zu -> %zu\n", stats.ops_before, stats.ops_after);
+  printf("  bytes:       %zu -> %zu\n", stats.bytes_before, stats.bytes_after);
+  printf("  probe execs: %zu\n", stats.probe_execs);
+  if (stats.audit_divergences != 0) {
+    printf("  AUDIT: %llu divergence(s) during probing\n",
+           static_cast<unsigned long long>(stats.audit_divergences));
+  }
+  const std::string out = args.Get("out");
+  if (!out.empty()) {
+    if (!Workdir::WriteProgram(out, trimmed)) {
+      fprintf(stderr, "cannot write %s\n", out.c_str());
+      return 1;
+    }
+    printf("  written to   %s\n", out.c_str());
+  }
+  return stats.audit_divergences == 0 ? 0 : 1;
+}
+
+// Batch static verification + analyzer report over a corpus directory.
+// Unlike ReadProgram (which verifies and logs) this surfaces the full
+// per-file verdict, the analyzer's dead-op facts, and semantic duplicate
+// groups across the whole directory, so it doubles as a corpus linter.
+int CmdVerify(const std::string& dir, const Args& args) {
+  auto reg = FindTarget(args.Get("target"));
+  if (!reg.has_value()) {
+    fprintf(stderr, "unknown target '%s' (see 'nyx-net targets')\n", args.Get("target").c_str());
+    return 2;
+  }
+  const Spec spec = reg->make_spec();
+
+  std::vector<std::string> files;
+  if (DIR* d = opendir(dir.c_str())) {
+    while (struct dirent* e = readdir(d)) {
+      const std::string name = e->d_name;
+      if (name.size() > 4 && name.compare(name.size() - 4, 4, ".nyx") == 0) {
+        files.push_back(dir + "/" + name);
+      }
+    }
+    closedir(d);
+  } else {
+    fprintf(stderr, "cannot open directory %s\n", dir.c_str());
+    return 2;
+  }
+  std::sort(files.begin(), files.end());
+  if (files.empty()) {
+    fprintf(stderr, "no .nyx files in %s\n", dir.c_str());
+    return 2;
+  }
+
+  size_t failures = 0;
+  std::map<uint64_t, std::vector<std::string>> by_normal_hash;
+  for (const std::string& file : files) {
+    FILE* f = fopen(file.c_str(), "rb");
+    if (f == nullptr) {
+      printf("%-40s FAIL (unreadable)\n", file.c_str());
+      failures++;
+      continue;
+    }
+    Bytes wire;
+    uint8_t buf[4096];
+    size_t n;
+    while ((n = fread(buf, 1, sizeof(buf), f)) > 0) {
+      wire.insert(wire.end(), buf, buf + n);
+    }
+    fclose(f);
+
+    const spec::Result verdict = spec::VerifyWire(wire, spec);
+    if (!verdict.ok()) {
+      printf("%-40s FAIL %s\n", file.c_str(), verdict.Summary().c_str());
+      failures++;
+      continue;
+    }
+    auto program = Program::Parse(wire, spec);
+    if (!program.has_value()) {
+      // VerifyWire passed but Parse refused: that is a checker/parser
+      // disagreement worth failing loudly on.
+      printf("%-40s FAIL verified wire did not parse\n", file.c_str());
+      failures++;
+      continue;
+    }
+
+    const spec::Analysis a = spec::Analyze(*program, spec);
+    const Program canon = spec::Canonicalize(*program, spec);
+    const Program canon2 = spec::Canonicalize(canon, spec);
+    const bool idempotent = canon.OpsHash(canon.ops.size()) == canon2.OpsHash(canon2.ops.size());
+    const uint64_t normal = spec::NormalHash(*program, spec);
+    printf("%-40s ok   ops=%-3zu dead=%-2zu canon=%-3zu normal=%016llx%s\n", file.c_str(),
+           program->ops.size(), a.provably_dead, canon.ops.size(),
+           static_cast<unsigned long long>(normal),
+           idempotent ? "" : "  FAIL canonicalize not idempotent");
+    if (!idempotent) {
+      failures++;
+    }
+    by_normal_hash[normal].push_back(file);
+  }
+
+  for (const auto& [hash, group] : by_normal_hash) {
+    if (group.size() < 2) {
+      continue;
+    }
+    printf("semantic duplicates (normal=%016llx):\n", static_cast<unsigned long long>(hash));
+    for (const std::string& file : group) {
+      printf("  %s\n", file.c_str());
+    }
+  }
+  printf("%zu file(s), %zu failure(s)\n", files.size(), failures);
+  return failures == 0 ? 0 : 1;
+}
+
 int CmdMario(const Args& args) {
   const std::string level = args.Get("level", "1-1");
   if (FindLevel(level) == nullptr) {
@@ -332,6 +479,17 @@ int main(int argc, char** argv) {
   }
   if (cmd == "repro") {
     return CmdRepro(args);
+  }
+  if (cmd == "trim") {
+    return CmdTrim(args);
+  }
+  if (cmd == "verify") {
+    // The directory is positional: nyx-net verify DIR --target NAME.
+    if (argc < 3 || strncmp(argv[2], "--", 2) == 0) {
+      fprintf(stderr, "usage: nyx-net verify DIR --target NAME\n");
+      return 2;
+    }
+    return CmdVerify(argv[2], args);
   }
   if (cmd == "mario") {
     return CmdMario(args);

@@ -332,6 +332,59 @@ TEST_P(ProgramPropertyTest, RepairAlwaysYieldsValid) {
   }
 }
 
+// Wire-format hardening: start from VALID serialized programs and corrupt
+// them — random byte overwrites, single bit flips, truncations, splices.
+// Corruptions of valid wire explore much deeper parser states than pure junk
+// blobs (magic and version match, so the op loop actually runs). The parser
+// must never crash; anything it does accept must re-serialize cleanly and be
+// repairable to a Validate-clean program.
+TEST_P(ProgramPropertyTest, CorruptedWireNeverCrashes) {
+  Rng rng(GetParam() ^ 0x70736575);
+  for (const Spec& spec : {Spec::GenericNetwork(), Spec::MultiConnection()}) {
+    // A pool of valid wires of varying shapes to corrupt.
+    std::vector<Bytes> pool;
+    for (int packets : {0, 1, 4, 9}) {
+      Program p = MakeSeed(spec, packets);
+      if (packets > 1) {
+        p.InsertSnapshotAfterPacket(spec, 0);
+      }
+      pool.push_back(p.Serialize());
+    }
+    for (int i = 0; i < 10000; i++) {
+      Bytes wire = pool[rng.Below(pool.size())];
+      const uint64_t mode = rng.Below(4);
+      if (mode == 0 && !wire.empty()) {
+        // Byte overwrite at a random offset (possibly several).
+        const uint64_t edits = rng.Range(1, 4);
+        for (uint64_t e = 0; e < edits; e++) {
+          wire[rng.Below(wire.size())] = rng.NextByte();
+        }
+      } else if (mode == 1 && !wire.empty()) {
+        // Single bit flip — the classic storage-corruption shape.
+        wire[rng.Below(wire.size())] ^= static_cast<uint8_t>(1u << rng.Below(8));
+      } else if (mode == 2) {
+        // Truncate to a random prefix.
+        wire.resize(rng.Below(wire.size() + 1));
+      } else {
+        // Splice the tail of one wire onto the head of another.
+        const Bytes& other = pool[rng.Below(pool.size())];
+        wire.resize(rng.Below(wire.size() + 1));
+        wire.insert(wire.end(), other.begin() + static_cast<long>(rng.Below(other.size())),
+                    other.end());
+      }
+      auto parsed = Program::Parse(wire, spec);  // must not crash or UB
+      if (parsed.has_value()) {
+        // Accepted wire must be internally consistent: re-serialization
+        // parses again, and Repair reaches a Validate-clean program.
+        EXPECT_TRUE(Program::Parse(parsed->Serialize(), spec).has_value());
+        parsed->Repair(spec);
+        std::string err;
+        EXPECT_TRUE(parsed->Validate(spec, &err)) << err;
+      }
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, ProgramPropertyTest, ::testing::Values(1, 2, 3, 4, 5));
 
 }  // namespace
